@@ -1,0 +1,48 @@
+#pragma once
+//
+// Shared helpers for the bench binaries: scale selection, suite matrix
+// generation, and the canonical probability-vector input.
+//
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/models.hpp"
+#include "core/rate_matrix.hpp"
+#include "core/state_space.hpp"
+#include "gpusim/device.hpp"
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::bench {
+
+inline std::string scale_name(int argc, char** argv) {
+  std::string name = "small";
+  if (const char* env = std::getenv("CMESOLVE_SCALE")) name = env;
+  if (argc > 1) name = argv[1];
+  return name;
+}
+
+struct SuiteMatrix {
+  std::string name;
+  sparse::Csr a;
+};
+
+/// Generate the 7 Table I rate matrices at the requested scale.
+inline std::vector<SuiteMatrix> suite_matrices(const std::string& scale) {
+  std::vector<SuiteMatrix> out;
+  for (auto& model : core::models::paper_suite(core::models::parse_scale(scale))) {
+    const core::StateSpace space(model.network, model.initial, 20'000'000);
+    out.push_back({model.name, core::rate_matrix(space)});
+  }
+  return out;
+}
+
+/// Uniform probability vector of length n (the Jacobi initial guess; also
+/// the SpMV input so cache behaviour matches the solver's).
+inline std::vector<real_t> uniform_vector(index_t n) {
+  return std::vector<real_t>(static_cast<std::size_t>(n),
+                             1.0 / static_cast<real_t>(n));
+}
+
+}  // namespace cmesolve::bench

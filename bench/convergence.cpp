@@ -1,0 +1,93 @@
+// Solver-convergence comparison (methodology ablation around Sec. IV): how
+// many sweeps each stationary method needs on the CME systems, and the
+// residual trajectory of the paper's Jacobi. Writes convergence_<model>.csv
+// with the Jacobi residual trace for plotting.
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "solver/gauss_seidel.hpp"
+#include "solver/jacobi.hpp"
+#include "solver/operators.hpp"
+#include "solver/power_iteration.hpp"
+#include "solver/vector_ops.hpp"
+#include "util/table.hpp"
+
+using namespace cmesolve;
+
+int main(int argc, char** argv) {
+  std::string scale = bench::scale_name(argc, argv);
+  if (argc <= 1 && !std::getenv("CMESOLVE_SCALE")) scale = "tiny";
+  std::cout << "Stationary-method comparison on CME systems (eps=1e-8, "
+               "scale=" << scale << ")\n\n";
+
+  TextTable table({"network", "Jacobi", "Jacobi w=0.8", "Gauss-Seidel",
+                   "power iter", "winner"});
+
+  for (auto& m : bench::suite_matrices(scale)) {
+    const real_t norm = m.a.inf_norm();
+    solver::CsrDiaOperator op(m.a);
+
+    const auto run_jacobi = [&](real_t damping, bool trace) {
+      solver::JacobiOptions opt;
+      opt.eps = 1e-8;
+      opt.max_iterations = 300'000;
+      opt.damping = damping;
+      std::ofstream csv;
+      if (trace) {
+        csv.open("convergence_" + m.name + ".csv");
+        csv << "iteration,residual\n";
+        opt.on_residual = [&csv](std::uint64_t it, real_t r) {
+          csv << it << ',' << r << '\n';
+        };
+      }
+      std::vector<real_t> p(static_cast<std::size_t>(m.a.nrows));
+      solver::fill_uniform(p);
+      return solver::jacobi_solve(op, norm, p, opt);
+    };
+
+    const auto jac = run_jacobi(1.0, /*trace=*/true);
+    const auto damped = run_jacobi(0.8, false);
+
+    solver::JacobiOptions gopt;
+    gopt.eps = 1e-8;
+    gopt.max_iterations = 300'000;
+    std::vector<real_t> pg(static_cast<std::size_t>(m.a.nrows));
+    solver::fill_uniform(pg);
+    const auto gs = solver::gauss_seidel_solve(m.a, norm, pg, gopt);
+
+    solver::PowerIterationOptions popt;
+    popt.eps = 1e-8;
+    popt.max_iterations = 300'000;
+    std::vector<real_t> pp(static_cast<std::size_t>(m.a.nrows));
+    solver::fill_uniform(pp);
+    const auto pw = solver::power_iteration_solve(op, norm, pp, popt);
+
+    const auto cell = [](const solver::JacobiResult& r) {
+      std::string s = TextTable::count(static_cast<long long>(r.iterations));
+      if (r.reason != solver::StopReason::kConverged) {
+        s += std::string(" (") + to_string(r.reason) + ")";
+      }
+      return s;
+    };
+    const char* winner = "Gauss-Seidel";
+    std::uint64_t best = gs.reason == solver::StopReason::kConverged
+                             ? gs.iterations
+                             : ~0ULL;
+    if (jac.reason == solver::StopReason::kConverged && jac.iterations < best) {
+      best = jac.iterations;
+      winner = "Jacobi";
+    }
+    if (pw.reason == solver::StopReason::kConverged && pw.iterations < best) {
+      winner = "power";
+    }
+    table.add_row({m.name, cell(jac), cell(damped), cell(gs), cell(pw),
+                   winner});
+  }
+  std::cout << table.render();
+  std::cout << "\nGauss-Seidel converges in fewer sweeps but is inherently "
+               "sequential; the paper picks\nJacobi because every component "
+               "updates independently — the GPU parallelism of Sec. IV.\n"
+               "Jacobi residual traces written to convergence_<model>.csv.\n";
+  return 0;
+}

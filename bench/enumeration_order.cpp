@@ -1,0 +1,57 @@
+// Ablation of the Sec. V claim that DFS enumeration "intrinsically arranges
+// densely populated subregions around the diagonal band": the same networks
+// are enumerated DFS, BFS and randomized, and the resulting {-1,0,+1} band
+// density plus ELL+DIA SpMV performance are compared. Only the DFS order
+// makes the DIA band worth storing.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/models.hpp"
+#include "core/rate_matrix.hpp"
+#include "core/state_space.hpp"
+#include "gpusim/kernels.hpp"
+#include "sparse/format_stats.hpp"
+#include "sparse/hybrid.hpp"
+#include "util/table.hpp"
+
+using namespace cmesolve;
+
+int main(int argc, char** argv) {
+  const auto scale = bench::scale_name(argc, argv);
+  const auto dev = gpusim::DeviceSpec::gtx580();
+  std::cout << "Sec. V ablation: state enumeration order vs diagonal band "
+               "(simulated " << dev.name << ", scale=" << scale << ")\n\n";
+
+  const struct {
+    const char* name;
+    core::VisitOrder order;
+  } kOrders[] = {{"DFS (paper)", core::VisitOrder::kDfs},
+                 {"BFS", core::VisitOrder::kBfs},
+                 {"random", core::VisitOrder::kRandom}};
+
+  TextTable table({"network", "order", "d{-1,0,+1}", "ELL+DIA GFLOPS"});
+  for (auto& model : core::models::paper_suite(core::models::parse_scale(scale))) {
+    for (const auto& o : kOrders) {
+      const core::StateSpace space(model.network, model.initial, 20'000'000,
+                                   o.order);
+      const auto a = core::rate_matrix(space);
+      const auto f = sparse::fingerprint(a);
+
+      const auto hybrid =
+          sparse::ell_dia_from_csr(a, sparse::select_band_offsets(a));
+      const auto x = bench::uniform_vector(a.ncols);
+      std::vector<real_t> y(static_cast<std::size_t>(a.nrows));
+      const auto g = gpusim::simulate_spmv(dev, hybrid, x, y);
+
+      table.add_row({model.name, o.name, TextTable::num(f.dband, 3),
+                     TextTable::num(g.gflops)});
+    }
+  }
+  std::cout << table.render();
+  std::cout << "\nDFS chains reversible reactions into adjacent indices "
+               "(band density ~1); BFS and random\norderings scatter them, "
+               "so the DIA band degenerates to the main diagonal and x "
+               "locality\ndegrades — the enumeration order is part of the "
+               "format design.\n";
+  return 0;
+}

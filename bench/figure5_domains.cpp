@@ -1,0 +1,58 @@
+// Regenerates Figure 5: sliced ELL (slice = block = 256) vs warp-grained
+// sliced ELL across application domains. The University of Florida
+// collection is replaced by synthetic generators with matching
+// row-length-distribution structure (see DESIGN.md).
+// Paper reference: warped wins everywhere, avg +12.62%, max +48.09%
+// (quantum chemistry).
+#include <iostream>
+
+#include "gpusim/kernels.hpp"
+#include "sparse/sliced_ell.hpp"
+#include "synth/generators.hpp"
+#include "util/table.hpp"
+
+using namespace cmesolve;
+
+int main(int argc, char** argv) {
+  index_t scale = 60'000;
+  if (const char* env = std::getenv("CMESOLVE_FIG5_SCALE")) scale = std::atoi(env);
+  if (argc > 1) scale = std::atoi(argv[1]);
+  const auto dev = gpusim::DeviceSpec::gtx580();
+  std::cout << "Figure 5: sliced ELL vs warp-grained sliced ELL by domain "
+               "(simulated " << dev.name << ", ~" << scale << " rows)\n\n";
+
+  TextTable table({"domain", "n", "nnz/row", "Sliced", "Warped",
+                   "improvement"});
+  real_t sum_s = 0;
+  real_t sum_w = 0;
+  int rows = 0;
+
+  for (auto& d : synth::figure5_suite(scale)) {
+    std::vector<real_t> x(static_cast<std::size_t>(d.matrix.ncols),
+                          1.0 / static_cast<real_t>(d.matrix.ncols));
+    std::vector<real_t> y(static_cast<std::size_t>(d.matrix.nrows));
+
+    const auto g_sliced = gpusim::simulate_spmv(
+        dev, sparse::sliced_ell_from_csr(d.matrix, 256), x, y);
+    const auto g_warped =
+        gpusim::simulate_spmv(dev, sparse::warped_ell_from_csr(d.matrix), x, y);
+
+    table.add_row(
+        {d.domain, TextTable::count(d.matrix.nrows),
+         TextTable::num(static_cast<double>(d.matrix.nnz()) / d.matrix.nrows, 1),
+         TextTable::num(g_sliced.gflops), TextTable::num(g_warped.gflops),
+         TextTable::num((g_warped.gflops / g_sliced.gflops - 1.0) * 100.0, 1) +
+             "%"});
+    sum_s += g_sliced.gflops;
+    sum_w += g_warped.gflops;
+    ++rows;
+  }
+  table.add_row({"Average", "", "", TextTable::num(sum_s / rows),
+                 TextTable::num(sum_w / rows),
+                 TextTable::num((sum_w / sum_s - 1.0) * 100.0, 1) + "%"});
+  std::cout << table.render();
+  std::cout << "\nPaper reference (Fig. 5): warped >= sliced on every domain, "
+               "avg +12.62%,\nmax +48.09% on quantum chemistry (highest "
+               "within-warp row-length variability).\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// The Sec. VII-D what-if: how would the pipeline behave on a Kepler-class
+// device? The paper argues the DP-peak jump (197 GFLOPS -> 1.31 TFLOPS) is
+// irrelevant for bandwidth-bound sparse kernels and the gains come from the
+// memory system. The simulator makes the argument quantitative.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gpusim/kernels.hpp"
+#include "sparse/sliced_ell.hpp"
+#include "util/table.hpp"
+
+using namespace cmesolve;
+
+int main(int argc, char** argv) {
+  const auto scale = bench::scale_name(argc, argv);
+  const auto fermi = gpusim::DeviceSpec::gtx580();
+  const auto kepler = gpusim::DeviceSpec::kepler_k20();
+
+  std::cout << "Sec. VII-D what-if: warp-grained ELL SpMV on " << fermi.name
+            << " vs " << kepler.name << " (scale=" << scale << ")\n\n";
+
+  TextTable table({"network", "Fermi [GFLOPS]", "Kepler [GFLOPS]", "ratio",
+                   "BW ratio"});
+  real_t sum_f = 0;
+  real_t sum_k = 0;
+  int rows = 0;
+  for (auto& m : bench::suite_matrices(scale)) {
+    const auto x = bench::uniform_vector(m.a.ncols);
+    std::vector<real_t> y(static_cast<std::size_t>(m.a.nrows));
+    const auto fmt = sparse::warped_ell_from_csr(m.a);
+    const auto gf = gpusim::simulate_spmv(fermi, fmt, x, y);
+    const auto gk = gpusim::simulate_spmv(kepler, fmt, x, y);
+    table.add_row({m.name, TextTable::num(gf.gflops),
+                   TextTable::num(gk.gflops),
+                   TextTable::num(gk.gflops / gf.gflops, 2),
+                   TextTable::num(kepler.dram_bandwidth / fermi.dram_bandwidth, 2)});
+    sum_f += gf.gflops;
+    sum_k += gk.gflops;
+    ++rows;
+  }
+  table.add_row({"Average", TextTable::num(sum_f / rows),
+                 TextTable::num(sum_k / rows),
+                 TextTable::num(sum_k / sum_f, 2), ""});
+  std::cout << table.render();
+  std::cout << "\nThe speedup tracks the bandwidth ratio ("
+            << TextTable::num(kepler.dram_bandwidth / fermi.dram_bandwidth, 2)
+            << "x), not the 6.6x double-precision peak ratio — the paper's "
+               "point that sparse\nlinear algebra gains come from the memory "
+               "system, not the ALUs.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// The Sec. VIII scale-out direction, quantified: strong scaling of one
+// distributed Jacobi sweep across 1..8 simulated GTX580s connected by a
+// PCIe-class interconnect, plus the per-model halo volumes that decide
+// whether the communication can hide behind the compute.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gpusim/multi_gpu.hpp"
+#include "util/table.hpp"
+
+using namespace cmesolve;
+
+int main(int argc, char** argv) {
+  const auto scale = bench::scale_name(argc, argv);
+  const auto dev = gpusim::DeviceSpec::gtx580();
+  std::cout << "Sec. VIII scale-out: distributed Jacobi sweep across N x "
+            << dev.name << " (scale=" << scale << ")\n\n";
+
+  auto suite = bench::suite_matrices(scale);
+
+  // (a) Halo volume under naive 1-D partitioning, per model, at 4 devices:
+  // chain models communicate a sliver, operator-flip models a large share.
+  std::cout << "(a) halo fraction at 4 devices\n\n";
+  {
+    TextTable table({"network", "n", "max halo", "halo / partition"});
+    for (auto& m : suite) {
+      const auto x = bench::uniform_vector(m.a.ncols);
+      std::vector<real_t> out(static_cast<std::size_t>(m.a.nrows));
+      gpusim::MultiGpuOptions opt;
+      opt.num_gpus = 4;
+      const auto r =
+          gpusim::simulate_multi_gpu_jacobi_sweep(dev, m.a, x, out, opt);
+      std::size_t max_halo = 0;
+      for (const auto& part : r.partitions) {
+        max_halo = std::max(max_halo, part.halo_in);
+      }
+      table.add_row({m.name, TextTable::count(m.a.nrows),
+                     TextTable::count(static_cast<long long>(max_halo)),
+                     TextTable::num(static_cast<double>(max_halo) /
+                                        (static_cast<double>(m.a.nrows) / 4.0),
+                                    2)});
+    }
+    std::cout << table.render();
+  }
+
+  // (b) Strong scaling on the friendliest (chain-structured) model.
+  const auto it = std::find_if(suite.begin(), suite.end(), [](const auto& m) {
+    return m.name == "schnakenberg";
+  });
+  const auto& m = it != suite.end() ? *it : suite.front();
+  const auto x = bench::uniform_vector(m.a.ncols);
+  std::vector<real_t> out(static_cast<std::size_t>(m.a.nrows));
+
+  std::cout << "\n(b) strong scaling, " << m.name
+            << ": n=" << TextTable::count(m.a.nrows)
+            << ", nnz=" << TextTable::count(static_cast<long long>(m.a.nnz()))
+            << "\n\n";
+
+  TextTable table({"GPUs", "compute [us]", "comm [us]", "total [us]",
+                   "max halo", "speedup", "efficiency"});
+  for (int g : {1, 2, 3, 4, 6, 8}) {
+    gpusim::MultiGpuOptions opt;
+    opt.num_gpus = g;
+    const auto r =
+        gpusim::simulate_multi_gpu_jacobi_sweep(dev, m.a, x, out, opt);
+    std::size_t max_halo = 0;
+    for (const auto& part : r.partitions) {
+      max_halo = std::max(max_halo, part.halo_in);
+    }
+    table.add_row({std::to_string(g), TextTable::num(r.compute_seconds * 1e6, 1),
+                   TextTable::num(r.comm_seconds * 1e6, 1),
+                   TextTable::num(r.seconds_per_iteration * 1e6, 1),
+                   TextTable::count(static_cast<long long>(max_halo)),
+                   TextTable::num(r.speedup_vs_single, 2) + "x",
+                   TextTable::num(r.speedup_vs_single / g * 100.0, 0) + "%"});
+  }
+  std::cout << table.render();
+  std::cout << "\nChain-structured state spaces scale until the per-device "
+               "kernel hits the launch-overhead\nfloor; operator-flip models "
+               "(toggle, phage) need 2-D partitioning or operator-major\n"
+               "ordering before the halo stops dominating — the quantified "
+               "caveat of Sec. VIII's\nGPU-cluster direction.\n";
+  return 0;
+}

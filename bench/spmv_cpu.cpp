@@ -1,0 +1,85 @@
+// google-benchmark microbenchmarks of the host SpMV kernels across formats
+// (the CPU reference implementations backing the solver numerics). These are
+// real wall-clock measurements on this machine, complementing the
+// simulated-GPU tables.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/models.hpp"
+#include "core/rate_matrix.hpp"
+#include "core/state_space.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dia.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/hybrid.hpp"
+#include "sparse/sliced_ell.hpp"
+
+using namespace cmesolve;
+
+namespace {
+
+const sparse::Csr& toggle_matrix() {
+  static const sparse::Csr a = [] {
+    core::models::ToggleSwitchParams p;
+    p.cap_a = p.cap_b = 70;
+    const auto net = core::models::toggle_switch(p);
+    const core::StateSpace space(net, core::models::toggle_switch_initial(p),
+                                 1'000'000);
+    return core::rate_matrix(space);
+  }();
+  return a;
+}
+
+template <class Format>
+void run_spmv(benchmark::State& state, const Format& fmt, index_t nrows,
+              index_t ncols, std::size_t nnz) {
+  std::vector<real_t> x(static_cast<std::size_t>(ncols),
+                        1.0 / static_cast<real_t>(ncols));
+  std::vector<real_t> y(static_cast<std::size_t>(nrows));
+  for (auto _ : state) {
+    sparse::spmv(fmt, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(nnz) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+void BM_SpmvCsr(benchmark::State& state) {
+  const auto& a = toggle_matrix();
+  run_spmv(state, a, a.nrows, a.ncols, a.nnz());
+}
+BENCHMARK(BM_SpmvCsr);
+
+void BM_SpmvEll(benchmark::State& state) {
+  const auto& a = toggle_matrix();
+  const auto ell = sparse::ell_from_csr(a);
+  run_spmv(state, ell, a.nrows, a.ncols, a.nnz());
+}
+BENCHMARK(BM_SpmvEll);
+
+void BM_SpmvEllDia(benchmark::State& state) {
+  const auto& a = toggle_matrix();
+  const auto h = sparse::ell_dia_from_csr(a, {-1, 0, 1});
+  run_spmv(state, h, a.nrows, a.ncols, a.nnz());
+}
+BENCHMARK(BM_SpmvEllDia);
+
+void BM_SpmvSlicedEll(benchmark::State& state) {
+  const auto& a = toggle_matrix();
+  const auto s = sparse::sliced_ell_from_csr(a, 256);
+  run_spmv(state, s, a.nrows, a.ncols, a.nnz());
+}
+BENCHMARK(BM_SpmvSlicedEll);
+
+void BM_SpmvWarpedEll(benchmark::State& state) {
+  const auto& a = toggle_matrix();
+  const auto w = sparse::warped_ell_from_csr(a);
+  run_spmv(state, w, a.nrows, a.ncols, a.nnz());
+}
+BENCHMARK(BM_SpmvWarpedEll);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Regenerates Table I: structural fingerprints of the 7 reaction-rate
+// matrices (n, nnz, Matrix Market disk size, nonzeros-per-row statistics,
+// variability/skew factors, diagonal densities).
+//
+// Usage: table1_matrices [tiny|small|medium]   (or env CMESOLVE_SCALE)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/models.hpp"
+#include "core/rate_matrix.hpp"
+#include "core/state_space.hpp"
+#include "sparse/format_stats.hpp"
+#include "util/table.hpp"
+
+using namespace cmesolve;
+
+int main(int argc, char** argv) {
+  std::string scale_name = "small";
+  if (const char* env = std::getenv("CMESOLVE_SCALE")) scale_name = env;
+  if (argc > 1) scale_name = argv[1];
+  const auto scale = core::models::parse_scale(scale_name);
+
+  std::cout << "Table I: sparse linear systems from sample biological "
+               "networks (scale="
+            << scale_name << ")\n\n";
+
+  TextTable table({"network", "n", "nnz", "disk[MB]", "min", "mu", "max",
+                   "sigma", "s/mu", "(max-mu)/mu", "d{0}", "d{-1,0,+1}"});
+
+  for (auto& model : core::models::paper_suite(scale)) {
+    const core::StateSpace space(model.network, model.initial, 20'000'000);
+    const auto a = core::rate_matrix(space);
+    const auto f = sparse::fingerprint(a);
+    table.add_row({model.name, TextTable::count(f.n),
+                   TextTable::count(static_cast<long long>(f.nnz)),
+                   TextTable::num(f.disk_mb, 2), std::to_string(f.row_min),
+                   TextTable::num(f.row_mean, 2), std::to_string(f.row_max),
+                   TextTable::num(f.row_sigma, 2),
+                   TextTable::num(f.variability, 2), TextTable::num(f.skew, 2),
+                   TextTable::num(f.d0, 2), TextTable::num(f.dband, 2)});
+  }
+  std::cout << table.render();
+  std::cout << "\nPaper reference (Table I, full-scale matrices): same "
+               "per-network fingerprints —\n"
+               "regular rows for toggle/brusselator/schnakenberg "
+               "(s/mu <= 0.12), irregular for phage-lambda\n"
+               "(s/mu ~ 0.15-0.30, skew 0.41-0.59); d{0} = 1.00 everywhere; "
+               "band density >= 0.66 for all.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Regenerates Table IV: Jacobi steady-state solution of the 7 CME systems.
+// Columns: iterations to the stopping criterion, final normalized residual,
+// measured host CSR+DIA GFLOPS (the paper's "Intel MKL" multicore baseline)
+// and simulated-GPU warp-grained-ELL+DIA GFLOPS.
+//
+// eps = 1e-8, max 1e6 iterations, residual every 100 iterations — the
+// paper's settings (Sec. VII-D). Iteration counts depend on matrix size, so
+// at reduced scale they are smaller than the paper's.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "solver/gpu_jacobi.hpp"
+#include "solver/jacobi.hpp"
+#include "solver/operators.hpp"
+#include "solver/vector_ops.hpp"
+#include "util/table.hpp"
+
+using namespace cmesolve;
+
+int main(int argc, char** argv) {
+  const auto scale = bench::scale_name(argc, argv);
+  const auto dev = gpusim::DeviceSpec::gtx580();
+  std::cout << "Table IV: Jacobi steady-state solve, eps=1e-8 "
+               "(CPU baseline measured on this host; GPU simulated "
+            << dev.name << "; scale=" << scale << ")\n\n";
+
+  solver::JacobiOptions opt;
+  opt.eps = 1e-8;
+  opt.max_iterations = 1'000'000;
+  opt.check_every = 100;
+
+  TextTable table({"network", "iterations", "residual", "stop",
+                   "CSR+DIA [GFLOPS]", "WarpELL+DIA [GFLOPS]", "speedup"});
+  real_t sum_cpu = 0;
+  real_t sum_gpu = 0;
+  int rows = 0;
+
+  for (auto& m : bench::suite_matrices(scale)) {
+    // Host baseline: CSR+DIA, wall-clock measured.
+    solver::CsrDiaOperator cpu_op(m.a);
+    std::vector<real_t> x_cpu(static_cast<std::size_t>(m.a.nrows));
+    solver::fill_uniform(x_cpu);
+    const auto cpu = solver::jacobi_solve(cpu_op, m.a.inf_norm(), x_cpu, opt);
+
+    // Simulated GPU: warp-grained sliced ELL + DIA.
+    std::vector<real_t> x_gpu(static_cast<std::size_t>(m.a.nrows));
+    solver::fill_uniform(x_gpu);
+    const auto gpu = solver::gpu_jacobi_solve(dev, m.a, x_gpu, opt);
+
+    char resid[32];
+    std::snprintf(resid, sizeof(resid), "%.3e", gpu.result.residual);
+    table.add_row({m.name, TextTable::count(static_cast<long long>(
+                               gpu.result.iterations)),
+                   resid, to_string(gpu.result.reason),
+                   TextTable::num(cpu.gflops), TextTable::num(gpu.sim_gflops),
+                   TextTable::num(gpu.sim_gflops / cpu.gflops, 2) + "x"});
+    sum_cpu += cpu.gflops;
+    sum_gpu += gpu.sim_gflops;
+    ++rows;
+  }
+  table.add_row({"Average", "", "", "", TextTable::num(sum_cpu / rows),
+                 TextTable::num(sum_gpu / rows),
+                 TextTable::num(sum_gpu / sum_cpu, 2) + "x"});
+  std::cout << table.render();
+  std::cout << "\nPaper reference (Table IV): CSR+DIA avg 0.907 GFLOPS on a "
+               "64-core Opteron vs 14.212 GFLOPS\non the GTX580 (15.67x). "
+               "This host's baseline differs (single desktop core), so the "
+               "speedup\ncolumn reflects simulated-GPU vs this-host-CPU.\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// The paper's generalization claim (Sec. VIII): the GPU steady-state
+// pipeline operates on any stochastic rate matrix, not just CME systems.
+//
+// This example builds the generator of an M/M/c/K queue directly (no
+// reaction network), solves it with the same Jacobi solver, and checks the
+// result against the closed-form stationary distribution.
+//
+// Usage: markov_queue [K] [c] [lambda] [mu]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "solver/jacobi.hpp"
+#include "solver/operators.hpp"
+#include "solver/vector_ops.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "util/table.hpp"
+
+using namespace cmesolve;
+
+namespace {
+
+/// Generator of an M/M/c/K queue: arrivals at rate lambda (blocked at K),
+/// service at rate min(n, c) * mu. Columns sum to zero.
+sparse::Csr queue_generator(int capacity, int servers, real_t lambda,
+                            real_t mu) {
+  sparse::Coo coo;
+  coo.nrows = coo.ncols = capacity + 1;
+  for (int n = 0; n <= capacity; ++n) {
+    real_t out = 0.0;
+    if (n < capacity) {
+      coo.add(n + 1, n, lambda);
+      out += lambda;
+    }
+    if (n > 0) {
+      const real_t service = static_cast<real_t>(std::min(n, servers)) * mu;
+      coo.add(n - 1, n, service);
+      out += service;
+    }
+    coo.add(n, n, -out);
+  }
+  return sparse::csr_from_coo(std::move(coo));
+}
+
+/// Closed-form stationary distribution of M/M/c/K (birth-death balance).
+std::vector<real_t> queue_exact(int capacity, int servers, real_t lambda,
+                                real_t mu) {
+  std::vector<real_t> pi(static_cast<std::size_t>(capacity) + 1);
+  pi[0] = 1.0;
+  for (int n = 1; n <= capacity; ++n) {
+    const real_t service = static_cast<real_t>(std::min(n, servers)) * mu;
+    pi[n] = pi[n - 1] * lambda / service;
+  }
+  real_t sum = 0;
+  for (real_t v : pi) sum += v;
+  for (real_t& v : pi) v /= sum;
+  return pi;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int capacity = argc > 1 ? std::atoi(argv[1]) : 60;
+  const int servers = argc > 2 ? std::atoi(argv[2]) : 3;
+  const real_t lambda = argc > 3 ? std::atof(argv[3]) : 2.4;
+  const real_t mu = argc > 4 ? std::atof(argv[4]) : 1.0;
+
+  const auto a = queue_generator(capacity, servers, lambda, mu);
+  std::cout << "M/M/" << servers << "/" << capacity
+            << " queue, lambda=" << lambda << ", mu=" << mu << " ("
+            << a.nrows << " states)\n\n";
+
+  solver::CsrDiaOperator op(a);
+  std::vector<real_t> p(static_cast<std::size_t>(a.nrows));
+  solver::fill_uniform(p);
+  solver::JacobiOptions opt;
+  opt.eps = 1e-12;
+  // Birth-death chains are bipartite: damp the Jacobi -1 mode.
+  opt.damping = 0.7;
+  const auto r = solver::jacobi_solve(op, a.inf_norm(), p, opt);
+  std::cout << "jacobi: " << r.iterations << " iterations ("
+            << to_string(r.reason) << ")\n\n";
+
+  const auto exact = queue_exact(capacity, servers, lambda, mu);
+  real_t max_err = 0;
+  real_t mean_jacobi = 0;
+  real_t mean_exact = 0;
+  for (int n = 0; n <= capacity; ++n) {
+    max_err = std::max(max_err, std::abs(p[n] - exact[n]));
+    mean_jacobi += n * p[n];
+    mean_exact += n * exact[n];
+  }
+
+  TextTable table({"quantity", "Jacobi", "closed form"});
+  table.add_row({"P(empty)", TextTable::num(p[0], 6),
+                 TextTable::num(exact[0], 6)});
+  table.add_row({"P(full / loss)", TextTable::num(p[capacity], 6),
+                 TextTable::num(exact[capacity], 6)});
+  table.add_row({"E[queue length]", TextTable::num(mean_jacobi, 4),
+                 TextTable::num(mean_exact, 4)});
+  std::cout << table.render();
+  std::cout << "\nmax |P_jacobi - P_exact| = " << max_err << "\n";
+  return max_err < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+// Quickstart: enumerate a genetic toggle switch, assemble the reaction-rate
+// matrix, solve A P = 0 with the Jacobi iteration on the warp-grained
+// sliced-ELL + DIA format, and print the most probable microstates.
+#include <iostream>
+
+#include "core/models.hpp"
+#include "core/landscape.hpp"
+#include "core/rate_matrix.hpp"
+#include "core/state_space.hpp"
+#include "solver/jacobi.hpp"
+#include "solver/operators.hpp"
+#include "solver/vector_ops.hpp"
+
+using namespace cmesolve;
+
+int main() {
+  // 1. Describe the biochemical network (toggle switch, Sec. II of the paper).
+  core::models::ToggleSwitchParams params;
+  params.cap_a = params.cap_b = 40;  // finite protein buffers
+  const auto network = core::models::toggle_switch(params);
+
+  // 2. Enumerate the reachable state space by DFS (Cao & Liang).
+  const core::StateSpace space(network,
+                               core::models::toggle_switch_initial(params),
+                               /*max_states=*/1'000'000);
+  std::cout << "microstates: " << space.size() << "\n";
+
+  // 3. Assemble the sparse reaction-rate matrix A (columns sum to zero).
+  const auto a = core::rate_matrix(space);
+  std::cout << "nonzeros:    " << a.nnz() << "\n";
+
+  // 4. Solve A P = 0 with the Jacobi iteration.
+  solver::WarpedEllDiaOperator op(a);
+  std::vector<real_t> p(static_cast<std::size_t>(a.nrows));
+  solver::fill_uniform(p);
+
+  solver::JacobiOptions opt;
+  opt.eps = 1e-10;
+  const auto result = solver::jacobi_solve(op, a.inf_norm(), p, opt);
+  std::cout << "jacobi:      " << result.iterations << " iterations, residual "
+            << result.residual << " (" << to_string(result.reason) << ")\n";
+
+  // 5. Inspect the steady-state probability landscape.
+  const int species_a = network.find_species("A");
+  const int species_b = network.find_species("B");
+  std::cout << "\nTop-5 microstates (nA, nB, geneA, geneB):\n";
+  for (index_t i : core::top_states(p, 5)) {
+    std::cout << "  P=" << p[i] << "  A=" << space.count(i, species_a)
+              << " B=" << space.count(i, species_b) << "\n";
+  }
+
+  const auto joint = core::marginal2d(space, p, species_a, species_b);
+  std::cout << "\n" << core::render_ascii(joint) << "\n";
+  std::cout << "modes detected: " << core::count_modes(joint)
+            << " (bistability => 2)\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Command-line steady-state solver for external Markov models: reads a
+// generator matrix in Matrix Market coordinate format (columns summing to
+// zero, as produced by write_matrix_market or any CTMC tool), runs the
+// warp-grained ELL+DIA Jacobi iteration and writes the stationary
+// distribution.
+//
+// Usage: solve_mtx <matrix.mtx> [output.txt] [eps]
+#include <fstream>
+#include <iostream>
+
+#include "core/irreducibility.hpp"
+#include "solver/gpu_jacobi.hpp"
+#include "solver/vector_ops.hpp"
+#include "sparse/format_stats.hpp"
+#include "sparse/matrix_market.hpp"
+
+using namespace cmesolve;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: solve_mtx <matrix.mtx> [output.txt] [eps]\n";
+    return 2;
+  }
+
+  sparse::Csr a;
+  try {
+    a = sparse::read_matrix_market_file(argv[1]);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  if (a.nrows != a.ncols) {
+    std::cerr << "error: generator matrix must be square\n";
+    return 2;
+  }
+
+  const auto f = sparse::fingerprint(a);
+  std::cout << "matrix: n=" << f.n << " nnz=" << f.nnz
+            << " nnz/row=" << f.row_mean << " band density=" << f.dband
+            << "\n";
+
+  // Diagnose the communication structure before solving: a reducible chain
+  // with several closed classes has no unique stationary distribution.
+  const auto cs = core::analyze_communication(a);
+  if (!cs.unique_stationary()) {
+    std::cerr << "warning: " << cs.closed_components.size()
+              << " closed communicating classes — the stationary "
+                 "distribution is not unique;\nthe solver will return one "
+                 "that depends on the initial guess.\n";
+  } else if (!cs.irreducible()) {
+    std::cout << "note: " << cs.num_components
+              << " communicating classes (transient states feed one closed "
+                 "class); unique steady state.\n";
+  }
+
+  solver::JacobiOptions opt;
+  opt.eps = argc > 3 ? std::atof(argv[3]) : 1e-10;
+  // General Markov models can be bipartite (e.g. birth-death chains), where
+  // plain Jacobi oscillates; the damped variant is uniformly robust.
+  opt.damping = 0.75;
+  std::vector<real_t> p(static_cast<std::size_t>(a.nrows));
+  solver::fill_uniform(p);
+
+  const auto report =
+      solver::gpu_jacobi_solve(gpusim::DeviceSpec::gtx580(), a, p, opt);
+  std::cout << "jacobi: " << report.result.iterations << " iterations ("
+            << to_string(report.result.reason) << "), residual "
+            << report.result.residual << "\n"
+            << "simulated GTX580 throughput: " << report.sim_gflops
+            << " GFLOPS\n";
+
+  const std::string out_path = argc > 2 ? argv[2] : "stationary.txt";
+  std::ofstream out(out_path);
+  out.precision(15);
+  for (real_t v : p) out << v << '\n';
+  std::cout << "stationary distribution written to " << out_path << "\n";
+  return report.result.reason == solver::StopReason::kMaxIterations ? 1 : 0;
+}

@@ -1,0 +1,67 @@
+// Cross-validation of the linear-algebra pipeline by stochastic
+// simulation: the time-average of a long Gillespie trajectory must converge
+// to the steady-state landscape the Jacobi solver computes — and the
+// comparison also shows *why* the paper's direct CME solve matters: the
+// sampler needs minutes of simulated time to resolve what the solver nails
+// in milliseconds of iteration.
+//
+// Usage: ssa_crosscheck [protein_buffer] [horizon]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/models.hpp"
+#include "core/rate_matrix.hpp"
+#include "core/state_space.hpp"
+#include "solver/jacobi.hpp"
+#include "solver/operators.hpp"
+#include "solver/vector_ops.hpp"
+#include "ssa/ssa.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace cmesolve;
+
+int main(int argc, char** argv) {
+  core::models::ToggleSwitchParams params;
+  params.cap_a = params.cap_b = argc > 1 ? std::atoi(argv[1]) : 12;
+  params.synth = 6.0;
+  const real_t horizon = argc > 2 ? std::atof(argv[2]) : 20000.0;
+
+  const auto net = core::models::toggle_switch(params);
+  const core::StateSpace space(net, core::models::toggle_switch_initial(params),
+                               10'000'000);
+  const auto a = core::rate_matrix(space);
+  std::cout << "toggle switch: " << space.size() << " microstates\n\n";
+
+  // Exact steady state by the paper's pipeline.
+  WallTimer t_solve;
+  solver::WarpedEllDiaOperator op(a);
+  std::vector<real_t> exact(static_cast<std::size_t>(a.nrows));
+  solver::fill_uniform(exact);
+  solver::JacobiOptions opt;
+  opt.eps = 1e-10;
+  const auto r = solver::jacobi_solve(op, a.inf_norm(), exact, opt);
+  const real_t solve_seconds = t_solve.seconds();
+
+  // Empirical steady state by trajectory time-averaging.
+  TextTable table({"SSA horizon", "wall [s]", "total variation vs Jacobi"});
+  for (const real_t h : {horizon / 100, horizon / 10, horizon}) {
+    WallTimer t_ssa;
+    ssa::EmpiricalOptions eopt;
+    eopt.burn_in = 50.0;
+    eopt.horizon = h;
+    eopt.seed = 2026;
+    const auto empirical = ssa::empirical_stationary(
+        net, space, core::models::toggle_switch_initial(params), eopt);
+    table.add_row({TextTable::num(h, 0), TextTable::num(t_ssa.seconds(), 2),
+                   TextTable::num(ssa::total_variation(exact, empirical), 4)});
+  }
+
+  std::cout << table.render();
+  std::cout << "\nJacobi solve: " << r.iterations << " iterations in "
+            << TextTable::num(solve_seconds, 3)
+            << " s — the sampler's error decays like 1/sqrt(T) while the\n"
+               "solver is exact to the stopping tolerance; this gap is the "
+               "paper's motivation (Sec. I).\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "core/irreducibility.hpp"
+
+#include <algorithm>
+
+namespace cmesolve::core {
+
+namespace {
+
+/// Adjacency in "from -> to" direction. The rate matrix stores column j ->
+/// row i transitions in row-major CSR, so transpose once.
+sparse::Csr outgoing_graph(const sparse::Csr& a) { return transpose(a); }
+
+}  // namespace
+
+CommunicationStructure analyze_communication(const sparse::Csr& a) {
+  const sparse::Csr g = outgoing_graph(a);
+  const index_t n = g.nrows;
+
+  CommunicationStructure out;
+  out.component.assign(static_cast<std::size_t>(n), -1);
+
+  // Iterative Tarjan.
+  constexpr index_t kUnvisited = -1;
+  std::vector<index_t> disc(static_cast<std::size_t>(n), kUnvisited);
+  std::vector<index_t> low(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<index_t> stack;           // Tarjan's component stack
+  std::vector<std::pair<index_t, index_t>> call;  // (node, next edge ptr)
+  index_t timer = 0;
+
+  for (index_t root = 0; root < n; ++root) {
+    if (disc[root] != kUnvisited) continue;
+    call.emplace_back(root, g.row_ptr[root]);
+    disc[root] = low[root] = timer++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call.empty()) {
+      auto& [v, edge] = call.back();
+      bool descended = false;
+      while (edge < g.row_ptr[v + 1]) {
+        const index_t w = g.col_idx[edge];
+        ++edge;
+        if (w == v) continue;  // ignore the diagonal
+        if (disc[w] == kUnvisited) {
+          disc[w] = low[w] = timer++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call.emplace_back(w, g.row_ptr[w]);
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) {
+          low[v] = std::min(low[v], disc[w]);
+        }
+      }
+      if (descended) continue;
+
+      // v is finished.
+      if (low[v] == disc[v]) {
+        // Pop one SCC.
+        for (;;) {
+          const index_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          out.component[w] = out.num_components;
+          if (w == v) break;
+        }
+        ++out.num_components;
+      }
+      const index_t child = v;
+      call.pop_back();
+      if (!call.empty()) {
+        low[call.back().first] = std::min(low[call.back().first], low[child]);
+      }
+    }
+  }
+
+  // Closed components: no edge leaving the component.
+  std::vector<bool> leaves(static_cast<std::size_t>(out.num_components), false);
+  for (index_t v = 0; v < n; ++v) {
+    for (index_t p = g.row_ptr[v]; p < g.row_ptr[v + 1]; ++p) {
+      const index_t w = g.col_idx[p];
+      if (w != v && out.component[v] != out.component[w]) {
+        leaves[static_cast<std::size_t>(out.component[v])] = true;
+      }
+    }
+  }
+  for (index_t c = 0; c < out.num_components; ++c) {
+    if (!leaves[static_cast<std::size_t>(c)]) {
+      out.closed_components.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace cmesolve::core

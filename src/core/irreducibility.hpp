@@ -1,0 +1,42 @@
+#pragma once
+//
+// Communication-structure analysis of the state space.
+//
+// The Jacobi steady state of A P = 0 is unique only when the reachable
+// state space is one closed communicating class. Finite-buffer truncation
+// can silently break this (e.g. a pure-decay network whose empty state is
+// absorbing), so a production solver should diagnose it instead of
+// returning an arbitrary vector. This module runs Tarjan's SCC algorithm
+// (iterative, no recursion — state spaces are large) on the transition
+// graph of the rate matrix.
+//
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::core {
+
+struct CommunicationStructure {
+  /// Strongly-connected-component id per state, in [0, num_components).
+  std::vector<index_t> component;
+  index_t num_components = 0;
+  /// Component ids with no outgoing transition (closed / recurrent classes).
+  std::vector<index_t> closed_components;
+
+  /// One closed class covering everything: the steady state is unique.
+  [[nodiscard]] bool irreducible() const noexcept {
+    return num_components == 1;
+  }
+  /// Exactly one closed class (possibly with transient states feeding it):
+  /// the steady state is still unique, supported on that class.
+  [[nodiscard]] bool unique_stationary() const noexcept {
+    return closed_components.size() == 1;
+  }
+};
+
+/// Analyze the transition graph of a rate matrix `a` (entry (i, j) != 0,
+/// i != j, is the edge j -> i).
+[[nodiscard]] CommunicationStructure analyze_communication(const sparse::Csr& a);
+
+}  // namespace cmesolve::core

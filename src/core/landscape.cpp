@@ -1,0 +1,140 @@
+#include "core/landscape.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace cmesolve::core {
+
+std::vector<real_t> marginal(const StateSpace& space, std::span<const real_t> p,
+                             int species) {
+  assert(p.size() == static_cast<std::size_t>(space.size()));
+  const auto cap =
+      static_cast<std::size_t>(space.network().capacity(species));
+  std::vector<real_t> out(cap + 1, 0.0);
+  for (index_t i = 0; i < space.size(); ++i) {
+    out[static_cast<std::size_t>(space.count(i, species))] += p[i];
+  }
+  return out;
+}
+
+Marginal2D marginal2d(const StateSpace& space, std::span<const real_t> p,
+                      int species_a, int species_b) {
+  assert(p.size() == static_cast<std::size_t>(space.size()));
+  Marginal2D m;
+  m.species_a = species_a;
+  m.species_b = species_b;
+  m.cap_a = space.network().capacity(species_a);
+  m.cap_b = space.network().capacity(species_b);
+  m.grid.assign(static_cast<std::size_t>(m.cap_a + 1) *
+                    static_cast<std::size_t>(m.cap_b + 1),
+                0.0);
+  for (index_t i = 0; i < space.size(); ++i) {
+    const auto a = static_cast<std::size_t>(space.count(i, species_a));
+    const auto b = static_cast<std::size_t>(space.count(i, species_b));
+    m.grid[a * static_cast<std::size_t>(m.cap_b + 1) + b] += p[i];
+  }
+  return m;
+}
+
+std::vector<index_t> top_states(std::span<const real_t> p, std::size_t k) {
+  std::vector<index_t> order(p.size());
+  std::iota(order.begin(), order.end(), index_t{0});
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(),
+                    [&](index_t a, index_t b) { return p[a] > p[b]; });
+  order.resize(k);
+  return order;
+}
+
+int count_modes(const Marginal2D& m, int bins, real_t floor_fraction) {
+  // Bin the grid down to bins x bins, then count cells that strictly
+  // dominate their 8-neighbourhood and carry non-trivial mass.
+  const int ba = std::min<int>(bins, m.cap_a + 1);
+  const int bb = std::min<int>(bins, m.cap_b + 1);
+  std::vector<real_t> coarse(static_cast<std::size_t>(ba) *
+                                 static_cast<std::size_t>(bb),
+                             0.0);
+  for (std::int32_t a = 0; a <= m.cap_a; ++a) {
+    for (std::int32_t b = 0; b <= m.cap_b; ++b) {
+      const int ia = std::min(ba - 1, a * ba / (m.cap_a + 1));
+      const int ib = std::min(bb - 1, b * bb / (m.cap_b + 1));
+      coarse[static_cast<std::size_t>(ia) * bb + static_cast<std::size_t>(ib)] +=
+          m.at(a, b);
+    }
+  }
+  const real_t peak = *std::max_element(coarse.begin(), coarse.end());
+  const real_t floor = peak * floor_fraction;
+
+  // A cell is a mode when it strictly dominates a radius-2 neighbourhood
+  // (ties broken by linear index so a flat plateau counts once) and carries
+  // non-trivial mass. The radius-2 window suppresses the ripples that the
+  // diffuse ridge between the toggle-switch attractors would otherwise
+  // contribute.
+  int modes = 0;
+  for (int a = 0; a < ba; ++a) {
+    for (int b = 0; b < bb; ++b) {
+      const real_t v = coarse[static_cast<std::size_t>(a) * bb + b];
+      if (v < floor) continue;
+      bool is_peak = true;
+      for (int da = -2; da <= 2 && is_peak; ++da) {
+        for (int db = -2; db <= 2; ++db) {
+          if (da == 0 && db == 0) continue;
+          const int na = a + da;
+          const int nb = b + db;
+          if (na < 0 || na >= ba || nb < 0 || nb >= bb) continue;
+          const real_t w = coarse[static_cast<std::size_t>(na) * bb + nb];
+          if (w > v || (w == v && (na * bb + nb) < (a * bb + b))) {
+            is_peak = false;
+            break;
+          }
+        }
+      }
+      if (is_peak) ++modes;
+    }
+  }
+  return modes;
+}
+
+std::string render_ascii(const Marginal2D& m, int width, int height) {
+  static constexpr char kShades[] = " .:-=+*#%@";
+  const int na = std::min<int>(height, m.cap_a + 1);
+  const int nb = std::min<int>(width, m.cap_b + 1);
+
+  std::vector<real_t> coarse(static_cast<std::size_t>(na) *
+                                 static_cast<std::size_t>(nb),
+                             0.0);
+  for (std::int32_t a = 0; a <= m.cap_a; ++a) {
+    for (std::int32_t b = 0; b <= m.cap_b; ++b) {
+      const int ia = std::min(na - 1, a * na / (m.cap_a + 1));
+      const int ib = std::min(nb - 1, b * nb / (m.cap_b + 1));
+      coarse[static_cast<std::size_t>(ia) * nb + static_cast<std::size_t>(ib)] +=
+          m.at(a, b);
+    }
+  }
+  const real_t peak = *std::max_element(coarse.begin(), coarse.end());
+
+  std::ostringstream out;
+  out << "P(nA, nB): rows = nA (top = " << m.cap_a << "), cols = nB (0.."
+      << m.cap_b << ")\n";
+  for (int a = na - 1; a >= 0; --a) {
+    out << '|';
+    for (int b = 0; b < nb; ++b) {
+      const real_t v = coarse[static_cast<std::size_t>(a) * nb + b];
+      int shade = 0;
+      if (v > 0.0 && peak > 0.0) {
+        // Log scale over 5 decades.
+        const real_t rel = std::log10(v / peak);  // <= 0
+        shade = std::clamp(static_cast<int>((rel + 5.0) / 5.0 * 9.0), 0, 9);
+      }
+      out << kShades[shade];
+    }
+    out << "|\n";
+  }
+  return out.str();
+}
+
+}  // namespace cmesolve::core

@@ -1,0 +1,56 @@
+#pragma once
+//
+// Steady-state probability landscape utilities (Sec. II-B, Fig. 2).
+//
+// Once the Jacobi solver returns P over the microstates, these helpers
+// project it onto biologically meaningful coordinates: marginals over one
+// or two species, top-probability states, and a coarse ASCII rendering of
+// the 2-D landscape (the toggle-switch bistability picture).
+//
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/state_space.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::core {
+
+/// Marginal distribution of one species: out[c] = P(species == c).
+[[nodiscard]] std::vector<real_t> marginal(const StateSpace& space,
+                                           std::span<const real_t> p,
+                                           int species);
+
+/// Joint marginal over two species as a dense (capA+1) x (capB+1) grid in
+/// row-major order: grid[a * (capB+1) + b] = P(sa == a, sb == b).
+struct Marginal2D {
+  int species_a = 0;
+  int species_b = 0;
+  std::int32_t cap_a = 0;
+  std::int32_t cap_b = 0;
+  std::vector<real_t> grid;
+
+  [[nodiscard]] real_t at(std::int32_t a, std::int32_t b) const {
+    return grid[static_cast<std::size_t>(a) *
+                    static_cast<std::size_t>(cap_b + 1) +
+                static_cast<std::size_t>(b)];
+  }
+};
+[[nodiscard]] Marginal2D marginal2d(const StateSpace& space,
+                                    std::span<const real_t> p, int species_a,
+                                    int species_b);
+
+/// Indices of the k most probable microstates, descending.
+[[nodiscard]] std::vector<index_t> top_states(std::span<const real_t> p,
+                                              std::size_t k);
+
+/// Count the local maxima of a 2-D marginal after coarse binning —
+/// a cheap bimodality detector for the toggle switch (expects 2).
+[[nodiscard]] int count_modes(const Marginal2D& m, int bins = 16,
+                              real_t floor_fraction = 0.05);
+
+/// ASCII heat map of a 2-D marginal (log scale), for terminal output.
+[[nodiscard]] std::string render_ascii(const Marginal2D& m, int width = 60,
+                                       int height = 28);
+
+}  // namespace cmesolve::core

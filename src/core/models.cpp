@@ -1,0 +1,254 @@
+#include "core/models.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cmesolve::core::models {
+
+// ---------------------------------------------------------------------------
+// Toggle switch
+// ---------------------------------------------------------------------------
+ReactionNetwork toggle_switch(const ToggleSwitchParams& p) {
+  ReactionNetwork net;
+  const int a = net.add_species("A", p.cap_a);
+  const int b = net.add_species("B", p.cap_b);
+  const int ga = net.add_species("geneA_free", 1);   // B2 represses gene A
+  const int gab = net.add_species("geneA_bound", 1);
+  const int gb = net.add_species("geneB_free", 1);   // A2 represses gene B
+  const int gbb = net.add_species("geneB_bound", 1);
+
+  // Reversible synthesis/degradation pairs FIRST: DFS chains them into the
+  // {-1, +1} band (Sec. V).
+  net.add_reaction("synthA", p.synth, {{ga, 1}}, {{a, +1}});
+  net.add_reaction("degA", p.degrade, {{a, 1}}, {{a, -1}});
+  net.add_reaction("synthB", p.synth, {{gb, 1}}, {{b, +1}});
+  net.add_reaction("degB", p.degrade, {{b, 1}}, {{b, -1}});
+  // Dimer repression: two copies of the antagonist protein occupy the
+  // operator.
+  net.add_reaction("bindB_geneA", p.bind, {{b, 2}, {ga, 1}},
+                   {{b, -2}, {ga, -1}, {gab, +1}});
+  net.add_reaction("unbindB_geneA", p.unbind, {{gab, 1}},
+                   {{b, +2}, {ga, +1}, {gab, -1}});
+  net.add_reaction("bindA_geneB", p.bind, {{a, 2}, {gb, 1}},
+                   {{a, -2}, {gb, -1}, {gbb, +1}});
+  net.add_reaction("unbindA_geneB", p.unbind, {{gbb, 1}},
+                   {{a, +2}, {gb, +1}, {gbb, -1}});
+  return net;
+}
+
+State toggle_switch_initial(const ToggleSwitchParams&) {
+  return State{0, 0, 1, 0, 1, 0};
+}
+
+// ---------------------------------------------------------------------------
+// Brusselator
+// ---------------------------------------------------------------------------
+ReactionNetwork brusselator(const BrusselatorParams& p) {
+  ReactionNetwork net;
+  const int x = net.add_species("X", p.cap_x);
+  const int y = net.add_species("Y", p.cap_y);
+
+  net.add_reaction("feed", p.a, {}, {{x, +1}});
+  net.add_reaction("drain", p.drain, {{x, 1}}, {{x, -1}});
+  net.add_reaction("convert", p.b, {{x, 1}}, {{x, -1}, {y, +1}});
+  net.add_reaction("autocatalysis", p.autocat, {{x, 2}, {y, 1}},
+                   {{x, +1}, {y, -1}});
+  return net;
+}
+
+State brusselator_initial(const BrusselatorParams&) { return State{0, 0}; }
+
+// ---------------------------------------------------------------------------
+// Schnakenberg
+// ---------------------------------------------------------------------------
+ReactionNetwork schnakenberg(const SchnakenbergParams& p) {
+  ReactionNetwork net;
+  const int x = net.add_species("X", p.cap_x);
+  const int y = net.add_species("Y", p.cap_y);
+
+  net.add_reaction("feedX", p.a, {}, {{x, +1}});
+  net.add_reaction("degX", p.degrade_x, {{x, 1}}, {{x, -1}});
+  net.add_reaction("feedY", p.b, {}, {{y, +1}});
+  net.add_reaction("degY", p.degrade_y, {{y, 1}}, {{y, -1}});
+  net.add_reaction("autocatalysis", p.autocat, {{x, 2}, {y, 1}},
+                   {{x, +1}, {y, -1}});
+  net.add_reaction("reverse", p.reverse, {{x, 3}}, {{x, -1}, {y, +1}});
+  return net;
+}
+
+State schnakenberg_initial(const SchnakenbergParams&) { return State{0, 0}; }
+
+// ---------------------------------------------------------------------------
+// Phage lambda
+// ---------------------------------------------------------------------------
+ReactionNetwork phage_lambda(const PhageLambdaParams& p) {
+  ReactionNetwork net;
+  const int m = net.add_species("CI", p.cap_ci);
+  const int d = net.add_species("CI2", p.cap_ci2);
+  const int c = net.add_species("Cro", p.cap_cro);
+  const int e = net.add_species("Cro2", p.cap_cro2);
+  // Operator sites OR1..OR3, each a conserved {free, CI2-bound, Cro2-bound}
+  // indicator triple.
+  int site_free[3];
+  int site_ci[3];
+  int site_cro[3];
+  for (int s = 0; s < 3; ++s) {
+    const std::string suffix = std::to_string(s + 1);
+    site_free[s] = net.add_species("OR" + suffix + "_free", 1);
+    site_ci[s] = net.add_species("OR" + suffix + "_CI2", 1);
+    site_cro[s] = net.add_species("OR" + suffix + "_Cro2", 1);
+  }
+
+  // Reversible monomer pairs first (diagonal band).
+  net.add_reaction("synthCI_basal", p.synth_ci_basal, {{site_free[1], 1}},
+                   {{m, +1}});
+  net.add_reaction("degCI", p.degrade_monomer, {{m, 1}}, {{m, -1}});
+  net.add_reaction("synthCI_active", p.synth_ci_active, {{site_ci[1], 1}},
+                   {{m, +1}});
+  net.add_reaction("synthCro", p.synth_cro, {{site_free[0], 1}}, {{c, +1}});
+  net.add_reaction("degCro", p.degrade_monomer, {{c, 1}}, {{c, -1}});
+  // Dimerization equilibria.
+  net.add_reaction("dimerizeCI", p.dimerize, {{m, 2}}, {{m, -2}, {d, +1}});
+  net.add_reaction("dissociateCI2", p.dissociate, {{d, 1}}, {{d, -1}, {m, +2}});
+  net.add_reaction("dimerizeCro", p.dimerize, {{c, 2}}, {{c, -2}, {e, +1}});
+  net.add_reaction("dissociateCro2", p.dissociate, {{e, 1}},
+                   {{e, -1}, {c, +2}});
+  // Competitive operator binding.
+  for (int s = 0; s < 3; ++s) {
+    const std::string suffix = std::to_string(s + 1);
+    net.add_reaction("bindCI2_OR" + suffix, p.bind,
+                     {{d, 1}, {site_free[s], 1}},
+                     {{d, -1}, {site_free[s], -1}, {site_ci[s], +1}});
+    net.add_reaction("unbindCI2_OR" + suffix, p.unbind, {{site_ci[s], 1}},
+                     {{d, +1}, {site_free[s], +1}, {site_ci[s], -1}});
+    net.add_reaction("bindCro2_OR" + suffix, p.bind,
+                     {{e, 1}, {site_free[s], 1}},
+                     {{e, -1}, {site_free[s], -1}, {site_cro[s], +1}});
+    net.add_reaction("unbindCro2_OR" + suffix, p.unbind, {{site_cro[s], 1}},
+                     {{e, +1}, {site_free[s], +1}, {site_cro[s], -1}});
+  }
+  return net;
+}
+
+State phage_lambda_initial(const PhageLambdaParams&) {
+  //            CI D  Cro E  OR1      OR2      OR3
+  return State{0, 0, 0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0};
+}
+
+// ---------------------------------------------------------------------------
+// Michaelis-Menten enzyme kinetics
+// ---------------------------------------------------------------------------
+ReactionNetwork enzyme_kinetics(const EnzymeKineticsParams& p) {
+  ReactionNetwork net;
+  const int e = net.add_species("E", p.enzyme_total);
+  const int s = net.add_species("S", p.cap_s);
+  const int es = net.add_species("ES", p.enzyme_total);
+  const int prod = net.add_species("P", p.cap_p);
+
+  // Substrate feed/turnover pair first for the diagonal band.
+  net.add_reaction("feedS", p.feed, {}, {{s, +1}});
+  net.add_reaction("bind", p.bind, {{e, 1}, {s, 1}},
+                   {{e, -1}, {s, -1}, {es, +1}});
+  net.add_reaction("unbind", p.unbind, {{es, 1}},
+                   {{e, +1}, {s, +1}, {es, -1}});
+  net.add_reaction("catalyze", p.catalyze, {{es, 1}},
+                   {{e, +1}, {es, -1}, {prod, +1}});
+  net.add_reaction("clearP", p.clear, {{prod, 1}}, {{prod, -1}});
+  return net;
+}
+
+State enzyme_kinetics_initial(const EnzymeKineticsParams& p) {
+  return State{p.enzyme_total, 0, 0, 0};
+}
+
+// ---------------------------------------------------------------------------
+// SIR with demography
+// ---------------------------------------------------------------------------
+ReactionNetwork sir(const SirParams& p) {
+  ReactionNetwork net;
+  const int s = net.add_species("S", p.cap_s);
+  const int i = net.add_species("I", p.cap_i);
+  const int r = net.add_species("R", p.cap_r);
+
+  net.add_reaction("birth", p.birth, {}, {{s, +1}});
+  net.add_reaction("deathS", p.death, {{s, 1}}, {{s, -1}});
+  net.add_reaction("infect", p.infect, {{s, 1}, {i, 1}}, {{s, -1}, {i, +1}});
+  net.add_reaction("recover", p.recover, {{i, 1}}, {{i, -1}, {r, +1}});
+  net.add_reaction("deathI", p.death, {{i, 1}}, {{i, -1}});
+  net.add_reaction("deathR", p.death, {{r, 1}}, {{r, -1}});
+  return net;
+}
+
+State sir_initial(const SirParams& p) {
+  return State{std::min<std::int32_t>(10, p.cap_s),
+               std::min<std::int32_t>(2, p.cap_i), 0};
+}
+
+// ---------------------------------------------------------------------------
+// Paper suite
+// ---------------------------------------------------------------------------
+namespace {
+
+BenchmarkModel make_toggle(std::string name, std::int32_t cap) {
+  ToggleSwitchParams p;
+  p.cap_a = p.cap_b = cap;
+  return {std::move(name), toggle_switch(p), toggle_switch_initial(p)};
+}
+
+BenchmarkModel make_lambda(std::string name, std::int32_t mono,
+                           std::int32_t dimer) {
+  PhageLambdaParams p;
+  p.cap_ci = p.cap_cro = mono;
+  p.cap_ci2 = p.cap_cro2 = dimer;
+  return {std::move(name), phage_lambda(p), phage_lambda_initial(p)};
+}
+
+}  // namespace
+
+std::vector<BenchmarkModel> paper_suite(SuiteScale scale) {
+  std::vector<BenchmarkModel> suite;
+
+  struct Caps {
+    std::int32_t toggle1, bruss_x, bruss_y, lam1_m, lam1_d, schnak_x, schnak_y,
+        lam2_m, lam2_d, toggle2, lam3_m, lam3_d;
+  };
+  Caps caps{};
+  switch (scale) {
+    case SuiteScale::kTiny:
+      caps = {15, 40, 20, 4, 2, 50, 25, 5, 2, 25, 5, 3};
+      break;
+    case SuiteScale::kSmall:
+      caps = {70, 250, 120, 8, 3, 300, 150, 9, 4, 135, 10, 5};
+      break;
+    case SuiteScale::kMedium:
+      caps = {160, 500, 250, 11, 5, 650, 325, 12, 6, 250, 14, 7};
+      break;
+  }
+
+  suite.push_back(make_toggle("toggle-switch-1", caps.toggle1));
+  {
+    BrusselatorParams p;
+    p.cap_x = caps.bruss_x;
+    p.cap_y = caps.bruss_y;
+    suite.push_back({"brusselator", brusselator(p), brusselator_initial(p)});
+  }
+  suite.push_back(make_lambda("phage-lambda-1", caps.lam1_m, caps.lam1_d));
+  {
+    SchnakenbergParams p;
+    p.cap_x = caps.schnak_x;
+    p.cap_y = caps.schnak_y;
+    suite.push_back({"schnakenberg", schnakenberg(p), schnakenberg_initial(p)});
+  }
+  suite.push_back(make_lambda("phage-lambda-2", caps.lam2_m, caps.lam2_d));
+  suite.push_back(make_toggle("toggle-switch-2", caps.toggle2));
+  suite.push_back(make_lambda("phage-lambda-3", caps.lam3_m, caps.lam3_d));
+  return suite;
+}
+
+SuiteScale parse_scale(const std::string& s) {
+  if (s == "tiny") return SuiteScale::kTiny;
+  if (s == "medium") return SuiteScale::kMedium;
+  return SuiteScale::kSmall;
+}
+
+}  // namespace cmesolve::core::models

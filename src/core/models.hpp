@@ -1,0 +1,153 @@
+#pragma once
+//
+// The four biological reaction networks of the paper's benchmark set
+// (Sec. VII-B): genetic toggle switch [16], Brusselator [21], phage lambda
+// lysis/lysogeny switch [22] and Schnakenberg [23].
+//
+// The paper's matrices reach n = 9.98M microstates; buffer capacities here
+// are parameterized so the same networks can be generated at
+// container-friendly sizes while keeping the Table I structural
+// fingerprints (nonzeros-per-row distribution, diagonal band density) —
+// those are properties of the network topology and DFS order, not of the
+// buffer size.
+//
+#include <string>
+#include <vector>
+
+#include "core/reaction_network.hpp"
+
+namespace cmesolve::core::models {
+
+// ---------------------------------------------------------------------------
+// Genetic toggle switch: proteins A and B, each repressing the other's gene
+// through dimer binding to the operator. Bistable ("on/off" vs "off/on",
+// Fig. 1/2 of the paper).
+// ---------------------------------------------------------------------------
+struct ToggleSwitchParams {
+  std::int32_t cap_a = 60;   ///< protein A buffer
+  std::int32_t cap_b = 60;   ///< protein B buffer
+  real_t synth = 25.0;       ///< protein synthesis rate (gene free)
+  real_t degrade = 1.0;      ///< protein degradation rate
+  real_t bind = 0.1;         ///< dimer-operator binding rate
+  real_t unbind = 2.0;       ///< operator clearing rate
+};
+[[nodiscard]] ReactionNetwork toggle_switch(const ToggleSwitchParams& p = {});
+[[nodiscard]] State toggle_switch_initial(const ToggleSwitchParams& p = {});
+
+// ---------------------------------------------------------------------------
+// Brusselator: autocatalytic oscillator, species X and Y.
+//   (1) 0 -> X, (2) 2X + Y -> 3X, (3) X -> Y, (4) X -> 0
+// ---------------------------------------------------------------------------
+struct BrusselatorParams {
+  std::int32_t cap_x = 300;
+  std::int32_t cap_y = 150;
+  real_t a = 25.0;       ///< feed 0 -> X
+  real_t b = 1.5;        ///< conversion X -> Y
+  real_t autocat = 2e-3; ///< 2X + Y -> 3X
+  real_t drain = 1.0;    ///< X -> 0
+};
+[[nodiscard]] ReactionNetwork brusselator(const BrusselatorParams& p = {});
+[[nodiscard]] State brusselator_initial(const BrusselatorParams& p = {});
+
+// ---------------------------------------------------------------------------
+// Schnakenberg: trimolecular autocatalysis with reversible step, species X, Y.
+//   0 <-> X, 0 <-> Y, 2X + Y <-> 3X
+// ---------------------------------------------------------------------------
+struct SchnakenbergParams {
+  std::int32_t cap_x = 400;
+  std::int32_t cap_y = 200;
+  real_t a = 18.0;        ///< feed 0 -> X
+  real_t degrade_x = 1.0;
+  real_t b = 30.0;        ///< feed 0 -> Y
+  real_t degrade_y = 0.1;
+  real_t autocat = 1e-3;  ///< 2X + Y -> 3X
+  real_t reverse = 1e-4;  ///< 3X -> 2X + Y
+};
+[[nodiscard]] ReactionNetwork schnakenberg(const SchnakenbergParams& p = {});
+[[nodiscard]] State schnakenberg_initial(const SchnakenbergParams& p = {});
+
+// ---------------------------------------------------------------------------
+// Phage lambda epigenetic switch (simplified Cao-Lu-Liang [22]): CI and Cro
+// with dimerization and competitive binding to the three OR operator sites.
+// CI2 at OR2 activates PRM (CI synthesis); Cro is made while OR1 is free.
+// The operator occupancy is modeled with free/CI2/Cro2 indicator species
+// per site (conserved triples), giving the irregular row-length profile of
+// the phage-lambda rows in Table I.
+// ---------------------------------------------------------------------------
+struct PhageLambdaParams {
+  std::int32_t cap_ci = 12;    ///< CI monomer buffer
+  std::int32_t cap_ci2 = 6;    ///< CI dimer buffer
+  std::int32_t cap_cro = 12;   ///< Cro monomer buffer
+  std::int32_t cap_cro2 = 6;   ///< Cro dimer buffer
+  real_t synth_ci_basal = 2.0;
+  real_t synth_ci_active = 8.0;  ///< PRM activated by CI2 at OR2
+  real_t synth_cro = 5.0;        ///< PR while OR1 free
+  real_t degrade_monomer = 1.0;
+  real_t degrade_dimer = 0.5;
+  real_t dimerize = 0.5;
+  real_t dissociate = 2.0;
+  real_t bind = 0.5;
+  real_t unbind = 1.0;
+};
+[[nodiscard]] ReactionNetwork phage_lambda(const PhageLambdaParams& p = {});
+[[nodiscard]] State phage_lambda_initial(const PhageLambdaParams& p = {});
+
+// ---------------------------------------------------------------------------
+// Michaelis-Menten enzyme kinetics with substrate turnover:
+//   0 -> S (feed),  E + S <-> ES,  ES -> E + P,  P -> 0 (clearance)
+// Total enzyme E + ES is conserved, so the reachable space is a slab.
+// ---------------------------------------------------------------------------
+struct EnzymeKineticsParams {
+  std::int32_t enzyme_total = 4;
+  std::int32_t cap_s = 40;
+  std::int32_t cap_p = 40;
+  real_t feed = 8.0;      ///< 0 -> S
+  real_t bind = 0.5;      ///< E + S -> ES
+  real_t unbind = 1.0;    ///< ES -> E + S
+  real_t catalyze = 2.0;  ///< ES -> E + P
+  real_t clear = 0.5;     ///< P -> 0
+};
+[[nodiscard]] ReactionNetwork enzyme_kinetics(const EnzymeKineticsParams& p = {});
+[[nodiscard]] State enzyme_kinetics_initial(const EnzymeKineticsParams& p = {});
+
+// ---------------------------------------------------------------------------
+// Stochastic SIR with demography: endemic fluctuations instead of eventual
+// extinction, so a non-trivial stationary landscape exists.
+//   0 -> S (birth),  S + I -> 2I,  I -> R,  S/I/R -> 0 (death)
+// ---------------------------------------------------------------------------
+struct SirParams {
+  std::int32_t cap_s = 30;
+  std::int32_t cap_i = 30;
+  std::int32_t cap_r = 30;
+  real_t birth = 6.0;
+  real_t infect = 0.3;
+  real_t recover = 1.0;
+  real_t death = 0.3;
+};
+[[nodiscard]] ReactionNetwork sir(const SirParams& p = {});
+[[nodiscard]] State sir_initial(const SirParams& p = {});
+
+// ---------------------------------------------------------------------------
+// The 7-matrix benchmark suite of Table I, at a selectable scale.
+// ---------------------------------------------------------------------------
+enum class SuiteScale {
+  kTiny,    ///< ~1e3..1e4 states per matrix (unit tests)
+  kSmall,   ///< ~2e4..8e4 states (default benchmarks)
+  kMedium,  ///< ~1e5..5e5 states (longer benchmark runs)
+};
+
+struct BenchmarkModel {
+  std::string name;      ///< paper's benchmark name, e.g. "toggle-switch-1"
+  ReactionNetwork network;
+  State initial;
+};
+
+/// toggle-switch-1/2, brusselator, phage-lambda-1/2/3, schnakenberg with
+/// per-scale buffer capacities.
+[[nodiscard]] std::vector<BenchmarkModel> paper_suite(SuiteScale scale);
+
+/// Parse "tiny" / "small" / "medium" (benchmark CLI helper); defaults to
+/// kSmall on unknown input.
+[[nodiscard]] SuiteScale parse_scale(const std::string& s);
+
+}  // namespace cmesolve::core::models

@@ -1,0 +1,55 @@
+#include "core/rate_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cmesolve::core {
+
+sparse::Csr rate_matrix(const StateSpace& space) {
+  if (space.truncated()) {
+    throw std::runtime_error(
+        "rate_matrix: state space truncated; raise max_states");
+  }
+  const ReactionNetwork& net = space.network();
+  const index_t n = space.size();
+  const int nr = net.num_reactions();
+
+  sparse::Coo coo;
+  coo.nrows = n;
+  coo.ncols = n;
+  coo.reserve(static_cast<std::size_t>(n) *
+              static_cast<std::size_t>(nr / 2 + 2));
+
+  for (index_t j = 0; j < n; ++j) {
+    const State x = space.state(j);
+    real_t out_rate = 0.0;
+    for (int k = 0; k < nr; ++k) {
+      if (!net.within_capacity(k, x)) continue;
+      const real_t a = net.propensity(k, x);
+      if (a <= 0.0) continue;
+      const index_t i = space.find(net.apply(k, x));
+      if (i < 0) {
+        throw std::logic_error("rate_matrix: successor not enumerated");
+      }
+      if (i == j) continue;  // null transition (no net state change)
+      coo.add(i, j, a);
+      out_rate += a;
+    }
+    coo.add(j, j, -out_rate);
+  }
+  return sparse::csr_from_coo(std::move(coo));
+}
+
+real_t max_column_sum(const sparse::Csr& a) {
+  std::vector<real_t> colsum(static_cast<std::size_t>(a.ncols), 0.0);
+  for (index_t r = 0; r < a.nrows; ++r) {
+    for (index_t p = a.row_ptr[r]; p < a.row_ptr[r + 1]; ++p) {
+      colsum[static_cast<std::size_t>(a.col_idx[p])] += a.val[p];
+    }
+  }
+  real_t worst = 0.0;
+  for (real_t s : colsum) worst = std::max(worst, std::abs(s));
+  return worst;
+}
+
+}  // namespace cmesolve::core

@@ -1,0 +1,24 @@
+#pragma once
+//
+// Reaction-rate matrix assembly (Sec. II).
+//
+// A(i, j) for i != j is the total propensity of reactions taking microstate
+// j to microstate i; A(j, j) = -sum_{i != j} A(i, j), so every column sums
+// to zero and dP/dt = A P conserves probability. The steady state solves
+// A P = 0.
+//
+#include "core/state_space.hpp"
+#include "sparse/csr.hpp"
+
+namespace cmesolve::core {
+
+/// Assemble A in CSR (row-major) from an enumerated state space. The DFS
+/// enumeration order is preserved, exposing the {-1, 0, +1} band.
+/// Throws when the space was truncated mid-enumeration (the matrix would
+/// leak probability at the artificial boundary).
+[[nodiscard]] sparse::Csr rate_matrix(const StateSpace& space);
+
+/// Diagnostics for tests: max |column sum| of A (should be ~0).
+[[nodiscard]] real_t max_column_sum(const sparse::Csr& a);
+
+}  // namespace cmesolve::core

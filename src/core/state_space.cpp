@@ -1,0 +1,144 @@
+#include "core/state_space.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace cmesolve::core {
+
+StateSpace::StateSpace(const ReactionNetwork& network, State initial,
+                       std::size_t max_states, VisitOrder order,
+                       std::uint64_t seed)
+    : network_(&network), num_species_(network.num_species()) {
+  if (!network.valid_state(initial)) {
+    throw std::invalid_argument("initial state outside capacity box");
+  }
+
+  bit_width_.resize(static_cast<std::size_t>(num_species_));
+  int total_bits = 0;
+  for (int s = 0; s < num_species_; ++s) {
+    const auto cap = static_cast<std::uint32_t>(network.capacity(s));
+    bit_width_[static_cast<std::size_t>(s)] =
+        std::max(1, static_cast<int>(std::bit_width(cap)));
+    total_bits += bit_width_[static_cast<std::size_t>(s)];
+  }
+  if (total_bits > 128) {
+    throw std::invalid_argument(
+        "state space key exceeds 128 bits; reduce species or capacities");
+  }
+
+  enumerate(std::move(initial), max_states, order, seed);
+}
+
+StateKey StateSpace::pack(const State& x) const {
+  StateKey key{0, 0};
+  int bit = 0;
+  for (int s = 0; s < num_species_; ++s) {
+    const int w = bit_width_[static_cast<std::size_t>(s)];
+    const auto v = static_cast<std::uint64_t>(x[static_cast<std::size_t>(s)]);
+    const int word = bit / 64;
+    const int shift = bit % 64;
+    key[static_cast<std::size_t>(word)] |= v << shift;
+    // Straddles into the next word?
+    if (shift + w > 64 && word == 0) {
+      key[1] |= v >> (64 - shift);
+    }
+    bit += w;
+  }
+  return key;
+}
+
+State StateSpace::state(index_t i) const {
+  State x(static_cast<std::size_t>(num_species_));
+  for (int s = 0; s < num_species_; ++s) {
+    x[static_cast<std::size_t>(s)] = count(i, s);
+  }
+  return x;
+}
+
+index_t StateSpace::find(const State& x) const {
+  if (!network_->valid_state(x)) return -1;
+  const auto it = index_.find(pack(x));
+  return it == index_.end() ? index_t{-1} : it->second;
+}
+
+void StateSpace::enumerate(State initial, std::size_t max_states,
+                           VisitOrder order, std::uint64_t seed) {
+  const int nr = network_->num_reactions();
+
+  // The frontier doubles as stack (DFS: pop back) and queue (BFS: pop
+  // front via a moving head index).
+  std::vector<State> frontier;
+  std::size_t head = 0;
+  frontier.push_back(std::move(initial));
+
+  while (head < frontier.size()) {
+    State x;
+    if (order == VisitOrder::kBfs) {
+      x = std::move(frontier[head++]);
+    } else {
+      x = std::move(frontier.back());
+      frontier.pop_back();
+    }
+
+    const StateKey key = pack(x);
+    auto [it, inserted] = index_.try_emplace(key, static_cast<index_t>(num_states_));
+    if (!inserted) continue;  // already visited
+
+    states_.insert(states_.end(), x.begin(), x.end());
+    ++num_states_;
+    if (num_states_ >= max_states) {
+      truncated_ = true;
+      break;
+    }
+
+    // DFS pushes successors in reverse reaction order: reaction 0's
+    // successor lands on top of the stack, so the visit walks it next and
+    // reversible pairs occupy adjacent indices (the diagonal band of
+    // Sec. V). BFS enqueues in forward order.
+    if (order == VisitOrder::kBfs) {
+      for (int k = 0; k < nr; ++k) {
+        if (!network_->applicable(k, x)) continue;
+        State next = network_->apply(k, x);
+        if (index_.find(pack(next)) == index_.end()) {
+          frontier.push_back(std::move(next));
+        }
+      }
+    } else {
+      for (int k = nr - 1; k >= 0; --k) {
+        if (!network_->applicable(k, x)) continue;
+        State next = network_->apply(k, x);
+        if (index_.find(pack(next)) == index_.end()) {
+          frontier.push_back(std::move(next));
+        }
+      }
+    }
+  }
+
+  if (order == VisitOrder::kRandom && !truncated_) {
+    // Re-shuffle the assigned indices: worst-case ordering baseline.
+    Xoshiro256 rng(seed);
+    std::vector<index_t> perm(num_states_);
+    for (std::size_t i = 0; i < num_states_; ++i) {
+      perm[i] = static_cast<index_t>(i);
+    }
+    for (std::size_t i = num_states_; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.bounded(i)]);
+    }
+    std::vector<std::int32_t> shuffled(states_.size());
+    const auto ns = static_cast<std::size_t>(num_species_);
+    for (std::size_t i = 0; i < num_states_; ++i) {
+      for (std::size_t sp = 0; sp < ns; ++sp) {
+        shuffled[static_cast<std::size_t>(perm[i]) * ns + sp] =
+            states_[i * ns + sp];
+      }
+    }
+    states_ = std::move(shuffled);
+    for (auto& [key, idx] : index_) {
+      idx = perm[static_cast<std::size_t>(idx)];
+    }
+  }
+}
+
+}  // namespace cmesolve::core

@@ -1,0 +1,90 @@
+#pragma once
+//
+// DFS state-space enumeration (Cao & Liang [17], Sec. II-B and Sec. V).
+//
+// Starting from an initial microstate, a depth-first visit over the
+// reaction graph enumerates the reachable finite-buffer subspace. The
+// enumeration order matters: DFS chains reversible reactions into runs of
+// adjacent indices, which is exactly what populates the {-1, 0, +1} band
+// the ELL+DIA format exploits. Reaction 0 is explored first, so placing a
+// reversible synthesis/degradation pair first in the network maximizes the
+// band density.
+//
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/reaction_network.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::core {
+
+/// Microstates packed into 128 bits for hashing (up to 8 species with
+/// capacities below 65536, or more species with smaller capacities).
+using StateKey = std::array<std::uint64_t, 2>;
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& k) const noexcept {
+    // splitmix-style mix of the two words
+    std::uint64_t h = k[0] * 0x9E3779B97F4A7C15ULL;
+    h ^= (k[1] + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Visit order of the enumeration. DFS is the paper's (and the default:
+/// it chains reversible reactions into the {-1,0,+1} band); BFS and the
+/// randomized order exist for the ordering ablation benchmark.
+enum class VisitOrder { kDfs, kBfs, kRandom };
+
+class StateSpace {
+ public:
+  StateSpace(const ReactionNetwork& network, State initial,
+             std::size_t max_states, VisitOrder order = VisitOrder::kDfs,
+             std::uint64_t seed = 42);
+
+  [[nodiscard]] index_t size() const noexcept {
+    return static_cast<index_t>(num_states_);
+  }
+  [[nodiscard]] const ReactionNetwork& network() const noexcept {
+    return *network_;
+  }
+  [[nodiscard]] int num_species() const noexcept {
+    return network_->num_species();
+  }
+
+  /// Copy number of species s in microstate i.
+  [[nodiscard]] std::int32_t count(index_t i, int s) const noexcept {
+    return states_[static_cast<std::size_t>(i) *
+                       static_cast<std::size_t>(num_species_) +
+                   static_cast<std::size_t>(s)];
+  }
+
+  /// Full microstate i as a State vector.
+  [[nodiscard]] State state(index_t i) const;
+
+  /// Index of a microstate, or -1 when not part of the reachable space.
+  [[nodiscard]] index_t find(const State& x) const;
+
+  /// True when enumeration stopped at max_states before closure.
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+
+  /// Pack a state into the 128-bit hash key (throws when capacities do not
+  /// fit 128 bits).
+  [[nodiscard]] StateKey pack(const State& x) const;
+
+ private:
+  void enumerate(State initial, std::size_t max_states, VisitOrder order,
+                 std::uint64_t seed);
+
+  const ReactionNetwork* network_;
+  int num_species_;
+  std::vector<int> bit_width_;   ///< bits per species in the packed key
+  std::vector<std::int32_t> states_;  ///< flattened, size * num_species
+  std::size_t num_states_ = 0;
+  std::unordered_map<StateKey, index_t, StateKeyHash> index_;
+  bool truncated_ = false;
+};
+
+}  // namespace cmesolve::core

@@ -1,0 +1,50 @@
+#include "gpusim/cache.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace cmesolve::gpusim {
+
+CacheModel::CacheModel(std::size_t capacity_bytes, int ways,
+                       std::size_t line_bytes)
+    : num_sets_(capacity_bytes / line_bytes / static_cast<std::size_t>(ways)),
+      ways_(ways),
+      line_shift_(std::countr_zero(line_bytes)) {
+  assert(std::has_single_bit(line_bytes));
+  assert(num_sets_ >= 1);
+  ways_storage_.resize(num_sets_ * static_cast<std::size_t>(ways_));
+}
+
+bool CacheModel::access(std::uint64_t addr) {
+  const std::uint64_t line = addr >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(line) % num_sets_;
+  Way* begin = ways_storage_.data() + set * static_cast<std::size_t>(ways_);
+  ++clock_;
+
+  Way* victim = begin;
+  for (int w = 0; w < ways_; ++w) {
+    Way& way = begin[w];
+    if (way.valid && way.tag == line) {
+      way.last_use = clock_;
+      ++hits_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // prefer an empty way over LRU eviction
+    } else if (victim->valid && way.last_use < victim->last_use) {
+      victim = &way;
+    }
+  }
+  victim->tag = line;
+  victim->valid = true;
+  victim->last_use = clock_;
+  ++misses_;
+  return false;
+}
+
+void CacheModel::reset() {
+  for (Way& w : ways_storage_) w = Way{};
+  clock_ = hits_ = misses_ = 0;
+}
+
+}  // namespace cmesolve::gpusim

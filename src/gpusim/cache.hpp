@@ -1,0 +1,48 @@
+#pragma once
+//
+// Set-associative LRU cache model, used for the per-SM L1s and the shared
+// L2 of the Fermi simulator. Tags only — no data is stored; the functional
+// results come from the host-side kernels.
+//
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cmesolve::gpusim {
+
+class CacheModel {
+ public:
+  /// @param capacity_bytes  total capacity
+  /// @param ways            associativity
+  /// @param line_bytes      line size (must be a power of two)
+  CacheModel(std::size_t capacity_bytes, int ways, std::size_t line_bytes);
+
+  /// Look up (and fill on miss) the line containing `addr`.
+  /// @return true on hit.
+  bool access(std::uint64_t addr);
+
+  /// Drop all lines (used between independent simulations).
+  void reset();
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t num_sets() const noexcept { return num_sets_; }
+  [[nodiscard]] int ways() const noexcept { return ways_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~0ULL;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  std::size_t num_sets_;
+  int ways_;
+  int line_shift_;
+  std::vector<Way> ways_storage_;  // num_sets_ * ways_
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace cmesolve::gpusim

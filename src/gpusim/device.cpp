@@ -1,0 +1,32 @@
+#include "gpusim/device.hpp"
+
+namespace cmesolve::gpusim {
+
+DeviceSpec DeviceSpec::gtx580(std::size_t l1) {
+  DeviceSpec d;
+  d.name = "GTX580 (Fermi)";
+  d.l1_bytes = l1;
+  return d;
+}
+
+DeviceSpec DeviceSpec::kepler_k20() {
+  DeviceSpec d;
+  d.name = "K20X (Kepler GK110)";
+  d.num_sms = 14;            // SMX count
+  d.warp_size = 32;
+  d.max_threads_per_sm = 2048;
+  d.max_blocks_per_sm = 16;
+  d.max_warps_per_sm = 64;
+  d.l1_bytes = 48 * 1024;    // + the 48 KB read-only data cache, modeled as
+  d.l1_ways = 6;             //   extra L1 capacity for the x-vector gathers
+  d.l2_bytes = 1536 * 1024;
+  d.l2_ways = 16;
+  d.dram_bandwidth = 250.0e9;
+  d.l2_bandwidth = 500.0e9;
+  d.l1_bandwidth = 4.0e12;
+  d.dp_peak_flops = 1310.0e9;
+  d.sp_peak_flops = 3950.0e9;
+  return d;
+}
+
+}  // namespace cmesolve::gpusim

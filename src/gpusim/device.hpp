@@ -1,0 +1,67 @@
+#pragma once
+//
+// Device descriptors for the Fermi-class performance model.
+//
+// The paper's numbers come from a GeForce GTX580 (Sec. III / VII-A); the
+// simulator reproduces its published micro-architectural parameters. A
+// Kepler-class descriptor is included for the Sec. VII-D what-if discussion.
+//
+// Timing-model calibration constants (latency hiding, block turnover,
+// block scheduling) are part of the descriptor so ablation benches can
+// sweep them.
+//
+#include <cstddef>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace cmesolve::gpusim {
+
+struct DeviceSpec {
+  std::string name;
+
+  // --- SIMT geometry -------------------------------------------------------
+  int num_sms = 16;
+  int warp_size = 32;
+  int max_threads_per_sm = 1536;
+  int max_blocks_per_sm = 8;
+  int max_warps_per_sm = 48;
+
+  // --- Memory hierarchy ----------------------------------------------------
+  std::size_t line_bytes = 128;        ///< L1 cache line / memory transaction
+  std::size_t write_segment_bytes = 32;///< DRAM write-coalescing granularity
+  std::size_t l1_bytes = 48 * 1024;    ///< per-SM; 16 KB in the alternate split
+  int l1_ways = 6;
+  std::size_t l2_bytes = 768 * 1024;   ///< shared, coherent
+  int l2_ways = 16;
+
+  // --- Throughput peaks ----------------------------------------------------
+  real_t dram_bandwidth = 192.0e9;     ///< bytes/s (GTX580 GDDR5)
+  real_t l2_bandwidth = 384.0e9;       ///< bytes/s, modeled
+  real_t l1_bandwidth = 3.15e12;       ///< bytes/s aggregate on-chip (Sec. III)
+  real_t dp_peak_flops = 197.0e9;      ///< gaming board: 1/4 of SP peak
+  real_t sp_peak_flops = 789.0e9;
+
+  // --- Timing-model calibration --------------------------------------------
+  /// Bandwidth efficiency saturates once enough warps are in flight:
+  /// eff = min(1, latency_hiding_slope * occupancy_fraction).
+  real_t latency_hiding_slope = 1.45;
+  /// Tail-quantization penalty of large blocks: an SM waits for all warps of
+  /// a finishing block before scheduling a new one (Sec. III block turnover).
+  /// time *= 1 + turnover_alpha * block_size / max_threads_per_sm.
+  real_t turnover_alpha = 0.04;
+  /// Block-scheduling overhead of small blocks:
+  /// time *= 1 + sched_beta * (sched_ref_block / block_size).
+  real_t sched_beta = 0.02;
+  int sched_ref_block = 128;
+  /// Fixed kernel-launch latency (driver + dispatch).
+  real_t launch_overhead = 5.0e-6;
+
+  /// GTX580 with the given L1 split (48 KB default, 16 KB alternate).
+  [[nodiscard]] static DeviceSpec gtx580(std::size_t l1 = 48 * 1024);
+  /// Kepler GK110-class board (Sec. VII-D): more bandwidth, bigger caches,
+  /// 1.31 TFLOPS double precision.
+  [[nodiscard]] static DeviceSpec kepler_k20();
+};
+
+}  // namespace cmesolve::gpusim

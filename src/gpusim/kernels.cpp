@@ -1,0 +1,736 @@
+#include "gpusim/kernels.hpp"
+
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <functional>
+#include <vector>
+
+namespace cmesolve::gpusim {
+
+namespace {
+
+/// Iterate warps the way an SM would see them: blocks are assigned to SMs
+/// round-robin, up to occupancy().blocks_per_sm blocks are RESIDENT on an SM
+/// at once, and their warps interleave. The interleaving matters for the L1
+/// model — a 16 KB L1 must hold the working set of every resident block,
+/// which is exactly the effect the paper's 16 KB-vs-48 KB experiment probes.
+/// fn(first_stored_row, lanes_in_warp) is called once per warp.
+template <class WarpFn>
+void for_each_warp(MemorySim& sim, index_t total_rows, int block_size,
+                   WarpFn&& fn) {
+  const DeviceSpec& dev = sim.device();
+  const index_t nblocks =
+      (total_rows + block_size - 1) / static_cast<index_t>(block_size);
+  const int resident =
+      std::max(1, occupancy(dev, block_size).blocks_per_sm);
+  const index_t wave = static_cast<index_t>(dev.num_sms) * resident;
+  const index_t warps_per_block =
+      (static_cast<index_t>(block_size) + dev.warp_size - 1) / dev.warp_size;
+
+  for (index_t wave0 = 0; wave0 < nblocks; wave0 += wave) {
+    for (int sm = 0; sm < dev.num_sms; ++sm) {
+      sim.set_active_sm(sm);
+      // Warps of this SM's resident blocks execute interleaved.
+      for (index_t j = 0; j < warps_per_block; ++j) {
+        for (int slot = 0; slot < resident; ++slot) {
+          const index_t b = wave0 + static_cast<index_t>(sm) +
+                            static_cast<index_t>(slot) * dev.num_sms;
+          if (b >= nblocks) continue;
+          const index_t row0 = b * block_size + j * dev.warp_size;
+          if (row0 >= total_rows) continue;
+          const index_t row_end =
+              std::min<index_t>({row0 + dev.warp_size,
+                                 b * block_size + block_size, total_rows});
+          if (row_end > row0) fn(row0, row_end - row0);
+        }
+      }
+    }
+  }
+}
+
+/// Device-address bookkeeping for one simulated kernel.
+struct SpmvArrays {
+  std::uint64_t val = 0;
+  std::uint64_t col = 0;
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+  std::uint64_t dia = 0;
+  std::uint64_t perm = 0;
+  std::uint64_t row_ptr = 0;
+};
+
+/// Warp-step helper: stream-load the contiguous value range covering the
+/// active lanes (the conditional of Listing 1 skips lanes whose slot is
+/// padding, but a transaction covers whatever lies between the first and
+/// last active lane).
+void load_active_values(MemorySim& sim, std::uint64_t base_addr,
+                        std::size_t vb, index_t first_active,
+                        index_t last_active) {
+  if (first_active > last_active) return;
+  sim.stream_load(base_addr + static_cast<std::uint64_t>(first_active) * vb,
+                  static_cast<std::size_t>(last_active - first_active + 1) * vb);
+}
+
+/// The ELL-family inner loop shared by Ell and SlicedEll walks,
+/// implementing the conditional of Listing 1: the VALUE is loaded
+/// unconditionally (it is the padding detector), while the column index and
+/// the x-gather are skipped for padding slots. A whole warp-step of padding
+/// therefore still pays the value stream — exactly the efficiency-metric
+/// waste e = nnz / (n' * k) of Sec. V.
+template <class SlotFn>
+void ell_warp_steps(MemorySim& sim, const std::vector<real_t>& val,
+                    const std::vector<index_t>& col, const SpmvArrays& a,
+                    std::span<const real_t> x, index_t lanes, index_t k,
+                    std::size_t vb, SlotFn&& slot_of,
+                    std::span<real_t> lane_sums) {
+  std::array<std::uint64_t, 32> gather_addrs{};
+  for (index_t j = 0; j < k; ++j) {
+    index_t first_active = lanes;
+    index_t last_active = -1;
+    int n_gather = 0;
+    for (index_t lane = 0; lane < lanes; ++lane) {
+      const std::size_t slot = slot_of(lane, j);
+      const index_t c = col[slot];
+      if (c > kPadColumn) {
+        first_active = std::min(first_active, lane);
+        last_active = std::max(last_active, lane);
+        gather_addrs[n_gather++] =
+            a.x + static_cast<std::uint64_t>(c) * vb;
+        lane_sums[lane] += val[slot] * x[c];
+      }
+    }
+    // Values stream for the full warp width at every step (detector load).
+    sim.stream_load(a.val + slot_of(0, j) * vb,
+                    static_cast<std::size_t>(lanes) * vb);
+    if (last_active >= 0) {
+      // Column indices only where at least one lane passed the test.
+      load_active_values(sim, a.col + slot_of(0, j) * sizeof(index_t),
+                         sizeof(index_t), first_active, last_active);
+      sim.gather(std::span<const std::uint64_t>(gather_addrs.data(),
+                                                static_cast<std::size_t>(n_gather)),
+                 vb);
+      sim.add_flops(2ULL * static_cast<std::uint64_t>(n_gather));
+    }
+  }
+}
+
+/// Allocate the common arrays of an SpMV simulation.
+SpmvArrays alloc_spmv(AddressSpace& as, std::size_t val_slots,
+                      std::size_t col_slots, index_t ncols, index_t nrows,
+                      std::size_t vb) {
+  SpmvArrays a;
+  a.val = as.alloc(val_slots * vb);
+  a.col = as.alloc(col_slots * sizeof(index_t));
+  a.x = as.alloc(static_cast<std::size_t>(ncols) * vb);
+  a.y = as.alloc(static_cast<std::size_t>(nrows) * vb);
+  return a;
+}
+
+/// Contribution of one DIA band walk driven by stored rows. When `perm` is
+/// non-null the band data and x are gathered through the (local)
+/// permutation, otherwise they stream contiguously.
+void dia_warp_contribution(MemorySim& sim, const sparse::Dia& band,
+                           const SpmvArrays& a, std::span<const real_t> x,
+                           index_t w, index_t lanes,
+                           const std::vector<index_t>* perm, std::size_t vb,
+                           std::span<real_t> lane_sums,
+                           const index_t* skip_offset) {
+  std::array<std::uint64_t, 32> data_addrs{};
+  std::array<std::uint64_t, 32> x_addrs{};
+  for (std::size_t di = 0; di < band.offsets.size(); ++di) {
+    const index_t off = band.offsets[di];
+    if (skip_offset && off == *skip_offset) continue;
+    int n_active = 0;
+    for (index_t lane = 0; lane < lanes; ++lane) {
+      const index_t stored = w + lane;
+      const index_t r = perm ? (*perm)[stored] : stored;
+      const index_t c = r + off;
+      if (c < 0 || c >= band.ncols) continue;
+      const std::size_t slot =
+          di * static_cast<std::size_t>(band.nrows) + static_cast<std::size_t>(r);
+      const real_t v = band.data[slot];
+      data_addrs[n_active] = a.dia + slot * vb;
+      x_addrs[n_active] = a.x + static_cast<std::uint64_t>(c) * vb;
+      ++n_active;
+      lane_sums[lane] += v * x[c];
+    }
+    if (n_active > 0) {
+      if (perm) {
+        sim.gather(std::span<const std::uint64_t>(data_addrs.data(),
+                                                  static_cast<std::size_t>(n_active)),
+                   vb);
+      } else {
+        // Contiguous rows: the band data streams like a dense vector.
+        sim.stream_load(data_addrs[0],
+                        static_cast<std::size_t>(n_active) * vb);
+      }
+      sim.gather(std::span<const std::uint64_t>(x_addrs.data(),
+                                                static_cast<std::size_t>(n_active)),
+                 vb);
+      sim.add_flops(2ULL * static_cast<std::uint64_t>(n_active));
+    }
+  }
+}
+
+KernelStats run_passes(MemorySim& sim, int block_size,
+                       std::uint64_t useful_flops, int passes,
+                       const std::function<void()>& body) {
+  KernelStats stats;
+  for (int p = 0; p < std::max(1, passes); ++p) {
+    sim.begin_pass();
+    body();
+    stats = sim.finalize(block_size, useful_flops);
+  }
+  return stats;
+}
+
+}  // namespace
+
+KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::Ell& m,
+                          std::span<const real_t> x, std::span<real_t> y,
+                          const SimOptions& opt) {
+  assert(x.size() == static_cast<std::size_t>(m.ncols));
+  assert(y.size() == static_cast<std::size_t>(m.nrows));
+  MemorySim sim(dev, opt.l1_enabled);
+  AddressSpace as;
+  SpmvArrays a =
+      alloc_spmv(as, m.val.size(), m.col.size(), m.ncols, m.nrows, opt.value_bytes);
+
+  const auto body = [&] {
+    std::vector<real_t> sums(static_cast<std::size_t>(dev.warp_size));
+    for_each_warp(sim, m.padded_rows, opt.block_size, [&](index_t w,
+                                                          index_t lanes) {
+      std::fill(sums.begin(), sums.end(), 0.0);
+      const auto slot_of = [&](index_t lane, index_t j) {
+        return static_cast<std::size_t>(j) * m.padded_rows +
+               static_cast<std::size_t>(w + lane);
+      };
+      ell_warp_steps(sim, m.val, m.col, a, x, lanes, m.k, opt.value_bytes,
+                     slot_of, std::span<real_t>(sums));
+      const index_t real_lanes = std::max<index_t>(
+          0, std::min<index_t>(lanes, m.nrows - w));
+      if (real_lanes > 0) {
+        sim.stream_store(a.y + static_cast<std::uint64_t>(w) * opt.value_bytes,
+                         static_cast<std::size_t>(real_lanes) * opt.value_bytes);
+        for (index_t lane = 0; lane < real_lanes; ++lane) {
+          y[w + lane] = sums[lane];
+        }
+      }
+    });
+  };
+  return run_passes(sim, opt.block_size, 2ULL * m.nnz, opt.passes, body);
+}
+
+KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::SlicedEll& m,
+                          std::span<const real_t> x, std::span<real_t> y,
+                          const SimOptions& opt) {
+  assert(x.size() == static_cast<std::size_t>(m.ncols));
+  assert(y.size() == static_cast<std::size_t>(m.nrows));
+  MemorySim sim(dev, opt.l1_enabled);
+  AddressSpace as;
+  SpmvArrays a =
+      alloc_spmv(as, m.val.size(), m.col.size(), m.ncols, m.nrows, opt.value_bytes);
+  a.perm = as.alloc(m.perm.size() * sizeof(index_t));
+  a.row_ptr = as.alloc(m.slice_k.size() * 8);  // slice k + start offsets
+  const bool permuted = !m.is_identity_perm();
+
+  const auto body = [&] {
+    std::vector<real_t> sums(static_cast<std::size_t>(dev.warp_size));
+    std::array<std::uint64_t, 32> store_addrs{};
+    for_each_warp(sim, m.nrows, opt.block_size, [&](index_t w, index_t lanes) {
+      std::fill(sums.begin(), sums.end(), 0.0);
+      const index_t slice = w / m.slice_size;
+      const index_t k = m.slice_k[slice];
+      const std::size_t base = m.slice_ptr[slice];
+      const index_t lane0 = w - slice * m.slice_size;
+      const auto slot_of = [&](index_t lane, index_t j) {
+        return base + static_cast<std::size_t>(j) * m.slice_size +
+               static_cast<std::size_t>(lane0 + lane);
+      };
+      // The per-warp slice bound replaces the global k; the slice-k and
+      // slice-offset lookups are two 4-byte reads shared by the whole warp.
+      // Slice metadata (local k + storage offset): one cached lane read
+      // shared by the warp.
+      {
+        const std::uint64_t meta = a.row_ptr + static_cast<std::uint64_t>(slice) * 8;
+        sim.gather(std::span<const std::uint64_t>(&meta, 1), 8);
+      }
+      if (permuted) {
+        sim.stream_load(a.perm + static_cast<std::uint64_t>(w) * sizeof(index_t),
+                        static_cast<std::size_t>(lanes) * sizeof(index_t));
+      }
+      ell_warp_steps(sim, m.val, m.col, a, x, lanes, k, opt.value_bytes,
+                     slot_of, std::span<real_t>(sums));
+      for (index_t lane = 0; lane < lanes; ++lane) {
+        const index_t r = m.perm[w + lane];
+        store_addrs[lane] = a.y + static_cast<std::uint64_t>(r) * opt.value_bytes;
+        y[r] = sums[lane];
+      }
+      if (permuted) {
+        sim.scatter_store(std::span<const std::uint64_t>(store_addrs.data(),
+                                                         static_cast<std::size_t>(lanes)),
+                          opt.value_bytes);
+      } else {
+        sim.stream_store(a.y + static_cast<std::uint64_t>(w) * opt.value_bytes,
+                         static_cast<std::size_t>(lanes) * opt.value_bytes);
+      }
+    });
+  };
+  return run_passes(sim, opt.block_size, 2ULL * m.nnz, opt.passes, body);
+}
+
+KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::EllDia& m,
+                          std::span<const real_t> x, std::span<real_t> y,
+                          const SimOptions& opt) {
+  const sparse::Ell& rest = m.rest;
+  assert(x.size() == static_cast<std::size_t>(rest.ncols));
+  MemorySim sim(dev, opt.l1_enabled);
+  AddressSpace as;
+  SpmvArrays a = alloc_spmv(as, rest.val.size(), rest.col.size(), rest.ncols,
+                            rest.nrows, opt.value_bytes);
+  a.dia = as.alloc(m.band.data.size() * opt.value_bytes);
+
+  const std::uint64_t spill_base_val = as.alloc(m.spill.nnz() * opt.value_bytes);
+  const std::uint64_t spill_base_col =
+      as.alloc(m.spill.nnz() * 2 * sizeof(index_t));
+
+  const std::uint64_t flops =
+      2ULL * (rest.nnz + m.band.nnz + m.spill.nnz());
+  const auto body = [&] {
+    std::vector<real_t> sums(static_cast<std::size_t>(dev.warp_size));
+    for_each_warp(sim, rest.padded_rows, opt.block_size, [&](index_t w,
+                                                             index_t lanes) {
+      std::fill(sums.begin(), sums.end(), 0.0);
+      const auto slot_of = [&](index_t lane, index_t j) {
+        return static_cast<std::size_t>(j) * rest.padded_rows +
+               static_cast<std::size_t>(w + lane);
+      };
+      ell_warp_steps(sim, rest.val, rest.col, a, x, lanes, rest.k,
+                     opt.value_bytes, slot_of, std::span<real_t>(sums));
+      const index_t real_lanes =
+          std::max<index_t>(0, std::min<index_t>(lanes, rest.nrows - w));
+      if (real_lanes > 0) {
+        dia_warp_contribution(sim, m.band, a, x, w, real_lanes,
+                              /*perm=*/nullptr, opt.value_bytes,
+                              std::span<real_t>(sums), /*skip_offset=*/nullptr);
+        sim.stream_store(a.y + static_cast<std::uint64_t>(w) * opt.value_bytes,
+                         static_cast<std::size_t>(real_lanes) * opt.value_bytes);
+        for (index_t lane = 0; lane < real_lanes; ++lane) {
+          y[w + lane] = sums[lane];
+        }
+      }
+    });
+    // COO spill pass: one warp per 32 row-sorted outlier entries
+    // (val/col/row stream, x gathered, y updated through the cache).
+    std::array<std::uint64_t, 32> x_addrs{};
+    std::array<std::uint64_t, 32> y_addrs{};
+    for (std::size_t e0 = 0; e0 < m.spill.nnz(); e0 += 32) {
+      const std::size_t lanes =
+          std::min<std::size_t>(32, m.spill.nnz() - e0);
+      sim.set_active_sm(static_cast<int>((e0 / 32) % dev.num_sms));
+      sim.stream_load(spill_base_val + e0 * opt.value_bytes,
+                      lanes * opt.value_bytes);
+      sim.stream_load(spill_base_col + e0 * 2 * sizeof(index_t),
+                      lanes * 2 * sizeof(index_t));
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const std::size_t e = e0 + l;
+        x_addrs[l] = a.x + static_cast<std::uint64_t>(m.spill.col[e]) *
+                               opt.value_bytes;
+        y_addrs[l] = a.y + static_cast<std::uint64_t>(m.spill.row[e]) *
+                               opt.value_bytes;
+        y[m.spill.row[e]] += m.spill.val[e] * x[m.spill.col[e]];
+      }
+      sim.gather(std::span<const std::uint64_t>(x_addrs.data(), lanes),
+                 opt.value_bytes);
+      sim.scatter_store(std::span<const std::uint64_t>(y_addrs.data(), lanes),
+                        opt.value_bytes);
+      sim.add_flops(2ULL * lanes);
+    }
+  };
+  return run_passes(sim, opt.block_size, flops, opt.passes, body);
+}
+
+KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::SlicedEllDia& m,
+                          std::span<const real_t> x, std::span<real_t> y,
+                          const SimOptions& opt) {
+  const sparse::SlicedEll& rest = m.rest;
+  assert(x.size() == static_cast<std::size_t>(rest.ncols));
+  MemorySim sim(dev, opt.l1_enabled);
+  AddressSpace as;
+  SpmvArrays a = alloc_spmv(as, rest.val.size(), rest.col.size(), rest.ncols,
+                            rest.nrows, opt.value_bytes);
+  a.dia = as.alloc(m.band.data.size() * opt.value_bytes);
+  a.perm = as.alloc(rest.perm.size() * sizeof(index_t));
+  a.row_ptr = as.alloc(rest.slice_k.size() * 8);  // slice k + start offsets
+  const bool permuted = !rest.is_identity_perm();
+
+  const std::uint64_t flops = 2ULL * (rest.nnz + m.band.nnz);
+  const auto body = [&] {
+    std::vector<real_t> sums(static_cast<std::size_t>(dev.warp_size));
+    std::array<std::uint64_t, 32> store_addrs{};
+    for_each_warp(sim, rest.nrows, opt.block_size, [&](index_t w,
+                                                       index_t lanes) {
+      std::fill(sums.begin(), sums.end(), 0.0);
+      const index_t slice = w / rest.slice_size;
+      const index_t k = rest.slice_k[slice];
+      const std::size_t base = rest.slice_ptr[slice];
+      const index_t lane0 = w - slice * rest.slice_size;
+      const auto slot_of = [&](index_t lane, index_t j) {
+        return base + static_cast<std::size_t>(j) * rest.slice_size +
+               static_cast<std::size_t>(lane0 + lane);
+      };
+      {
+        const std::uint64_t meta = a.row_ptr + static_cast<std::uint64_t>(slice) * 8;
+        sim.gather(std::span<const std::uint64_t>(&meta, 1), 8);
+      }
+      if (permuted) {
+        sim.stream_load(a.perm + static_cast<std::uint64_t>(w) * sizeof(index_t),
+                        static_cast<std::size_t>(lanes) * sizeof(index_t));
+      }
+      ell_warp_steps(sim, rest.val, rest.col, a, x, lanes, k, opt.value_bytes,
+                     slot_of, std::span<real_t>(sums));
+      dia_warp_contribution(sim, m.band, a, x, w, lanes,
+                            permuted ? &rest.perm : nullptr, opt.value_bytes,
+                            std::span<real_t>(sums), /*skip_offset=*/nullptr);
+      for (index_t lane = 0; lane < lanes; ++lane) {
+        const index_t r = rest.perm[w + lane];
+        store_addrs[lane] = a.y + static_cast<std::uint64_t>(r) * opt.value_bytes;
+        y[r] = sums[lane];
+      }
+      sim.scatter_store(std::span<const std::uint64_t>(store_addrs.data(),
+                                                       static_cast<std::size_t>(lanes)),
+                        opt.value_bytes);
+    });
+  };
+  return run_passes(sim, opt.block_size, flops, opt.passes, body);
+}
+
+KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::Csr& m,
+                          std::span<const real_t> x, std::span<real_t> y,
+                          const SimOptions& opt) {
+  assert(x.size() == static_cast<std::size_t>(m.ncols));
+  assert(y.size() == static_cast<std::size_t>(m.nrows));
+  MemorySim sim(dev, opt.l1_enabled);
+  AddressSpace as;
+  SpmvArrays a =
+      alloc_spmv(as, m.val.size(), m.col_idx.size(), m.ncols, m.nrows,
+                 opt.value_bytes);
+  a.row_ptr = as.alloc(m.row_ptr.size() * sizeof(index_t));
+
+  const auto body = [&] {
+    std::array<std::uint64_t, 32> val_addrs{};
+    std::array<std::uint64_t, 32> col_addrs{};
+    std::array<std::uint64_t, 32> x_addrs{};
+    std::vector<real_t> sums(static_cast<std::size_t>(dev.warp_size));
+    for_each_warp(sim, m.nrows, opt.block_size, [&](index_t w, index_t lanes) {
+      std::fill(sums.begin(), sums.end(), 0.0);
+      sim.stream_load(a.row_ptr + static_cast<std::uint64_t>(w) * sizeof(index_t),
+                      static_cast<std::size_t>(lanes + 1) * sizeof(index_t));
+      index_t kmax = 0;
+      for (index_t lane = 0; lane < lanes; ++lane) {
+        kmax = std::max(kmax, m.row_length(w + lane));
+      }
+      // SIMT lockstep: the warp iterates to the longest row; shorter lanes
+      // sit idle (divergence), but their memory slots are simply absent.
+      for (index_t j = 0; j < kmax; ++j) {
+        int n_active = 0;
+        for (index_t lane = 0; lane < lanes; ++lane) {
+          const index_t r = w + lane;
+          if (j >= m.row_length(r)) continue;
+          const std::size_t p = static_cast<std::size_t>(m.row_ptr[r]) + j;
+          val_addrs[n_active] = a.val + p * opt.value_bytes;
+          col_addrs[n_active] = a.col + p * sizeof(index_t);
+          x_addrs[n_active] =
+              a.x + static_cast<std::uint64_t>(m.col_idx[p]) * opt.value_bytes;
+          sums[lane] += m.val[p] * x[m.col_idx[p]];
+          ++n_active;
+        }
+        const auto span_of = [](const std::array<std::uint64_t, 32>& arr,
+                                int n) {
+          return std::span<const std::uint64_t>(arr.data(),
+                                                static_cast<std::size_t>(n));
+        };
+        sim.gather(span_of(val_addrs, n_active), opt.value_bytes);
+        sim.gather(span_of(col_addrs, n_active), sizeof(index_t));
+        sim.gather(span_of(x_addrs, n_active), opt.value_bytes);
+        sim.add_flops(2ULL * static_cast<std::uint64_t>(n_active));
+      }
+      sim.stream_store(a.y + static_cast<std::uint64_t>(w) * opt.value_bytes,
+                       static_cast<std::size_t>(lanes) * opt.value_bytes);
+      for (index_t lane = 0; lane < lanes; ++lane) {
+        y[w + lane] = sums[lane];
+      }
+    });
+  };
+  return run_passes(sim, opt.block_size, 2ULL * m.nnz(), opt.passes, body);
+}
+
+KernelStats simulate_spmv_csr_vector(const DeviceSpec& dev,
+                                     const sparse::Csr& m,
+                                     std::span<const real_t> x,
+                                     std::span<real_t> y,
+                                     const SimOptions& opt) {
+  assert(x.size() == static_cast<std::size_t>(m.ncols));
+  assert(y.size() == static_cast<std::size_t>(m.nrows));
+  MemorySim sim(dev, opt.l1_enabled);
+  AddressSpace as;
+  SpmvArrays a = alloc_spmv(as, m.val.size(), m.col_idx.size(), m.ncols,
+                            m.nrows, opt.value_bytes);
+  a.row_ptr = as.alloc(m.row_ptr.size() * sizeof(index_t));
+
+  // One warp per row: the grid has nrows * 32 threads. The shared wave
+  // scheduler hands out 32-thread groups; group w/32 works on matrix row
+  // w/32.
+  const auto body = [&] {
+    std::array<std::uint64_t, 32> x_addrs{};
+    for_each_warp(sim, m.nrows * dev.warp_size, opt.block_size,
+                  [&](index_t w, index_t) {
+      const index_t r = w / dev.warp_size;
+      if (r >= m.nrows) return;
+      sim.stream_load(a.row_ptr + static_cast<std::uint64_t>(r) * sizeof(index_t),
+                      2 * sizeof(index_t));
+      const index_t begin = m.row_ptr[r];
+      const index_t end = m.row_ptr[r + 1];
+      real_t sum = 0.0;
+      for (index_t p0 = begin; p0 < end; p0 += dev.warp_size) {
+        const index_t chunk = std::min<index_t>(dev.warp_size, end - p0);
+        // Coalesced val/col segment loads.
+        sim.stream_load(a.val + static_cast<std::uint64_t>(p0) * opt.value_bytes,
+                        static_cast<std::size_t>(chunk) * opt.value_bytes);
+        sim.stream_load(a.col + static_cast<std::uint64_t>(p0) * sizeof(index_t),
+                        static_cast<std::size_t>(chunk) * sizeof(index_t));
+        for (index_t l = 0; l < chunk; ++l) {
+          const std::size_t p = static_cast<std::size_t>(p0 + l);
+          x_addrs[l] = a.x + static_cast<std::uint64_t>(m.col_idx[p]) *
+                                 opt.value_bytes;
+          sum += m.val[p] * x[m.col_idx[p]];
+        }
+        sim.gather(std::span<const std::uint64_t>(x_addrs.data(),
+                                                  static_cast<std::size_t>(chunk)),
+                   opt.value_bytes);
+        sim.add_flops(2ULL * static_cast<std::uint64_t>(chunk));
+      }
+      // Warp-level reduction (shared-memory shuffle; ~log2(32) flops).
+      sim.add_flops(5);
+      sim.stream_store(a.y + static_cast<std::uint64_t>(r) * opt.value_bytes,
+                       opt.value_bytes);
+      y[r] = sum;
+    });
+  };
+  return run_passes(sim, opt.block_size, 2ULL * m.nnz(), opt.passes, body);
+}
+
+KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::Bcsr& m,
+                          std::span<const real_t> x, std::span<real_t> y,
+                          const SimOptions& opt) {
+  assert(x.size() == static_cast<std::size_t>(m.ncols));
+  assert(y.size() == static_cast<std::size_t>(m.nrows));
+  MemorySim sim(dev, opt.l1_enabled);
+  AddressSpace as;
+  SpmvArrays a = alloc_spmv(as, m.val.size(), m.block_col.size(), m.ncols,
+                            m.nrows, opt.value_bytes);
+  a.row_ptr = as.alloc(m.block_row_ptr.size() * sizeof(index_t));
+
+  const std::size_t slots = static_cast<std::size_t>(m.block_rows) *
+                            static_cast<std::size_t>(m.block_cols);
+  std::vector<real_t> acc(static_cast<std::size_t>(m.block_rows));
+  const auto body = [&] {
+    std::array<std::uint64_t, 32> x_addrs{};
+    // Thread = block row; the wave scheduler walks warps of 32 block rows.
+    for_each_warp(sim, m.nblock_rows, opt.block_size, [&](index_t w,
+                                                          index_t lanes) {
+      sim.stream_load(a.row_ptr + static_cast<std::uint64_t>(w) * sizeof(index_t),
+                      static_cast<std::size_t>(lanes + 1) * sizeof(index_t));
+      for (index_t lane = 0; lane < lanes; ++lane) {
+        const index_t br = w + lane;
+        std::fill(acc.begin(), acc.end(), 0.0);
+        for (index_t bp = m.block_row_ptr[br]; bp < m.block_row_ptr[br + 1];
+             ++bp) {
+          // Per-lane block fetch: values + one block-column index. Lanes of
+          // a warp read different block rows, so these are gathers.
+          const std::uint64_t vaddr =
+              a.val + static_cast<std::uint64_t>(bp) * slots * opt.value_bytes;
+          for (std::size_t sl = 0; sl < slots;
+               sl += dev.line_bytes / opt.value_bytes) {
+            const std::uint64_t line_addr = vaddr + sl * opt.value_bytes;
+            sim.gather(std::span<const std::uint64_t>(&line_addr, 1),
+                       opt.value_bytes);
+          }
+          const std::uint64_t caddr =
+              a.col + static_cast<std::uint64_t>(bp) * sizeof(index_t);
+          sim.gather(std::span<const std::uint64_t>(&caddr, 1), sizeof(index_t));
+
+          const index_t col0 = m.block_col[bp] * m.block_cols;
+          int n_x = 0;
+          const real_t* data = m.val.data() + static_cast<std::size_t>(bp) * slots;
+          for (int lc = 0; lc < m.block_cols; ++lc) {
+            const index_t c = col0 + lc;
+            if (c >= m.ncols) continue;
+            x_addrs[n_x++] = a.x + static_cast<std::uint64_t>(c) * opt.value_bytes;
+            for (int lr = 0; lr < m.block_rows; ++lr) {
+              acc[static_cast<std::size_t>(lr)] +=
+                  data[static_cast<std::size_t>(lr) * m.block_cols + lc] * x[c];
+            }
+          }
+          sim.gather(std::span<const std::uint64_t>(x_addrs.data(),
+                                                    static_cast<std::size_t>(n_x)),
+                     opt.value_bytes);
+          sim.add_flops(2ULL * slots);
+        }
+        for (int lr = 0; lr < m.block_rows; ++lr) {
+          const index_t r = br * m.block_rows + lr;
+          if (r < m.nrows) y[r] = acc[static_cast<std::size_t>(lr)];
+        }
+        sim.stream_store(a.y + static_cast<std::uint64_t>(br) * m.block_rows *
+                                   opt.value_bytes,
+                         static_cast<std::size_t>(m.block_rows) * opt.value_bytes);
+      }
+    });
+  };
+  return run_passes(sim, opt.block_size, 2ULL * m.nnz, opt.passes, body);
+}
+
+KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::Dia& m,
+                          std::span<const real_t> x, std::span<real_t> y,
+                          const SimOptions& opt) {
+  assert(x.size() == static_cast<std::size_t>(m.ncols));
+  assert(y.size() == static_cast<std::size_t>(m.nrows));
+  MemorySim sim(dev, opt.l1_enabled);
+  AddressSpace as;
+  SpmvArrays a = alloc_spmv(as, m.data.size(), 0, m.ncols, m.nrows,
+                            opt.value_bytes);
+  a.dia = a.val;
+
+  const auto body = [&] {
+    std::vector<real_t> sums(static_cast<std::size_t>(dev.warp_size));
+    for_each_warp(sim, m.nrows, opt.block_size, [&](index_t w, index_t lanes) {
+      std::fill(sums.begin(), sums.end(), 0.0);
+      dia_warp_contribution(sim, m, a, x, w, lanes, /*perm=*/nullptr,
+                            opt.value_bytes, std::span<real_t>(sums),
+                            /*skip_offset=*/nullptr);
+      sim.stream_store(a.y + static_cast<std::uint64_t>(w) * opt.value_bytes,
+                       static_cast<std::size_t>(lanes) * opt.value_bytes);
+      for (index_t lane = 0; lane < lanes; ++lane) {
+        y[w + lane] = sums[lane];
+      }
+    });
+  };
+  return run_passes(sim, opt.block_size, 2ULL * m.nnz, opt.passes, body);
+}
+
+KernelStats simulate_jacobi_sweep(const DeviceSpec& dev,
+                                  const sparse::SlicedEllDia& m,
+                                  std::span<const real_t> x,
+                                  std::span<real_t> x_out,
+                                  const SimOptions& opt,
+                                  index_t diag_offset) {
+  const sparse::SlicedEll& rest = m.rest;
+  assert(x.size() == static_cast<std::size_t>(rest.ncols));
+  assert(x_out.size() == static_cast<std::size_t>(rest.nrows));
+
+  // Locate the main diagonal inside the band.
+  const auto it0 =
+      std::find(m.band.offsets.begin(), m.band.offsets.end(), diag_offset);
+  assert(it0 != m.band.offsets.end() && "Jacobi needs the diagonal in DIA");
+  const std::size_t d0 =
+      static_cast<std::size_t>(it0 - m.band.offsets.begin());
+
+  MemorySim sim(dev, opt.l1_enabled);
+  AddressSpace as;
+  SpmvArrays a = alloc_spmv(as, rest.val.size(), rest.col.size(), rest.ncols,
+                            rest.nrows, opt.value_bytes);
+  a.dia = as.alloc(m.band.data.size() * opt.value_bytes);
+  a.perm = as.alloc(rest.perm.size() * sizeof(index_t));
+  a.row_ptr = as.alloc(rest.slice_k.size() * 8);  // slice k + start offsets
+  const bool permuted = !rest.is_identity_perm();
+
+  const std::uint64_t offdiag_nnz =
+      rest.nnz + (m.band.nnz > 0
+                      ? m.band.nnz - static_cast<std::uint64_t>(rest.nrows)
+                      : 0ULL);
+  const std::uint64_t flops =
+      2ULL * offdiag_nnz + static_cast<std::uint64_t>(rest.nrows);
+
+  const auto body = [&] {
+    std::vector<real_t> sums(static_cast<std::size_t>(dev.warp_size));
+    std::array<std::uint64_t, 32> store_addrs{};
+    std::array<std::uint64_t, 32> diag_addrs{};
+    for_each_warp(sim, rest.nrows, opt.block_size, [&](index_t w,
+                                                       index_t lanes) {
+      std::fill(sums.begin(), sums.end(), 0.0);
+      const index_t slice = w / rest.slice_size;
+      const index_t k = rest.slice_k[slice];
+      const std::size_t base = rest.slice_ptr[slice];
+      const index_t lane0 = w - slice * rest.slice_size;
+      const auto slot_of = [&](index_t lane, index_t j) {
+        return base + static_cast<std::size_t>(j) * rest.slice_size +
+               static_cast<std::size_t>(lane0 + lane);
+      };
+      {
+        const std::uint64_t meta = a.row_ptr + static_cast<std::uint64_t>(slice) * 8;
+        sim.gather(std::span<const std::uint64_t>(&meta, 1), 8);
+      }
+      if (permuted) {
+        sim.stream_load(a.perm + static_cast<std::uint64_t>(w) * sizeof(index_t),
+                        static_cast<std::size_t>(lanes) * sizeof(index_t));
+      }
+      ell_warp_steps(sim, rest.val, rest.col, a, x, lanes, k, opt.value_bytes,
+                     slot_of, std::span<real_t>(sums));
+      dia_warp_contribution(sim, m.band, a, x, w, lanes,
+                            permuted ? &rest.perm : nullptr, opt.value_bytes,
+                            std::span<real_t>(sums), &diag_offset);
+      // Dense-diagonal load + divide + negate, then write x_out.
+      for (index_t lane = 0; lane < lanes; ++lane) {
+        const index_t r = rest.perm[w + lane];
+        const std::size_t slot =
+            d0 * static_cast<std::size_t>(m.band.nrows) +
+            static_cast<std::size_t>(r);
+        diag_addrs[lane] = a.dia + slot * opt.value_bytes;
+        store_addrs[lane] =
+            a.y + static_cast<std::uint64_t>(r) * opt.value_bytes;
+        x_out[r] = -sums[lane] / m.band.data[slot];
+      }
+      if (permuted) {
+        sim.gather(std::span<const std::uint64_t>(diag_addrs.data(),
+                                                  static_cast<std::size_t>(lanes)),
+                   opt.value_bytes);
+      } else {
+        sim.stream_load(diag_addrs[0],
+                        static_cast<std::size_t>(lanes) * opt.value_bytes);
+      }
+      sim.add_flops(static_cast<std::uint64_t>(lanes));
+      sim.scatter_store(std::span<const std::uint64_t>(store_addrs.data(),
+                                                       static_cast<std::size_t>(lanes)),
+                        opt.value_bytes);
+    });
+  };
+  return run_passes(sim, opt.block_size, flops, opt.passes, body);
+}
+
+KernelStats simulate_vector_op(const DeviceSpec& dev, index_t n, int reads,
+                               int writes, const SimOptions& opt) {
+  MemorySim sim(dev, opt.l1_enabled);
+  AddressSpace as;
+  std::vector<std::uint64_t> bases;
+  for (int i = 0; i < reads + writes; ++i) {
+    bases.push_back(as.alloc(static_cast<std::size_t>(n) * opt.value_bytes));
+  }
+  const auto body = [&] {
+    for (int i = 0; i < reads; ++i) {
+      sim.stream_load(bases[static_cast<std::size_t>(i)],
+                      static_cast<std::size_t>(n) * opt.value_bytes);
+    }
+    for (int i = 0; i < writes; ++i) {
+      sim.stream_store(bases[static_cast<std::size_t>(reads + i)],
+                       static_cast<std::size_t>(n) * opt.value_bytes);
+    }
+    sim.add_flops(static_cast<std::uint64_t>(n));
+  };
+  return run_passes(sim, opt.block_size, static_cast<std::uint64_t>(n),
+                    opt.passes, body);
+}
+
+}  // namespace cmesolve::gpusim

@@ -1,0 +1,153 @@
+#include "gpusim/memory_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "gpusim/occupancy.hpp"
+
+namespace cmesolve::gpusim {
+
+MemorySim::MemorySim(const DeviceSpec& dev, bool l1_enabled)
+    : dev_(dev),
+      l1_enabled_(l1_enabled),
+      l2_(dev.l2_bytes, dev.l2_ways, dev.line_bytes) {
+  l1_.reserve(static_cast<std::size_t>(dev.num_sms));
+  for (int s = 0; s < dev.num_sms; ++s) {
+    l1_.emplace_back(dev.l1_bytes, dev.l1_ways, dev.line_bytes);
+  }
+}
+
+void MemorySim::stream_load(std::uint64_t addr, std::size_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t first = addr / dev_.line_bytes;
+  const std::uint64_t last = (addr + bytes - 1) / dev_.line_bytes;
+  const std::uint64_t lines = last - first + 1;
+  counters_.transactions += lines;
+  counters_.dram_bytes += lines * dev_.line_bytes;
+  counters_.l1_bytes += lines * dev_.line_bytes;  // the LSU still issues them
+  // Fermi's L1 caches every global load, so streaming arrays evict the
+  // x-vector lines — the pollution that makes the 48 KB L1 split worth ~6%
+  // over 16 KB in Sec. VII-C. The DRAM cost above stays unconditional
+  // (each matrix line is consumed once per sweep regardless).
+  if (l1_enabled_) {
+    CacheModel& l1 = l1_[static_cast<std::size_t>(active_sm_)];
+    for (std::uint64_t line = first; line <= last; ++line) {
+      (void)l1.access(line * dev_.line_bytes);
+    }
+  }
+}
+
+void MemorySim::gather(std::span<const std::uint64_t> lane_addrs,
+                       std::size_t elem_bytes) {
+  if (lane_addrs.empty()) return;
+  scratch_.assign(lane_addrs.begin(), lane_addrs.end());
+  for (auto& a : scratch_) a /= dev_.line_bytes;
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()), scratch_.end());
+
+  CacheModel& l1 = l1_[static_cast<std::size_t>(active_sm_)];
+  for (std::uint64_t line : scratch_) {
+    const std::uint64_t addr = line * dev_.line_bytes;
+    ++counters_.transactions;
+    counters_.l1_bytes += dev_.line_bytes;
+    if (l1_enabled_) {
+      if (l1.access(addr)) {
+        ++counters_.l1_hits;
+        continue;
+      }
+      ++counters_.l1_misses;
+    } else {
+      ++counters_.l1_misses;
+    }
+    counters_.l2_bytes += dev_.line_bytes;
+    if (l2_.access(addr)) {
+      ++counters_.l2_hits;
+    } else {
+      ++counters_.l2_misses;
+      counters_.dram_bytes += dev_.line_bytes;
+    }
+  }
+  (void)elem_bytes;
+}
+
+void MemorySim::scatter_store(std::span<const std::uint64_t> lane_addrs,
+                              std::size_t elem_bytes) {
+  if (lane_addrs.empty()) return;
+  // LSU issues one transaction per touched write segment; DRAM traffic is
+  // the write-back of dirtied lines, accounted once per pass in finalize().
+  scratch_.clear();
+  for (std::uint64_t a : lane_addrs) {
+    // A lane store can straddle a segment boundary only if misaligned; the
+    // simulated arrays are element-aligned, so one segment per lane element.
+    scratch_.push_back(a / dev_.write_segment_bytes);
+    if (elem_bytes > dev_.write_segment_bytes) {
+      const std::uint64_t end = (a + elem_bytes - 1) / dev_.write_segment_bytes;
+      for (std::uint64_t s = a / dev_.write_segment_bytes + 1; s <= end; ++s) {
+        scratch_.push_back(s);
+      }
+    }
+  }
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()), scratch_.end());
+  counters_.transactions += scratch_.size();
+  counters_.l1_bytes += scratch_.size() * dev_.write_segment_bytes;
+  for (std::uint64_t seg : scratch_) {
+    dirty_lines_.insert(seg * dev_.write_segment_bytes / dev_.line_bytes);
+  }
+}
+
+void MemorySim::stream_store(std::uint64_t addr, std::size_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t first = addr / dev_.write_segment_bytes;
+  const std::uint64_t last = (addr + bytes - 1) / dev_.write_segment_bytes;
+  const std::uint64_t segs = last - first + 1;
+  counters_.transactions += segs;
+  counters_.l1_bytes += segs * dev_.write_segment_bytes;
+  for (std::uint64_t line = addr / dev_.line_bytes;
+       line <= (addr + bytes - 1) / dev_.line_bytes; ++line) {
+    dirty_lines_.insert(line);
+  }
+}
+
+void MemorySim::begin_pass() {
+  counters_ = TrafficCounters{};
+  dirty_lines_.clear();
+}
+
+KernelStats MemorySim::finalize(int block_size,
+                                std::uint64_t useful_flops) const {
+  const Occupancy occ = occupancy(dev_, block_size);
+  const real_t eff = bandwidth_efficiency(dev_, occ.fraction);
+
+  KernelStats out;
+  out.occupancy = occ.fraction;
+  out.traffic = counters_;
+  out.useful_flops = useful_flops;
+
+  if (occ.blocks_per_sm == 0 || eff <= 0.0) {
+    out.seconds = std::numeric_limits<real_t>::infinity();
+    out.gflops = 0.0;
+    return out;
+  }
+
+  const std::uint64_t writeback_bytes =
+      static_cast<std::uint64_t>(dirty_lines_.size()) * dev_.line_bytes;
+  out.traffic.dram_bytes += writeback_bytes;
+  const real_t t_dram = static_cast<real_t>(out.traffic.dram_bytes) /
+                        (dev_.dram_bandwidth * eff);
+  const real_t t_l2 =
+      static_cast<real_t>(counters_.l2_bytes) / (dev_.l2_bandwidth * eff);
+  const real_t t_l1 =
+      static_cast<real_t>(counters_.l1_bytes) / (dev_.l1_bandwidth * eff);
+  const real_t t_comp =
+      static_cast<real_t>(counters_.flops) / dev_.dp_peak_flops;
+
+  const real_t bound = std::max(std::max(t_dram, t_l2), std::max(t_l1, t_comp));
+  out.seconds = bound * block_shape_penalty(dev_, block_size) +
+                dev_.launch_overhead;
+  out.gflops = static_cast<real_t>(useful_flops) / out.seconds / 1.0e9;
+  return out;
+}
+
+}  // namespace cmesolve::gpusim

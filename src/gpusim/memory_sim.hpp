@@ -1,0 +1,126 @@
+#pragma once
+//
+// Warp-level memory event engine.
+//
+// The simulator does not execute instructions; it replays the memory traffic
+// a Fermi SM would generate for a kernel and converts the traffic into time
+// with a roofline model:
+//
+//   t = max(dram_bytes / BW_dram, l2_bytes / BW_l2, l1_bytes / BW_l1,
+//           flops / peak) / eff(occupancy) * block_shape_penalty + launch
+//
+// Traffic classes:
+//   * stream loads  — matrix value/index arrays. Each element is touched
+//     exactly once per kernel, so they bypass the cache model and count as
+//     DRAM traffic in 128-byte transactions (Fermi streams them through L2,
+//     but with zero reuse the distinction only pollutes the model).
+//   * gathers       — x-vector (and CSR val/col) accesses with reuse. Lane
+//     addresses are deduplicated to 128-byte lines and walked through the
+//     per-SM L1 and the shared L2; only L2 misses reach DRAM.
+//   * writes — y-vector stores, write-back semantics: each distinct line
+//     written during a pass is charged one DRAM line write-back; the LSU
+//     transaction count still reflects the (possibly scattered) 32-byte
+//     write segments.
+//
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "gpusim/cache.hpp"
+#include "gpusim/device.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::gpusim {
+
+/// Bump allocator handing out device addresses for the simulated arrays.
+class AddressSpace {
+ public:
+  /// Allocate `bytes` aligned to 128 (a fresh transaction boundary).
+  std::uint64_t alloc(std::size_t bytes, std::size_t align = 128) {
+    cursor_ = (cursor_ + align - 1) / align * align;
+    const std::uint64_t base = cursor_;
+    cursor_ += bytes;
+    return base;
+  }
+
+ private:
+  std::uint64_t cursor_ = 0x1000'0000ULL;
+};
+
+/// Raw traffic counters of one simulated kernel pass.
+struct TrafficCounters {
+  std::uint64_t dram_bytes = 0;  ///< bytes actually moved from/to DRAM
+  std::uint64_t l2_bytes = 0;    ///< bytes served by (or filled into) L2
+  std::uint64_t l1_bytes = 0;    ///< bytes served through the L1 pipeline
+  std::uint64_t transactions = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t flops = 0;
+};
+
+/// Result of converting traffic into time (see KernelSim::finalize).
+struct KernelStats {
+  real_t seconds = 0.0;
+  real_t gflops = 0.0;      ///< useful_flops / seconds / 1e9
+  real_t occupancy = 0.0;
+  TrafficCounters traffic;
+  std::uint64_t useful_flops = 0;
+};
+
+class MemorySim {
+ public:
+  /// `sp_l1_enabled = false` routes gathers straight to L2 (used by the
+  /// clSpMV comparator model, whose OpenCL kernels did not benefit from the
+  /// L1 configuration the paper tunes in Sec. VII-C).
+  explicit MemorySim(const DeviceSpec& dev, bool l1_enabled = true);
+
+  /// Select the SM whose L1 subsequent gathers hit (blocks are assigned
+  /// round-robin: SM = block_index % num_sms).
+  void set_active_sm(int sm) noexcept { active_sm_ = sm; }
+
+  /// Warp-wide streaming load of `bytes` starting at `addr`.
+  void stream_load(std::uint64_t addr, std::size_t bytes);
+
+  /// Warp gather: deduplicate lane addresses to lines, then L1 -> L2 -> DRAM.
+  /// `elem_bytes` is only used to account the useful bytes at L1.
+  void gather(std::span<const std::uint64_t> lane_addrs, std::size_t elem_bytes);
+
+  /// Warp scattered store: coalesce lane addresses to write segments.
+  void scatter_store(std::span<const std::uint64_t> lane_addrs,
+                     std::size_t elem_bytes);
+
+  /// Contiguous warp-wide store.
+  void stream_store(std::uint64_t addr, std::size_t bytes);
+
+  void add_flops(std::uint64_t n) noexcept { counters_.flops += n; }
+
+  /// Zero the counters but keep cache contents (steady-state passes).
+  void begin_pass();
+
+  [[nodiscard]] const TrafficCounters& counters() const noexcept {
+    return counters_;
+  }
+
+  /// Convert the current pass traffic into kernel time (see header comment).
+  /// Adds the write-back traffic of the lines dirtied during the pass.
+  [[nodiscard]] KernelStats finalize(int block_size,
+                                     std::uint64_t useful_flops) const;
+
+  [[nodiscard]] const DeviceSpec& device() const noexcept { return dev_; }
+
+ private:
+  DeviceSpec dev_;
+  bool l1_enabled_;
+  std::vector<CacheModel> l1_;  ///< one per SM
+  CacheModel l2_;
+  int active_sm_ = 0;
+  TrafficCounters counters_;
+  std::unordered_set<std::uint64_t> dirty_lines_;  ///< lines written this pass
+  // Scratch buffer reused by gather/scatter dedup to avoid allocation.
+  mutable std::vector<std::uint64_t> scratch_;
+};
+
+}  // namespace cmesolve::gpusim

@@ -1,0 +1,37 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cmesolve::gpusim {
+
+Occupancy occupancy(const DeviceSpec& dev, int block_size) {
+  assert(block_size > 0);
+  Occupancy o;
+  const int by_threads = dev.max_threads_per_sm / block_size;
+  o.blocks_per_sm = std::max(0, std::min(dev.max_blocks_per_sm, by_threads));
+  if (block_size > dev.max_threads_per_sm) {
+    o.blocks_per_sm = 0;  // block does not fit at all
+  }
+  o.threads_per_sm = o.blocks_per_sm * block_size;
+  o.warps_per_sm = o.threads_per_sm / dev.warp_size;
+  o.fraction = static_cast<real_t>(o.threads_per_sm) /
+               static_cast<real_t>(dev.max_threads_per_sm);
+  return o;
+}
+
+real_t bandwidth_efficiency(const DeviceSpec& dev, real_t fraction) {
+  return std::min(real_t{1.0}, dev.latency_hiding_slope * fraction);
+}
+
+real_t block_shape_penalty(const DeviceSpec& dev, int block_size) {
+  const real_t turnover = 1.0 + dev.turnover_alpha *
+                                    static_cast<real_t>(block_size) /
+                                    static_cast<real_t>(dev.max_threads_per_sm);
+  const real_t sched = 1.0 + dev.sched_beta *
+                                 static_cast<real_t>(dev.sched_ref_block) /
+                                 static_cast<real_t>(block_size);
+  return turnover * sched;
+}
+
+}  // namespace cmesolve::gpusim

@@ -1,0 +1,31 @@
+#pragma once
+//
+// CUDA occupancy calculator (Sec. III). Occupancy drives the latency-hiding
+// term of the timing model: too few resident warps cannot keep the memory
+// pipeline full.
+//
+#include "gpusim/device.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::gpusim {
+
+struct Occupancy {
+  int blocks_per_sm = 0;
+  int threads_per_sm = 0;
+  int warps_per_sm = 0;
+  real_t fraction = 0.0;  ///< threads_per_sm / max_threads_per_sm
+};
+
+/// Resident blocks/threads for a given block size, limited by the 8-blocks-
+/// per-SM and 1536-threads-per-SM Fermi caps.
+[[nodiscard]] Occupancy occupancy(const DeviceSpec& dev, int block_size);
+
+/// Bandwidth efficiency achieved at an occupancy fraction:
+/// min(1, latency_hiding_slope * fraction).
+[[nodiscard]] real_t bandwidth_efficiency(const DeviceSpec& dev, real_t fraction);
+
+/// Combined block-shape multiplier on kernel time: tail-quantization
+/// (turnover) of large blocks plus scheduling overhead of small ones.
+[[nodiscard]] real_t block_shape_penalty(const DeviceSpec& dev, int block_size);
+
+}  // namespace cmesolve::gpusim

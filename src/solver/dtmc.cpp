@@ -1,0 +1,49 @@
+#include "solver/dtmc.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace cmesolve::solver {
+
+bool is_column_stochastic(const sparse::Csr& p, real_t tol) {
+  if (p.nrows != p.ncols) return false;
+  std::vector<real_t> colsum(static_cast<std::size_t>(p.ncols), 0.0);
+  for (index_t r = 0; r < p.nrows; ++r) {
+    for (index_t q = p.row_ptr[r]; q < p.row_ptr[r + 1]; ++q) {
+      if (p.val[q] < 0.0) return false;
+      colsum[static_cast<std::size_t>(p.col_idx[q])] += p.val[q];
+    }
+  }
+  for (real_t s : colsum) {
+    if (std::abs(s - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+sparse::Csr generator_from_stochastic(const sparse::Csr& p) {
+  sparse::Coo coo = sparse::coo_from_csr(p);
+  for (index_t i = 0; i < p.nrows; ++i) {
+    coo.add(i, i, -1.0);
+  }
+  return sparse::csr_from_coo(std::move(coo));
+}
+
+JacobiResult dtmc_stationary(const sparse::Csr& p, std::span<real_t> x,
+                             const JacobiOptions& opt) {
+  if (!is_column_stochastic(p)) {
+    throw std::invalid_argument(
+        "dtmc_stationary: matrix is not column-stochastic");
+  }
+  const sparse::Csr a = generator_from_stochastic(p);
+
+  // Self-loop-heavy chains can produce a zero diagonal in A = P - I only
+  // when p_jj = 1 (absorbing state); jacobi_solve rejects that case itself.
+  CsrDiaOperator op(a);
+  JacobiOptions run = opt;
+  // P - I on a periodic chain carries the usual -1 Jacobi mode; damping is
+  // the standard cure and costs one axpy.
+  if (run.damping == 1.0) run.damping = 0.75;
+  return jacobi_solve(op, a.inf_norm(), x, run);
+}
+
+}  // namespace cmesolve::solver

@@ -1,0 +1,36 @@
+#pragma once
+//
+// Discrete-time Markov chains — the other half of the paper's "can be
+// generalized to operation on stochastic matrices (Markov models)" claim.
+//
+// Given a column-stochastic transition matrix P (column j holds the
+// distribution of the next state), the stationary distribution solves
+// pi = P pi. This is equivalent to the steady state of the generator
+// A = P - I, so the whole CTMC tool chain (formats, Jacobi, GPU kernels)
+// applies unchanged; the convenience wrapper here performs the reduction.
+//
+#include <span>
+#include <stdexcept>
+
+#include "solver/jacobi.hpp"
+#include "solver/operators.hpp"
+#include "sparse/csr.hpp"
+
+namespace cmesolve::solver {
+
+/// Verify that every column of `p` sums to 1 within `tol` and that all
+/// entries are non-negative.
+[[nodiscard]] bool is_column_stochastic(const sparse::Csr& p,
+                                        real_t tol = 1e-9);
+
+/// Convert a column-stochastic matrix to the equivalent CTMC generator
+/// A = P - I (columns then sum to zero).
+[[nodiscard]] sparse::Csr generator_from_stochastic(const sparse::Csr& p);
+
+/// Stationary distribution of a column-stochastic matrix via the Jacobi
+/// pipeline on A = P - I. Throws std::invalid_argument when `p` is not
+/// column-stochastic. `x` carries the initial guess in, pi out.
+JacobiResult dtmc_stationary(const sparse::Csr& p, std::span<real_t> x,
+                             const JacobiOptions& opt = {});
+
+}  // namespace cmesolve::solver

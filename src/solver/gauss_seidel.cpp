@@ -1,0 +1,77 @@
+#include "solver/gauss_seidel.hpp"
+
+#include <cmath>
+
+#include "solver/vector_ops.hpp"
+
+namespace cmesolve::solver {
+
+JacobiResult gauss_seidel_solve(const sparse::Csr& a, real_t a_inf_norm,
+                                std::span<real_t> x,
+                                const JacobiOptions& opt) {
+  const index_t n = a.nrows;
+  if (x.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("gauss_seidel_solve: x size mismatch");
+  }
+
+  std::vector<real_t> resid(static_cast<std::size_t>(n));
+  WallTimer timer;
+  JacobiResult out;
+  const std::uint64_t flops_per_sweep =
+      2ULL * a.nnz() + static_cast<std::uint64_t>(n);
+  real_t prev_residual = -1.0;
+
+  normalize_l1(x);
+  for (std::uint64_t it = 1; it <= opt.max_iterations; ++it) {
+    for (index_t i = 0; i < n; ++i) {
+      real_t sum = 0.0;
+      real_t diag = 0.0;
+      for (index_t p = a.row_ptr[i]; p < a.row_ptr[i + 1]; ++p) {
+        const index_t j = a.col_idx[p];
+        if (j == i) {
+          diag = a.val[p];
+        } else {
+          sum += a.val[p] * x[j];  // already-updated entries are used
+        }
+      }
+      if (diag == 0.0) {
+        throw std::domain_error("gauss_seidel_solve: zero diagonal");
+      }
+      x[i] = -sum / diag;
+    }
+    out.iterations = it;
+    out.flops += flops_per_sweep;
+    if (opt.normalize_every > 0 && it % opt.normalize_every == 0) {
+      normalize_l1(x);
+    }
+
+    if (it % opt.check_every == 0 || it == opt.max_iterations) {
+      normalize_l1(x);
+      sparse::spmv(a, x, resid);
+      const real_t xn = norm_inf(x);
+      out.residual = norm_inf(resid) / (a_inf_norm * (xn > 0 ? xn : 1.0));
+      out.flops += flops_per_sweep;
+      if (opt.on_residual) opt.on_residual(it, out.residual);
+      if (out.residual <= opt.eps) {
+        out.reason = StopReason::kConverged;
+        break;
+      }
+      if (prev_residual >= 0.0 &&
+          std::abs(out.residual - prev_residual) / prev_residual <=
+              opt.stagnation_eps) {
+        out.reason = StopReason::kStagnated;
+        break;
+      }
+      prev_residual = out.residual;
+    }
+  }
+
+  normalize_l1(x);
+  out.seconds = timer.seconds();
+  out.gflops = out.seconds > 0
+                   ? static_cast<real_t>(out.flops) / out.seconds / 1.0e9
+                   : 0.0;
+  return out;
+}
+
+}  // namespace cmesolve::solver

@@ -1,0 +1,23 @@
+#pragma once
+//
+// Gauss-Seidel iteration on the full CSR matrix — a sequential baseline
+// included to quantify what the embarrassingly-parallel Jacobi gives up in
+// per-iteration convergence (robustness ablation; not in the paper's
+// evaluation, which is GPU-oriented).
+//
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "solver/jacobi.hpp"
+#include "sparse/csr.hpp"
+
+namespace cmesolve::solver {
+
+/// Solve A P = 0 with forward Gauss-Seidel sweeps; same stopping rules as
+/// jacobi_solve. `a` must carry its diagonal.
+JacobiResult gauss_seidel_solve(const sparse::Csr& a, real_t a_inf_norm,
+                                std::span<real_t> x,
+                                const JacobiOptions& opt = {});
+
+}  // namespace cmesolve::solver

@@ -1,0 +1,149 @@
+#include "solver/gmres.hpp"
+
+#include <cmath>
+
+#include "solver/vector_ops.hpp"
+
+namespace cmesolve::solver {
+
+namespace {
+
+/// Apply a Givens rotation (c, s) to the pair (h1, h2).
+void apply_givens(real_t c, real_t s, real_t& h1, real_t& h2) {
+  const real_t t = c * h1 + s * h2;
+  h2 = -s * h1 + c * h2;
+  h1 = t;
+}
+
+}  // namespace
+
+GmresResult gmres_solve(const LinearOp& apply, index_t n,
+                        std::span<const real_t> b, std::span<real_t> x,
+                        const GmresOptions& opt) {
+  GmresResult out;
+  const int m = opt.restart;
+  const std::size_t nn = static_cast<std::size_t>(n);
+
+  const real_t bnorm = norm_l2(b);
+  if (bnorm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    out.converged = true;
+    return out;
+  }
+
+  std::vector<std::vector<real_t>> v(
+      static_cast<std::size_t>(m + 1), std::vector<real_t>(nn));
+  // Hessenberg, column-major: h[j] has j+2 entries.
+  std::vector<std::vector<real_t>> h(static_cast<std::size_t>(m));
+  std::vector<real_t> cs(static_cast<std::size_t>(m));
+  std::vector<real_t> sn(static_cast<std::size_t>(m));
+  std::vector<real_t> g(static_cast<std::size_t>(m + 1));
+  std::vector<real_t> w(nn);
+
+  while (out.iterations < opt.max_iterations) {
+    // r0 = b - A x
+    apply(x, w);
+    for (std::size_t i = 0; i < nn; ++i) v[0][i] = b[i] - w[i];
+    real_t beta = norm_l2(v[0]);
+    out.relative_residual = beta / bnorm;
+    if (out.relative_residual <= opt.tol) {
+      out.converged = true;
+      return out;
+    }
+    scale(v[0], 1.0 / beta);
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    int j = 0;
+    for (; j < m && out.iterations < opt.max_iterations; ++j) {
+      ++out.iterations;
+      apply(v[static_cast<std::size_t>(j)], w);
+      // Modified Gram-Schmidt.
+      h[static_cast<std::size_t>(j)].assign(static_cast<std::size_t>(j) + 2,
+                                            0.0);
+      for (int i = 0; i <= j; ++i) {
+        const real_t hij = dot(w, v[static_cast<std::size_t>(i)]);
+        h[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = hij;
+        axpy(-hij, v[static_cast<std::size_t>(i)], w);
+      }
+      const real_t hlast = norm_l2(w);
+      h[static_cast<std::size_t>(j)][static_cast<std::size_t>(j) + 1] = hlast;
+      if (hlast > 0.0) {
+        v[static_cast<std::size_t>(j) + 1] = w;
+        scale(v[static_cast<std::size_t>(j) + 1], 1.0 / hlast);
+      }
+
+      // Apply previous rotations to the new column, then form a new one.
+      auto& col = h[static_cast<std::size_t>(j)];
+      for (int i = 0; i < j; ++i) {
+        apply_givens(cs[static_cast<std::size_t>(i)],
+                     sn[static_cast<std::size_t>(i)],
+                     col[static_cast<std::size_t>(i)],
+                     col[static_cast<std::size_t>(i) + 1]);
+      }
+      const real_t denom = std::hypot(col[static_cast<std::size_t>(j)],
+                                      col[static_cast<std::size_t>(j) + 1]);
+      if (denom == 0.0) {
+        cs[static_cast<std::size_t>(j)] = 1.0;
+        sn[static_cast<std::size_t>(j)] = 0.0;
+      } else {
+        cs[static_cast<std::size_t>(j)] =
+            col[static_cast<std::size_t>(j)] / denom;
+        sn[static_cast<std::size_t>(j)] =
+            col[static_cast<std::size_t>(j) + 1] / denom;
+      }
+      apply_givens(cs[static_cast<std::size_t>(j)],
+                   sn[static_cast<std::size_t>(j)],
+                   col[static_cast<std::size_t>(j)],
+                   col[static_cast<std::size_t>(j) + 1]);
+      apply_givens(cs[static_cast<std::size_t>(j)],
+                   sn[static_cast<std::size_t>(j)], g[static_cast<std::size_t>(j)],
+                   g[static_cast<std::size_t>(j) + 1]);
+
+      out.relative_residual = std::abs(g[static_cast<std::size_t>(j) + 1]) / bnorm;
+      out.residual_history.push_back(out.relative_residual);
+      if (out.relative_residual <= opt.tol || hlast == 0.0) {
+        ++j;
+        break;
+      }
+    }
+
+    // Back-substitute y from the triangularized Hessenberg and update x.
+    std::vector<real_t> y(static_cast<std::size_t>(j), 0.0);
+    for (int i = j - 1; i >= 0; --i) {
+      real_t sum = g[static_cast<std::size_t>(i)];
+      for (int k = i + 1; k < j; ++k) {
+        sum -= h[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] *
+               y[static_cast<std::size_t>(k)];
+      }
+      y[static_cast<std::size_t>(i)] =
+          sum / h[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+    }
+    for (int i = 0; i < j; ++i) {
+      axpy(y[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i)], x);
+    }
+
+    if (out.relative_residual <= opt.tol) {
+      out.converged = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+LinearOp steady_state_operator(const sparse::Csr& a, index_t constraint_row) {
+  return [&a, constraint_row](std::span<const real_t> x, std::span<real_t> y) {
+    sparse::spmv(a, x, y);
+    real_t sum = 0.0;
+    for (real_t v : x) sum += v;
+    y[constraint_row] = sum;
+  };
+}
+
+std::vector<real_t> steady_state_rhs(index_t n, index_t constraint_row) {
+  std::vector<real_t> b(static_cast<std::size_t>(n), 0.0);
+  b[constraint_row] = 1.0;
+  return b;
+}
+
+}  // namespace cmesolve::solver

@@ -1,0 +1,51 @@
+#pragma once
+//
+// Restarted GMRES(m) (Saad & Schultz [19]).
+//
+// Included to reproduce the paper's Sec. IV observation: on the singular,
+// ill-conditioned systems arising from the CME, GMRES stagnates where the
+// (normalized) Jacobi iteration converges. The steady-state problem is
+// posed in the standard nonsingular-ized form: replace one balance row with
+// the normalization constraint sum_i x_i = 1 and solve A~ x = e_last.
+//
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::solver {
+
+/// y = A x for an arbitrary linear operator.
+using LinearOp =
+    std::function<void(std::span<const real_t>, std::span<real_t>)>;
+
+struct GmresOptions {
+  int restart = 30;             ///< Krylov dimension m
+  std::uint64_t max_iterations = 2000;  ///< total matvec budget
+  real_t tol = 1e-8;            ///< relative residual target ||r|| / ||b||
+};
+
+struct GmresResult {
+  bool converged = false;
+  std::uint64_t iterations = 0;     ///< matvecs performed
+  real_t relative_residual = 0.0;   ///< final ||b - A x|| / ||b||
+  std::vector<real_t> residual_history;  ///< one entry per inner iteration
+};
+
+/// Solve A x = b with restarted GMRES. `x` carries the initial guess.
+[[nodiscard]] GmresResult gmres_solve(const LinearOp& apply, index_t n,
+                                      std::span<const real_t> b,
+                                      std::span<real_t> x,
+                                      const GmresOptions& opt = {});
+
+/// The nonsingular-ized steady-state operator: A with row `constraint_row`
+/// replaced by all-ones (sum_i x_i), matching right-hand side e_row.
+[[nodiscard]] LinearOp steady_state_operator(const sparse::Csr& a,
+                                             index_t constraint_row);
+[[nodiscard]] std::vector<real_t> steady_state_rhs(index_t n,
+                                                   index_t constraint_row);
+
+}  // namespace cmesolve::solver

@@ -1,0 +1,163 @@
+#pragma once
+//
+// Jacobi iteration for the singular steady-state system A P = 0 (Sec. IV).
+//
+// Component-wise:  x_i^{k+1} = -(1 / a_ii) * sum_{j != i} a_ij x_j^k
+// with the probability-vector invariant maintained by periodic L1
+// renormalization, and the paper's two-part stopping criterion:
+//
+//   converged:  ||r^k||_inf / (||A||_inf * ||x^k||_inf)  <= eps
+//   stagnated:  | ||r^{k+1}||_inf - ||r^k||_inf | / ||r^k||_inf <= eps_stag
+//
+// The residual costs as much as a sweep, so it is evaluated only every
+// `check_every` iterations (Sec. IV).
+//
+#include <algorithm>
+#include <concepts>
+#include <functional>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "solver/vector_ops.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::solver {
+
+/// Anything that multiplies by the strictly off-diagonal part of A and
+/// exposes the dense diagonal.
+template <class Op>
+concept JacobiOperator = requires(const Op& op, std::span<const real_t> x,
+                                  std::span<real_t> y) {
+  { op.nrows() } -> std::convertible_to<index_t>;
+  { op.diag() } -> std::convertible_to<std::span<const real_t>>;
+  { op.offdiag_nnz() } -> std::convertible_to<std::size_t>;
+  op.multiply(x, y);
+};
+
+struct JacobiOptions {
+  real_t eps = 1e-8;                ///< paper's epsilon
+  real_t stagnation_eps = 1e-8;     ///< relative residual-change floor
+  std::uint64_t max_iterations = 1'000'000;
+  std::uint32_t check_every = 100;  ///< residual evaluation period
+  std::uint32_t normalize_every = 10;  ///< L1 renormalization period
+  /// Consecutive residual checks that must look flat before declaring
+  /// stagnation (guards against oscillatory residuals matching by chance).
+  std::uint32_t stagnation_patience = 2;
+  real_t damping = 1.0;  ///< 1.0 = plain Jacobi; <1 = weighted (extension)
+  /// Observer invoked at every residual evaluation with (iteration,
+  /// normalized residual) — convergence-history tracing.
+  std::function<void(std::uint64_t, real_t)> on_residual;
+};
+
+enum class StopReason : std::uint8_t {
+  kConverged,
+  kStagnated,
+  kMaxIterations,
+};
+
+struct JacobiResult {
+  std::uint64_t iterations = 0;
+  real_t residual = 0.0;        ///< last normalized residual
+  StopReason reason = StopReason::kMaxIterations;
+  real_t seconds = 0.0;         ///< host wall-clock
+  std::uint64_t flops = 0;      ///< 2*offdiag_nnz + n per sweep, summed
+  real_t gflops = 0.0;          ///< measured host throughput
+};
+
+[[nodiscard]] constexpr const char* to_string(StopReason r) noexcept {
+  switch (r) {
+    case StopReason::kConverged: return "converged";
+    case StopReason::kStagnated: return "stagnated";
+    case StopReason::kMaxIterations: return "max-iterations";
+  }
+  return "?";
+}
+
+/// Solve A P = 0. `a_inf_norm` is ||A||_inf of the FULL matrix (with
+/// diagonal); `x` carries the initial guess in and the solution out.
+template <JacobiOperator Op>
+JacobiResult jacobi_solve(const Op& op, real_t a_inf_norm,
+                          std::span<real_t> x, const JacobiOptions& opt = {}) {
+  const index_t n = op.nrows();
+  if (x.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("jacobi_solve: x size mismatch");
+  }
+  const std::span<const real_t> d = op.diag();
+  for (index_t i = 0; i < n; ++i) {
+    if (d[i] == 0.0) {
+      throw std::domain_error(
+          "jacobi_solve: zero diagonal (absorbing state in the CME)");
+    }
+  }
+
+  std::vector<real_t> next(static_cast<std::size_t>(n));
+  std::vector<real_t> resid(static_cast<std::size_t>(n));
+  const real_t omega = opt.damping;
+
+  WallTimer timer;
+  JacobiResult out;
+  const std::uint64_t flops_per_sweep =
+      2ULL * op.offdiag_nnz() + static_cast<std::uint64_t>(n);
+  real_t prev_residual = -1.0;
+  std::uint32_t flat_checks = 0;
+
+  normalize_l1(x);
+  for (std::uint64_t it = 1; it <= opt.max_iterations; ++it) {
+    // One sweep: next = -D^{-1} (L+U) x, optionally damped.
+    op.multiply(x, next);
+    if (omega == 1.0) {
+      for (index_t i = 0; i < n; ++i) next[i] = -next[i] / d[i];
+    } else {
+      for (index_t i = 0; i < n; ++i) {
+        next[i] = (1.0 - omega) * x[i] - omega * next[i] / d[i];
+      }
+    }
+    std::swap_ranges(next.begin(), next.end(), x.begin());
+    out.iterations = it;
+    out.flops += flops_per_sweep;
+
+    if (opt.normalize_every > 0 && it % opt.normalize_every == 0) {
+      normalize_l1(x);
+    }
+
+    if (it % opt.check_every == 0 || it == opt.max_iterations) {
+      normalize_l1(x);
+      // r = A x = (L+U) x + D x
+      op.multiply(x, resid);
+      for (index_t i = 0; i < n; ++i) resid[i] += d[i] * x[i];
+      const real_t xn = norm_inf(x);
+      const real_t rn = norm_inf(resid);
+      out.residual = rn / (a_inf_norm * (xn > 0 ? xn : 1.0));
+      out.flops += flops_per_sweep;  // the residual costs one extra sweep
+      if (opt.on_residual) opt.on_residual(it, out.residual);
+
+      if (out.residual <= opt.eps) {
+        out.reason = StopReason::kConverged;
+        break;
+      }
+      if (prev_residual >= 0.0 &&
+          std::abs(out.residual - prev_residual) / prev_residual <=
+              opt.stagnation_eps) {
+        if (++flat_checks >= opt.stagnation_patience) {
+          out.reason = StopReason::kStagnated;
+          break;
+        }
+      } else {
+        flat_checks = 0;
+      }
+      prev_residual = out.residual;
+    }
+  }
+
+  normalize_l1(x);
+  out.seconds = timer.seconds();
+  out.gflops = out.seconds > 0
+                   ? static_cast<real_t>(out.flops) / out.seconds / 1.0e9
+                   : 0.0;
+  return out;
+}
+
+}  // namespace cmesolve::solver

@@ -1,0 +1,41 @@
+#include "solver/operators.hpp"
+
+namespace cmesolve::solver {
+
+CsrOperator::CsrOperator(const sparse::Csr& a) {
+  auto split = sparse::split_diagonal(a);
+  diag_ = std::move(split.diag);
+  offdiag_ = std::move(split.offdiag);
+}
+
+CsrDiaOperator::CsrDiaOperator(const sparse::Csr& a) {
+  auto split = sparse::split_diagonal(a);
+  diag_ = std::move(split.diag);
+  band_ = sparse::dia_from_csr(split.offdiag, {-1, 1});
+  rest_ = sparse::strip_diagonals(split.offdiag, band_.offsets);
+}
+
+EllDiaOperator::EllDiaOperator(const sparse::Csr& a) {
+  auto split = sparse::split_diagonal(a);
+  diag_ = std::move(split.diag);
+  band_ = sparse::dia_from_csr(split.offdiag, {-1, 1});
+  rest_ = sparse::ell_from_csr(
+      sparse::strip_diagonals(split.offdiag, band_.offsets));
+}
+
+sparse::EllDia EllDiaOperator::gpu_hybrid(const sparse::Csr& a) const {
+  return sparse::ell_dia_from_csr(a, {-1, 0, 1});
+}
+
+WarpedEllDiaOperator::WarpedEllDiaOperator(const sparse::Csr& a,
+                                           index_t window) {
+  auto split = sparse::split_diagonal(a);
+  diag_ = std::move(split.diag);
+  band_offdiag_ = sparse::dia_from_csr(split.offdiag, {-1, 1});
+  // GPU storage keeps the diagonal inside the band so the kernel can divide
+  // by a_ii without an extra array (Sec. V last paragraph).
+  gpu_hybrid_ = sparse::sliced_ell_dia_from_csr(
+      a, {-1, 0, 1}, /*slice_size=*/32, sparse::Reordering::kLocal, window);
+}
+
+}  // namespace cmesolve::solver

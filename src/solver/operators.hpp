@@ -1,0 +1,116 @@
+#pragma once
+//
+// Off-diagonal operators for the Jacobi iteration.
+//
+// Jacobi needs two views of the rate matrix A: the dense diagonal D and an
+// operator computing y = (L + U) x. Each operator wraps one of the storage
+// formats compared in Table IV; the numerics are identical, only the layout
+// (and therefore the simulated GPU cost) differs.
+//
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/dia.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/hybrid.hpp"
+#include "sparse/sliced_ell.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::solver {
+
+/// Plain CSR off-diagonal operator.
+class CsrOperator {
+ public:
+  explicit CsrOperator(const sparse::Csr& a);
+
+  [[nodiscard]] index_t nrows() const noexcept { return offdiag_.nrows; }
+  [[nodiscard]] std::span<const real_t> diag() const noexcept { return diag_; }
+  [[nodiscard]] std::size_t offdiag_nnz() const noexcept {
+    return offdiag_.nnz();
+  }
+  void multiply(std::span<const real_t> x, std::span<real_t> y) const {
+    sparse::spmv(offdiag_, x, y);
+  }
+
+ private:
+  std::vector<real_t> diag_;
+  sparse::Csr offdiag_;
+};
+
+/// CSR + DIA: the paper's multicore baseline layout ("in practice CSR+DIA").
+class CsrDiaOperator {
+ public:
+  explicit CsrDiaOperator(const sparse::Csr& a);
+
+  [[nodiscard]] index_t nrows() const noexcept { return rest_.nrows; }
+  [[nodiscard]] std::span<const real_t> diag() const noexcept { return diag_; }
+  [[nodiscard]] std::size_t offdiag_nnz() const noexcept {
+    return rest_.nnz() + band_.nnz;
+  }
+  void multiply(std::span<const real_t> x, std::span<real_t> y) const {
+    sparse::spmv(rest_, x, y);
+    sparse::spmv_add(band_, x, y);
+  }
+
+ private:
+  std::vector<real_t> diag_;
+  sparse::Dia band_;  ///< {-1, +1} neighbours of the (removed) diagonal
+  sparse::Csr rest_;
+};
+
+/// ELL + DIA (Fig. 3(c)): band in DIA, remainder in plain ELL.
+class EllDiaOperator {
+ public:
+  explicit EllDiaOperator(const sparse::Csr& a);
+
+  [[nodiscard]] index_t nrows() const noexcept { return rest_.nrows; }
+  [[nodiscard]] std::span<const real_t> diag() const noexcept { return diag_; }
+  [[nodiscard]] std::size_t offdiag_nnz() const noexcept {
+    return rest_.nnz + band_.nnz;
+  }
+  void multiply(std::span<const real_t> x, std::span<real_t> y) const {
+    sparse::spmv(rest_, x, y);
+    sparse::spmv_add(band_, x, y);
+  }
+
+  /// Full hybrid (band INCLUDING the dense diagonal) for the GPU simulator.
+  [[nodiscard]] sparse::EllDia gpu_hybrid(const sparse::Csr& a) const;
+
+ private:
+  std::vector<real_t> diag_;
+  sparse::Dia band_;
+  sparse::Ell rest_;
+};
+
+/// Warp-grained sliced ELL + DIA: the Table IV GPU format ("Warp ELL+DIA").
+class WarpedEllDiaOperator {
+ public:
+  explicit WarpedEllDiaOperator(const sparse::Csr& a, index_t window = 256);
+
+  [[nodiscard]] index_t nrows() const noexcept {
+    return gpu_hybrid_.rest.nrows;
+  }
+  [[nodiscard]] std::span<const real_t> diag() const noexcept { return diag_; }
+  [[nodiscard]] std::size_t offdiag_nnz() const noexcept {
+    return gpu_hybrid_.rest.nnz +
+           (band_offdiag_.nnz);
+  }
+  void multiply(std::span<const real_t> x, std::span<real_t> y) const {
+    sparse::spmv(gpu_hybrid_.rest, x, y);
+    sparse::spmv_add(band_offdiag_, x, y);
+  }
+
+  /// The storage the simulated GPU kernel runs on: {-1, 0, +1} DIA band
+  /// (diagonal included — Jacobi divides by it in-kernel) + warped-ELL rest.
+  [[nodiscard]] const sparse::SlicedEllDia& gpu_hybrid() const noexcept {
+    return gpu_hybrid_;
+  }
+
+ private:
+  std::vector<real_t> diag_;
+  sparse::Dia band_offdiag_;       ///< {-1, +1} only, for CPU numerics
+  sparse::SlicedEllDia gpu_hybrid_;  ///< {-1, 0, +1} band + warped rest
+};
+
+}  // namespace cmesolve::solver

@@ -1,0 +1,107 @@
+#pragma once
+//
+// Transient probability landscape P(t) = exp(A t) P(0) by uniformization —
+// the extension the paper lists as future work (Sec. VIII: "we plan to
+// further develop our GPU-based CME stochastic framework by including
+// transient dynamic calculation").
+//
+// With lambda >= max_i |a_ii|, the uniformized matrix B = I + A / lambda is
+// column-stochastic and
+//
+//   P(t) = sum_{k>=0} PoissonPmf(k; lambda t) * B^k P(0).
+//
+// The series is truncated once the accumulated Poisson mass reaches
+// 1 - eps; each term costs one SpMV, so the kernel profile is identical to
+// a Jacobi sweep and runs on the same operators.
+//
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "solver/jacobi.hpp"
+#include "solver/vector_ops.hpp"
+
+namespace cmesolve::solver {
+
+struct TransientOptions {
+  real_t eps = 1e-12;          ///< allowed truncated Poisson tail mass
+  real_t lambda_margin = 1.01; ///< lambda = margin * max |a_ii|
+  std::uint64_t max_terms = 1'000'000;  ///< series-length safety cap
+};
+
+struct TransientResult {
+  std::uint64_t matvecs = 0;       ///< SpMV count (series length)
+  real_t covered_mass = 0.0;       ///< accumulated Poisson weight
+  real_t lambda = 0.0;
+  bool truncated_early = false;    ///< hit max_terms before 1 - eps
+};
+
+/// Advance `p` from P(0) to P(t). `op`/`diag` follow the Jacobi operator
+/// convention (off-diagonal multiply + dense diagonal).
+template <JacobiOperator Op>
+TransientResult transient_solve(const Op& op, real_t t, std::span<real_t> p,
+                                const TransientOptions& opt = {}) {
+  const index_t n = op.nrows();
+  if (p.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("transient_solve: p size mismatch");
+  }
+  if (t < 0.0) {
+    throw std::invalid_argument("transient_solve: negative time");
+  }
+
+  const std::span<const real_t> d = op.diag();
+  real_t max_diag = 0.0;
+  for (index_t i = 0; i < n; ++i) max_diag = std::max(max_diag, std::abs(d[i]));
+
+  TransientResult out;
+  out.lambda = opt.lambda_margin * max_diag;
+  const real_t m = out.lambda * t;  // Poisson mean
+  if (m == 0.0) {
+    out.covered_mass = 1.0;
+    return out;
+  }
+
+  // Poisson weights by stable log-space recursion:
+  // log w_0 = -m; log w_{k} = log w_{k-1} + log(m / k).
+  real_t log_w = -m;
+
+  std::vector<real_t> v(p.begin(), p.end());  // v_k = B^k P(0)
+  std::vector<real_t> bv(static_cast<std::size_t>(n));
+  std::vector<real_t> acc(static_cast<std::size_t>(n), 0.0);
+
+  real_t mass = 0.0;
+  for (std::uint64_t k = 0;; ++k) {
+    const real_t w = std::exp(log_w);
+    if (w > 0.0) {
+      mass += w;
+      axpy(w, v, std::span<real_t>(acc));
+    }
+    if (mass >= 1.0 - opt.eps) break;
+    if (k >= opt.max_terms) {
+      out.truncated_early = true;
+      break;
+    }
+    // v <- B v = v + (offdiag*v + diag.*v) / lambda
+    op.multiply(v, bv);
+    for (index_t i = 0; i < n; ++i) {
+      v[i] += (bv[i] + d[i] * v[i]) / out.lambda;
+    }
+    ++out.matvecs;
+    log_w += std::log(m / static_cast<real_t>(k + 1));
+  }
+
+  out.covered_mass = mass;
+  if (mass > 0.0) {
+    // Compensate the truncated tail so P(t) stays a probability vector.
+    std::copy(acc.begin(), acc.end(), p.begin());
+    normalize_l1(p);
+  }
+  // mass == 0 can only happen when max_terms cut the series before the
+  // Poisson bulk (every computed weight underflowed); p is left unchanged —
+  // there is no usable information in the truncated prefix.
+  return out;
+}
+
+}  // namespace cmesolve::solver

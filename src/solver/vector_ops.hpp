@@ -1,0 +1,63 @@
+#pragma once
+//
+// Dense-vector helpers for the iterative solvers.
+//
+#include <cassert>
+#include <cmath>
+#include <span>
+
+#include "util/types.hpp"
+
+namespace cmesolve::solver {
+
+[[nodiscard]] inline real_t norm_inf(std::span<const real_t> v) noexcept {
+  real_t best = 0.0;
+  for (real_t x : v) best = std::max(best, std::abs(x));
+  return best;
+}
+
+[[nodiscard]] inline real_t norm_l1(std::span<const real_t> v) noexcept {
+  real_t sum = 0.0;
+  for (real_t x : v) sum += std::abs(x);
+  return sum;
+}
+
+[[nodiscard]] inline real_t norm_l2(std::span<const real_t> v) noexcept {
+  real_t sum = 0.0;
+  for (real_t x : v) sum += x * x;
+  return std::sqrt(sum);
+}
+
+[[nodiscard]] inline real_t dot(std::span<const real_t> a,
+                                std::span<const real_t> b) noexcept {
+  assert(a.size() == b.size());
+  real_t sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+/// y += alpha * x
+inline void axpy(real_t alpha, std::span<const real_t> x,
+                 std::span<real_t> y) noexcept {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+inline void scale(std::span<real_t> v, real_t alpha) noexcept {
+  for (real_t& x : v) x *= alpha;
+}
+
+/// Rescale so that sum |v_i| = 1 (probability-vector invariant, Sec. IV).
+/// No-op on the zero vector.
+inline void normalize_l1(std::span<real_t> v) noexcept {
+  const real_t s = norm_l1(v);
+  if (s > 0.0) scale(v, 1.0 / s);
+}
+
+/// Uniform probability vector.
+inline void fill_uniform(std::span<real_t> v) noexcept {
+  const real_t p = 1.0 / static_cast<real_t>(v.size());
+  for (real_t& x : v) x = p;
+}
+
+}  // namespace cmesolve::solver

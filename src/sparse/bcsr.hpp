@@ -1,0 +1,64 @@
+#pragma once
+//
+// BCSR — block compressed sparse row with small dense r x c blocks.
+//
+// One of the formats in the clSpMV cocktail the paper benchmarks against
+// (Sec. VII-C lists BCSR/BELL/SBELL among its candidates). Register
+// blocking amortizes the 4-byte column index over r*c values and turns the
+// x access into short contiguous runs, at the price of explicit zero fill
+// wherever the blocks are not dense. CME matrices have scattered singleton
+// off-band entries, so their fill factor is poor — which is exactly why
+// the autotuner rarely picks it for this domain.
+//
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::sparse {
+
+struct Bcsr {
+  index_t nrows = 0;  ///< logical (unblocked) dimensions
+  index_t ncols = 0;
+  int block_rows = 2;  ///< r
+  int block_cols = 2;  ///< c
+  index_t nblock_rows = 0;
+  /// Block row b spans [block_row_ptr[b], block_row_ptr[b+1]) blocks.
+  std::vector<index_t> block_row_ptr;
+  /// Block column indices, in block units.
+  std::vector<index_t> block_col;
+  /// Dense r*c storage per block, row-major within the block.
+  std::vector<real_t> val;
+  /// Nonzeros of the source matrix (excludes the explicit zero fill).
+  std::size_t nnz = 0;
+
+  [[nodiscard]] std::size_t num_blocks() const noexcept {
+    return block_col.size();
+  }
+
+  /// Fill efficiency: source nonzeros / stored slots (1 = perfectly dense
+  /// blocks; CME matrices typically land well below 0.5).
+  [[nodiscard]] real_t efficiency() const noexcept {
+    const std::size_t slots = val.size();
+    return slots ? static_cast<real_t>(nnz) / static_cast<real_t>(slots) : 1.0;
+  }
+
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return val.size() * sizeof(real_t) +
+           (block_col.size() + block_row_ptr.size()) * sizeof(index_t);
+  }
+};
+
+/// Build BCSR with r x c blocks aligned to the block grid.
+[[nodiscard]] Bcsr bcsr_from_csr(const Csr& m, int block_rows = 2,
+                                 int block_cols = 2);
+
+/// Recover plain CSR (drops the explicit fill zeros).
+[[nodiscard]] Csr csr_from_bcsr(const Bcsr& m);
+
+/// y = m * x.
+void spmv(const Bcsr& m, std::span<const real_t> x, std::span<real_t> y);
+
+}  // namespace cmesolve::sparse

@@ -1,0 +1,48 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cmesolve::sparse {
+
+void Coo::sort_and_combine() {
+  const std::size_t n = nnz();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (row[a] != row[b]) return row[a] < row[b];
+    return col[a] < col[b];
+  });
+
+  std::vector<index_t> new_row;
+  std::vector<index_t> new_col;
+  std::vector<real_t> new_val;
+  new_row.reserve(n);
+  new_col.reserve(n);
+  new_val.reserve(n);
+
+  for (std::size_t idx : order) {
+    if (!new_row.empty() && new_row.back() == row[idx] &&
+        new_col.back() == col[idx]) {
+      new_val.back() += val[idx];
+    } else {
+      new_row.push_back(row[idx]);
+      new_col.push_back(col[idx]);
+      new_val.push_back(val[idx]);
+    }
+  }
+
+  row = std::move(new_row);
+  col = std::move(new_col);
+  val = std::move(new_val);
+}
+
+bool Coo::is_canonical() const noexcept {
+  for (std::size_t i = 1; i < nnz(); ++i) {
+    if (row[i - 1] > row[i]) return false;
+    if (row[i - 1] == row[i] && col[i - 1] >= col[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace cmesolve::sparse

@@ -1,0 +1,47 @@
+#pragma once
+//
+// Coordinate (COO) sparse format: the assembly format.
+//
+// The state-space enumerator emits (row, col, value) triplets in DFS order;
+// COO collects them and is then converted to CSR (the canonical interchange
+// format of this library) or written to Matrix Market files.
+//
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace cmesolve::sparse {
+
+struct Coo {
+  index_t nrows = 0;
+  index_t ncols = 0;
+  std::vector<index_t> row;
+  std::vector<index_t> col;
+  std::vector<real_t> val;
+
+  [[nodiscard]] std::size_t nnz() const noexcept { return val.size(); }
+
+  /// Append one entry. Duplicates are allowed and are summed by
+  /// `sort_and_combine` (assembly semantics: two reactions connecting the
+  /// same pair of microstates add their rates, Sec. II-A).
+  void add(index_t r, index_t c, real_t v) {
+    row.push_back(r);
+    col.push_back(c);
+    val.push_back(v);
+  }
+
+  void reserve(std::size_t n) {
+    row.reserve(n);
+    col.reserve(n);
+    val.reserve(n);
+  }
+
+  /// Sort entries row-major (row, then col) and sum duplicates in place.
+  void sort_and_combine();
+
+  /// True when entries are sorted row-major with no duplicates.
+  [[nodiscard]] bool is_canonical() const noexcept;
+};
+
+}  // namespace cmesolve::sparse

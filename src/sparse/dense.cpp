@@ -1,0 +1,41 @@
+#include "sparse/dense.hpp"
+
+#include <cmath>
+
+namespace cmesolve::sparse {
+
+Dense dense_from_csr(const Csr& m) {
+  Dense d(m.nrows, m.ncols);
+  for (index_t r = 0; r < m.nrows; ++r) {
+    for (index_t p = m.row_ptr[r]; p < m.row_ptr[r + 1]; ++p) {
+      d(r, m.col_idx[p]) += m.val[p];
+    }
+  }
+  return d;
+}
+
+Csr csr_from_dense(const Dense& m, real_t drop_tol) {
+  Coo coo;
+  coo.nrows = m.nrows();
+  coo.ncols = m.ncols();
+  for (index_t r = 0; r < m.nrows(); ++r) {
+    for (index_t c = 0; c < m.ncols(); ++c) {
+      if (std::abs(m(r, c)) > drop_tol) coo.add(r, c, m(r, c));
+    }
+  }
+  return csr_from_coo(std::move(coo));
+}
+
+void spmv(const Dense& m, std::span<const real_t> x, std::span<real_t> y) {
+  assert(x.size() == static_cast<std::size_t>(m.ncols()));
+  assert(y.size() == static_cast<std::size_t>(m.nrows()));
+  for (index_t r = 0; r < m.nrows(); ++r) {
+    real_t sum = 0.0;
+    for (index_t c = 0; c < m.ncols(); ++c) {
+      sum += m(r, c) * x[c];
+    }
+    y[r] = sum;
+  }
+}
+
+}  // namespace cmesolve::sparse

@@ -1,0 +1,47 @@
+#pragma once
+//
+// Small dense matrix. Test oracle and construction aid only — never used in
+// performance paths.
+//
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::sparse {
+
+class Dense {
+ public:
+  Dense() = default;
+  Dense(index_t rows, index_t cols)
+      : nrows_(rows), ncols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              0.0) {}
+
+  [[nodiscard]] index_t nrows() const noexcept { return nrows_; }
+  [[nodiscard]] index_t ncols() const noexcept { return ncols_; }
+
+  [[nodiscard]] real_t& operator()(index_t r, index_t c) noexcept {
+    assert(r >= 0 && r < nrows_ && c >= 0 && c < ncols_);
+    return data_[static_cast<std::size_t>(r) * ncols_ + c];
+  }
+  [[nodiscard]] real_t operator()(index_t r, index_t c) const noexcept {
+    assert(r >= 0 && r < nrows_ && c >= 0 && c < ncols_);
+    return data_[static_cast<std::size_t>(r) * ncols_ + c];
+  }
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  std::vector<real_t> data_;
+};
+
+[[nodiscard]] Dense dense_from_csr(const Csr& m);
+[[nodiscard]] Csr csr_from_dense(const Dense& m, real_t drop_tol = 0.0);
+
+/// Oracle SpMV.
+void spmv(const Dense& m, std::span<const real_t> x, std::span<real_t> y);
+
+}  // namespace cmesolve::sparse

@@ -1,0 +1,56 @@
+#pragma once
+//
+// DIA (diagonal) format for the dense band exposed by DFS state ordering.
+//
+// Reversible reactions between adjacently-enumerated microstates populate
+// the {-1, 0, +1} band of the reaction-rate matrix (Sec. V, Fig. 3). DIA
+// stores each selected diagonal as a dense length-n vector: no column
+// indices at all, saving 4 bytes per nonzero, and x accesses become
+// contiguous.
+//
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::sparse {
+
+struct Dia {
+  index_t nrows = 0;
+  index_t ncols = 0;
+  /// Offsets from the main diagonal, sorted ascending (e.g. {-1, 0, +1}).
+  std::vector<index_t> offsets;
+  /// data[d * nrows + r] = A(r, r + offsets[d]); 0 where out of range or
+  /// structurally zero.
+  std::vector<real_t> data;
+  /// Count of genuine nonzeros captured into the band.
+  std::size_t nnz = 0;
+
+  /// Band storage density: nnz / in-range slots. The ELL+DIA split pays off
+  /// above ~0.66 (8-byte DIA slot vs 12-byte ELL slot, Sec. V).
+  [[nodiscard]] real_t density() const noexcept;
+
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return data.size() * sizeof(real_t) + offsets.size() * sizeof(index_t);
+  }
+};
+
+/// Extract exactly the given diagonals of `m` (other entries are ignored —
+/// pair with `strip_diagonals` to build hybrid formats).
+[[nodiscard]] Dia dia_from_csr(const Csr& m, std::vector<index_t> offsets);
+
+/// The remainder of `m` after removing entries on the given diagonals.
+[[nodiscard]] Csr strip_diagonals(const Csr& m, std::span<const index_t> offsets);
+
+/// Per-diagonal nonzero density of `m` for each requested offset.
+[[nodiscard]] std::vector<real_t> diagonal_density(const Csr& m,
+                                                   std::span<const index_t> offsets);
+
+/// y = m * x (overwrite).
+void spmv(const Dia& m, std::span<const real_t> x, std::span<real_t> y);
+/// y += m * x (accumulate; used by the ELL+DIA hybrid kernels).
+void spmv_add(const Dia& m, std::span<const real_t> x, std::span<real_t> y);
+
+}  // namespace cmesolve::sparse

@@ -1,0 +1,89 @@
+#include "sparse/format_stats.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "sparse/dia.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/sliced_ell.hpp"
+#include "util/stats.hpp"
+
+namespace cmesolve::sparse {
+
+namespace {
+
+std::size_t digits(index_t v) {
+  std::size_t d = 1;
+  while (v >= 10) {
+    v /= 10;
+    ++d;
+  }
+  return d;
+}
+
+}  // namespace
+
+MatrixFingerprint fingerprint(const Csr& m) {
+  MatrixFingerprint f;
+  f.n = m.nrows;
+  f.nnz = m.nnz();
+  f.disk_mb = static_cast<real_t>(matrix_market_size_bytes(m)) / (1024.0 * 1024.0);
+
+  RunningStats rows;
+  for (index_t r = 0; r < m.nrows; ++r) {
+    rows.add(static_cast<real_t>(m.row_length(r)));
+  }
+  f.row_min = static_cast<index_t>(rows.min());
+  f.row_mean = rows.mean();
+  f.row_max = static_cast<index_t>(rows.max());
+  f.row_sigma = rows.stddev();
+  f.variability = rows.variability();
+  f.skew = rows.skew();
+
+  const std::array<index_t, 3> band{-1, 0, 1};
+  const auto density = diagonal_density(m, band);
+  f.d0 = density[1];
+  // Combined band density, weighted by in-range slots per offset.
+  real_t nz = 0.0;
+  real_t slots = 0.0;
+  for (std::size_t i = 0; i < band.size(); ++i) {
+    const index_t off = band[i];
+    const index_t lo = std::max<index_t>(0, -off);
+    const index_t hi = std::min<index_t>(m.nrows, m.ncols - off);
+    const real_t s = hi > lo ? static_cast<real_t>(hi - lo) : 0.0;
+    nz += density[i] * s;
+    slots += s;
+  }
+  f.dband = slots > 0 ? nz / slots : 0.0;
+  return f;
+}
+
+FormatFootprint footprints(const Csr& m) {
+  FormatFootprint fp;
+  fp.csr = (m.row_ptr.size() + m.col_idx.size()) * sizeof(index_t) +
+           m.val.size() * sizeof(real_t);
+  fp.coo = m.nnz() * (2 * sizeof(index_t) + sizeof(real_t));
+  fp.ell = ell_from_csr(m).bytes();
+  fp.sliced_ell = sliced_ell_from_csr(m, /*slice_size=*/256).bytes();
+  fp.warped_ell = warped_ell_from_csr(m).bytes();
+  return fp;
+}
+
+std::size_t matrix_market_size_bytes(const Csr& m) {
+  // Header: banner + dimension line.
+  std::size_t bytes = std::string("%%MatrixMarket matrix coordinate real general\n").size();
+  bytes += digits(m.nrows) + 1 + digits(m.ncols) + 1 +
+           std::to_string(m.nnz()).size() + 1;
+  // One "row col %.6e\n" line per entry: %.6e prints 12 characters plus a
+  // leading minus for negative values; indices are 1-based.
+  for (index_t r = 0; r < m.nrows; ++r) {
+    const std::size_t row_digits = digits(r + 1);
+    for (index_t p = m.row_ptr[r]; p < m.row_ptr[r + 1]; ++p) {
+      bytes += row_digits + 1 + digits(m.col_idx[p] + 1) + 1 + 12 +
+               (m.val[p] < 0 ? 1 : 0) + 1;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace cmesolve::sparse

@@ -1,0 +1,46 @@
+#pragma once
+//
+// Structural fingerprints (Table I) and memory footprints (Sec. VII-C) of a
+// sparse matrix under every implemented format.
+//
+#include <cstddef>
+#include <string>
+
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::sparse {
+
+/// The per-matrix columns of Table I.
+struct MatrixFingerprint {
+  index_t n = 0;            ///< microstates / rows
+  std::size_t nnz = 0;
+  real_t disk_mb = 0.0;     ///< Matrix Market coordinate file size estimate
+  index_t row_min = 0;      ///< min nonzeros per row
+  real_t row_mean = 0.0;    ///< mu
+  index_t row_max = 0;      ///< max
+  real_t row_sigma = 0.0;   ///< population stddev
+  real_t variability = 0.0; ///< sigma / mu
+  real_t skew = 0.0;        ///< (max - mu) / mu
+  real_t d0 = 0.0;          ///< main-diagonal density
+  real_t dband = 0.0;       ///< {-1, 0, +1} band density
+};
+
+[[nodiscard]] MatrixFingerprint fingerprint(const Csr& m);
+
+/// Device-memory footprints in bytes for the formats compared in Sec. VII-C.
+struct FormatFootprint {
+  std::size_t csr = 0;
+  std::size_t ell = 0;
+  std::size_t sliced_ell = 0;  ///< original formulation, slice = block = 256
+  std::size_t warped_ell = 0;  ///< warp-grained + local rearrangement
+  std::size_t coo = 0;
+};
+
+[[nodiscard]] FormatFootprint footprints(const Csr& m);
+
+/// Bytes of the Matrix Market coordinate text file without materializing it
+/// (row col %.6e per line).
+[[nodiscard]] std::size_t matrix_market_size_bytes(const Csr& m);
+
+}  // namespace cmesolve::sparse

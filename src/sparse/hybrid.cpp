@@ -1,0 +1,109 @@
+#include "sparse/hybrid.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cmesolve::sparse {
+
+std::vector<index_t> select_band_offsets(const Csr& m, real_t threshold) {
+  const std::vector<index_t> band{-1, 0, 1};
+  const std::vector<real_t> density = diagonal_density(m, band);
+
+  // Count nonzeros and slots of the full band vs the main diagonal alone.
+  // (diagonal_density returns per-offset densities; combine them weighted by
+  // slot counts.)
+  const auto slots = [&](index_t off) -> real_t {
+    const index_t lo = std::max<index_t>(0, -off);
+    const index_t hi = std::min<index_t>(m.nrows, m.ncols - off);
+    return hi > lo ? static_cast<real_t>(hi - lo) : 0.0;
+  };
+  real_t band_nnz = 0.0;
+  real_t band_slots = 0.0;
+  for (std::size_t i = 0; i < band.size(); ++i) {
+    band_nnz += density[i] * slots(band[i]);
+    band_slots += slots(band[i]);
+  }
+  const real_t band_density = band_slots > 0 ? band_nnz / band_slots : 0.0;
+
+  if (band_density >= threshold) return {-1, 0, 1};
+  return {0};
+}
+
+EllDia ell_dia_from_csr(const Csr& m, std::vector<index_t> band_offsets,
+                        real_t spill_quantile) {
+  EllDia h;
+  h.band = dia_from_csr(m, band_offsets);
+  const Csr off_band = strip_diagonals(m, h.band.offsets);
+
+  // Cap the ELL k at the requested row-length quantile.
+  std::vector<index_t> lengths(static_cast<std::size_t>(off_band.nrows));
+  for (index_t r = 0; r < off_band.nrows; ++r) {
+    lengths[r] = off_band.row_length(r);
+  }
+  std::vector<index_t> sorted = lengths;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t q_idx = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(spill_quantile *
+                               static_cast<real_t>(sorted.size() - 1)));
+  const index_t k_cap = sorted.empty() ? 0 : sorted[q_idx];
+
+  // Split each row at k_cap: head stays in ELL, tail spills to COO.
+  Coo head;
+  head.nrows = off_band.nrows;
+  head.ncols = off_band.ncols;
+  h.spill.nrows = off_band.nrows;
+  h.spill.ncols = off_band.ncols;
+  for (index_t r = 0; r < off_band.nrows; ++r) {
+    index_t j = 0;
+    for (index_t p = off_band.row_ptr[r]; p < off_band.row_ptr[r + 1];
+         ++p, ++j) {
+      if (j < k_cap) {
+        head.add(r, off_band.col_idx[p], off_band.val[p]);
+      } else {
+        h.spill.add(r, off_band.col_idx[p], off_band.val[p]);
+      }
+    }
+  }
+  h.rest = ell_from_csr(csr_from_coo(std::move(head)));
+  return h;
+}
+
+SlicedEllDia sliced_ell_dia_from_csr(const Csr& m,
+                                     std::vector<index_t> band_offsets,
+                                     index_t slice_size, Reordering reorder,
+                                     index_t window) {
+  SlicedEllDia h;
+  h.band = dia_from_csr(m, band_offsets);
+  h.rest = sliced_ell_from_csr(strip_diagonals(m, h.band.offsets), slice_size,
+                               reorder, window);
+  return h;
+}
+
+CsrDia csr_dia_from_csr(const Csr& m, std::vector<index_t> band_offsets) {
+  CsrDia h;
+  h.band = dia_from_csr(m, band_offsets);
+  h.rest = strip_diagonals(m, h.band.offsets);
+  return h;
+}
+
+void spmv(const EllDia& m, std::span<const real_t> x, std::span<real_t> y) {
+  spmv(m.rest, x, y);
+  spmv_add(m.band, x, y);
+  for (std::size_t i = 0; i < m.spill.nnz(); ++i) {
+    y[m.spill.row[i]] += m.spill.val[i] * x[m.spill.col[i]];
+  }
+}
+
+void spmv(const SlicedEllDia& m, std::span<const real_t> x,
+          std::span<real_t> y) {
+  spmv(m.rest, x, y);
+  spmv_add(m.band, x, y);
+}
+
+void spmv(const CsrDia& m, std::span<const real_t> x, std::span<real_t> y) {
+  spmv(m.rest, x, y);
+  spmv_add(m.band, x, y);
+}
+
+}  // namespace cmesolve::sparse

@@ -1,0 +1,87 @@
+#pragma once
+//
+// Hybrid band + remainder formats (Sec. V, Fig. 3 and Sec. VI last
+// paragraph).
+//
+// The dense {-1, 0, +1} band that DFS ordering exposes is stored in DIA
+// (8 bytes/nonzero, contiguous x access); whatever falls outside the band
+// goes to an ELL-family remainder. The main diagonal always rides in the
+// DIA part, which is exactly what the Jacobi iteration wants: a_ii is a
+// dense vector instead of an arbitrary ELL slot.
+//
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/dia.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/sliced_ell.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::sparse {
+
+/// ELL + DIA hybrid (Fig. 3(b)/(c)).
+///
+/// A handful of rows at DFS chain boundaries carry one more off-band entry
+/// than the rest; storing them in the ELL part would inflate its k (and the
+/// value stream) for every row. Following the standard HYB construction
+/// (Bell & Garland), the ELL k is capped at a row-length quantile and the
+/// outlier entries spill into a small row-sorted COO tail.
+struct EllDia {
+  Dia band;   ///< selected dense diagonals, always including offset 0
+  Ell rest;   ///< everything else up to the quantile-capped k
+  Coo spill;  ///< outlier entries beyond rest.k (row-major sorted)
+
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return band.bytes() + rest.bytes() +
+           spill.nnz() * (2 * sizeof(index_t) + sizeof(real_t));
+  }
+};
+
+/// Warp-grained sliced ELL + DIA hybrid — the Jacobi format of Table IV
+/// ("Warp ELL+DIA").
+struct SlicedEllDia {
+  Dia band;
+  SlicedEll rest;
+
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return band.bytes() + rest.bytes();
+  }
+};
+
+/// CSR + DIA hybrid: the multicore baseline of Table IV ("in practice
+/// CSR+DIA" derived from Intel MKL).
+struct CsrDia {
+  Dia band;
+  Csr rest;
+
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return band.bytes() + rest.row_ptr.size() * sizeof(index_t) +
+           rest.col_idx.size() * sizeof(index_t) +
+           rest.val.size() * sizeof(real_t);
+  }
+};
+
+/// Decide which of {-1, 0, +1} are dense enough to store in DIA. Offset 0 is
+/// always included (the CME diagonal is fully dense by construction); the
+/// neighbours join if the band density including them clears `threshold`
+/// (0.66 per Sec. V).
+[[nodiscard]] std::vector<index_t> select_band_offsets(const Csr& m,
+                                                       real_t threshold = 0.66);
+
+/// @param spill_quantile  fraction of rows whose off-band length the ELL
+///        part must cover exactly; entries of longer rows spill to COO.
+[[nodiscard]] EllDia ell_dia_from_csr(const Csr& m,
+                                      std::vector<index_t> band_offsets,
+                                      real_t spill_quantile = 0.99);
+[[nodiscard]] SlicedEllDia sliced_ell_dia_from_csr(
+    const Csr& m, std::vector<index_t> band_offsets, index_t slice_size = 32,
+    Reordering reorder = Reordering::kLocal, index_t window = 256);
+[[nodiscard]] CsrDia csr_dia_from_csr(const Csr& m,
+                                      std::vector<index_t> band_offsets);
+
+void spmv(const EllDia& m, std::span<const real_t> x, std::span<real_t> y);
+void spmv(const SlicedEllDia& m, std::span<const real_t> x, std::span<real_t> y);
+void spmv(const CsrDia& m, std::span<const real_t> x, std::span<real_t> y);
+
+}  // namespace cmesolve::sparse

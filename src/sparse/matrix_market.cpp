@@ -1,0 +1,114 @@
+#include "sparse/matrix_market.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cmesolve::sparse {
+
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+Csr read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("matrix market: empty stream");
+  }
+
+  std::istringstream banner(line);
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  if (tag != "%%MatrixMarket" || lower(object) != "matrix") {
+    throw std::runtime_error("matrix market: bad banner: " + line);
+  }
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  if (format != "coordinate") {
+    throw std::runtime_error("matrix market: only coordinate format supported");
+  }
+  if (field != "real" && field != "integer" && field != "pattern") {
+    throw std::runtime_error("matrix market: unsupported field: " + field);
+  }
+  if (symmetry != "general" && symmetry != "symmetric") {
+    throw std::runtime_error("matrix market: unsupported symmetry: " + symmetry);
+  }
+
+  // Skip comments, read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  long long rows = 0;
+  long long cols = 0;
+  long long entries = 0;
+  if (!(size_line >> rows >> cols >> entries) || rows <= 0 || cols <= 0 ||
+      entries < 0) {
+    throw std::runtime_error("matrix market: bad size line: " + line);
+  }
+
+  Coo coo;
+  coo.nrows = static_cast<index_t>(rows);
+  coo.ncols = static_cast<index_t>(cols);
+  coo.reserve(static_cast<std::size_t>(entries));
+
+  const bool pattern = field == "pattern";
+  const bool symmetric = symmetry == "symmetric";
+  for (long long i = 0; i < entries; ++i) {
+    long long r = 0;
+    long long c = 0;
+    real_t v = 1.0;
+    if (!(in >> r >> c)) {
+      throw std::runtime_error("matrix market: truncated entry list");
+    }
+    if (!pattern && !(in >> v)) {
+      throw std::runtime_error("matrix market: truncated entry list");
+    }
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      throw std::runtime_error("matrix market: entry out of bounds");
+    }
+    coo.add(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1), v);
+    if (symmetric && r != c) {
+      coo.add(static_cast<index_t>(c - 1), static_cast<index_t>(r - 1), v);
+    }
+  }
+  return csr_from_coo(std::move(coo));
+}
+
+Csr read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("matrix market: cannot open " + path);
+  }
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Csr& m) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << m.nrows << ' ' << m.ncols << ' ' << m.nnz() << '\n';
+  char buf[64];
+  for (index_t r = 0; r < m.nrows; ++r) {
+    for (index_t p = m.row_ptr[r]; p < m.row_ptr[r + 1]; ++p) {
+      std::snprintf(buf, sizeof(buf), "%d %d %.6e\n", r + 1, m.col_idx[p] + 1,
+                    m.val[p]);
+      out << buf;
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const Csr& m) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("matrix market: cannot open " + path);
+  }
+  write_matrix_market(out, m);
+}
+
+}  // namespace cmesolve::sparse

@@ -1,0 +1,24 @@
+#pragma once
+//
+// Matrix Market coordinate I/O (the disk format of Table I and the entry
+// point for running the solver on external Markov models).
+//
+// Supports `matrix coordinate real/integer/pattern general/symmetric`.
+//
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace cmesolve::sparse {
+
+/// Parse a Matrix Market stream. Throws std::runtime_error on malformed
+/// input. Symmetric matrices are expanded to general storage.
+[[nodiscard]] Csr read_matrix_market(std::istream& in);
+[[nodiscard]] Csr read_matrix_market_file(const std::string& path);
+
+/// Write `coordinate real general` with 1-based indices and %.6e values.
+void write_matrix_market(std::ostream& out, const Csr& m);
+void write_matrix_market_file(const std::string& path, const Csr& m);
+
+}  // namespace cmesolve::sparse

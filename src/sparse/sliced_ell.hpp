@@ -1,0 +1,105 @@
+#pragma once
+//
+// Sliced ELL (Monakov et al.) and the paper's warp-grained variant (Sec. VI).
+//
+// The matrix is cut into slices of `slice_size` consecutive (possibly
+// permuted) rows; each slice is a local ELL structure with its own k, so
+// zero-padding is bounded by the within-slice row-length spread instead of
+// the global maximum.
+//
+// The paper's contribution is twofold:
+//   * warp granularity — slice_size = 32 decoupled from the CUDA block size
+//     (256), so data-structure efficiency and SM occupancy are achieved
+//     simultaneously;
+//   * local rearrangement — rows are sorted by length only *within* a block
+//     window, which evens out per-warp k without destroying the x-vector
+//     locality that a global sort (pJDS) or a random shuffle would lose.
+//
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::sparse {
+
+/// Row-ordering strategy applied before slicing (Sec. VII-C comparison).
+enum class Reordering {
+  kNone,    ///< keep the DFS order of the state-space enumeration
+  kLocal,   ///< sort by row length within each block window (the paper's)
+  kGlobal,  ///< sort by row length over the whole matrix (pJDS-like)
+  kRandom,  ///< random shuffle (locality-destruction strawman)
+};
+
+struct SlicedEll {
+  index_t nrows = 0;  ///< logical rows
+  index_t ncols = 0;
+  index_t slice_size = 0;
+  /// Per-slice local k (max row length inside the slice).
+  std::vector<index_t> slice_k;
+  /// Element offset of each slice's storage; size num_slices()+1.
+  std::vector<std::size_t> slice_ptr;
+  /// Per-slice column-major storage: element (lane, j) of slice s lives at
+  /// slice_ptr[s] + j * slice_size + lane.
+  std::vector<real_t> val;
+  std::vector<index_t> col;
+  /// stored row -> original row. perm[lane + s*slice_size] identifies which
+  /// original row a storage lane holds. Identity when Reordering::kNone.
+  std::vector<index_t> perm;
+  std::size_t nnz = 0;
+
+  [[nodiscard]] index_t num_slices() const noexcept {
+    return static_cast<index_t>(slice_k.size());
+  }
+
+  /// Data-structure efficiency: nnz / allocated slots.
+  [[nodiscard]] real_t efficiency() const noexcept {
+    return val.empty() ? 1.0
+                       : static_cast<real_t>(nnz) / static_cast<real_t>(val.size());
+  }
+
+  /// Device footprint: slot arrays + per-slice k and start offsets (4 bytes
+  /// each, matching the paper's accounting) + the row permutation when one
+  /// is carried.
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    std::size_t b = val.size() * sizeof(real_t) + col.size() * sizeof(index_t);
+    b += slice_k.size() * (sizeof(index_t) + sizeof(std::uint32_t));
+    if (!is_identity_perm()) b += perm.size() * sizeof(index_t);
+    return b;
+  }
+
+  [[nodiscard]] bool is_identity_perm() const noexcept;
+};
+
+/// Build a sliced ELL structure.
+///
+/// @param slice_size  rows per slice (32 for warp-grained, block size for
+///                    the original formulation)
+/// @param reorder     row-ordering strategy
+/// @param window      rearrangement window for Reordering::kLocal — the CUDA
+///                    block size in the paper (256)
+/// @param seed        RNG seed for Reordering::kRandom
+[[nodiscard]] SlicedEll sliced_ell_from_csr(const Csr& m, index_t slice_size,
+                                            Reordering reorder = Reordering::kNone,
+                                            index_t window = 256,
+                                            std::uint64_t seed = 42);
+
+/// The paper's warp-grained sliced ELL: slice = warp (32 rows), local
+/// rearrangement within a 256-row block window.
+[[nodiscard]] inline SlicedEll warped_ell_from_csr(const Csr& m,
+                                                   index_t window = 256) {
+  return sliced_ell_from_csr(m, /*slice_size=*/32, Reordering::kLocal, window);
+}
+
+/// pJDS-like format: global row-length sort + warp-sized slices.
+[[nodiscard]] inline SlicedEll pjds_from_csr(const Csr& m) {
+  return sliced_ell_from_csr(m, /*slice_size=*/32, Reordering::kGlobal);
+}
+
+/// y = m * x in the ORIGINAL row numbering (the kernel scatters through the
+/// permutation, exactly as the GPU kernel indexes y by the original row id).
+void spmv(const SlicedEll& m, std::span<const real_t> x, std::span<real_t> y);
+
+}  // namespace cmesolve::sparse

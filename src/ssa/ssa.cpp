@@ -1,0 +1,261 @@
+#include "ssa/ssa.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace cmesolve::ssa {
+
+namespace {
+
+constexpr real_t kInf = std::numeric_limits<real_t>::infinity();
+
+/// Exponential(rate) waiting time; rate must be positive.
+real_t exponential(Xoshiro256& rng, real_t rate) {
+  // -log(1 - u) with u in [0, 1): strictly positive argument.
+  return -std::log1p(-rng.uniform()) / rate;
+}
+
+/// Propensity of reaction k honoring the finite-buffer truncation: a
+/// reaction blocked by a full buffer cannot fire (mirrors rate_matrix()).
+real_t effective_propensity(const core::ReactionNetwork& net, int k,
+                            const core::State& x) {
+  if (!net.within_capacity(k, x)) return 0.0;
+  return net.propensity(k, x);
+}
+
+}  // namespace
+
+// --- DirectMethod -------------------------------------------------------------
+
+DirectMethod::DirectMethod(const core::ReactionNetwork& network,
+                           std::uint64_t seed)
+    : network_(&network),
+      rng_(seed),
+      propensity_(static_cast<std::size_t>(network.num_reactions())) {}
+
+Event DirectMethod::next_event(const core::State& x) {
+  const int nr = network_->num_reactions();
+  real_t total = 0.0;
+  for (int k = 0; k < nr; ++k) {
+    propensity_[static_cast<std::size_t>(k)] =
+        effective_propensity(*network_, k, x);
+    total += propensity_[static_cast<std::size_t>(k)];
+  }
+  if (total <= 0.0) {
+    return Event{kInf, -1};  // absorbing state
+  }
+
+  Event e;
+  e.dt = exponential(rng_, total);
+  // Roulette selection.
+  real_t target = rng_.uniform() * total;
+  for (int k = 0; k < nr; ++k) {
+    target -= propensity_[static_cast<std::size_t>(k)];
+    if (target <= 0.0) {
+      e.reaction = k;
+      return e;
+    }
+  }
+  e.reaction = nr - 1;  // guard against rounding at the roulette edge
+  return e;
+}
+
+std::uint64_t DirectMethod::advance(core::State& x, real_t horizon) {
+  std::uint64_t events = 0;
+  real_t t = 0.0;
+  for (;;) {
+    const Event e = next_event(x);
+    if (e.reaction < 0 || t + e.dt > horizon) break;
+    t += e.dt;
+    x = network_->apply(e.reaction, x);
+    ++events;
+  }
+  return events;
+}
+
+// --- NextReactionMethod ----------------------------------------------------------
+
+NextReactionMethod::NextReactionMethod(const core::ReactionNetwork& network,
+                                       std::uint64_t seed)
+    : network_(&network), rng_(seed) {
+  const int nr = network.num_reactions();
+
+  // Dependency graph: reaction j depends on i when i changes a species that
+  // j reads (as reactant) or writes near a capacity bound. Changes to any
+  // species in j's change list can also flip j's capacity feasibility, so
+  // those count as reads too.
+  std::vector<std::set<int>> reads(static_cast<std::size_t>(nr));
+  std::vector<std::set<int>> writes(static_cast<std::size_t>(nr));
+  for (int k = 0; k < nr; ++k) {
+    for (const auto& re : network.reaction(k).reactants) {
+      reads[static_cast<std::size_t>(k)].insert(re.species);
+    }
+    for (const auto& ch : network.reaction(k).changes) {
+      writes[static_cast<std::size_t>(k)].insert(ch.species);
+      reads[static_cast<std::size_t>(k)].insert(ch.species);  // capacity test
+    }
+  }
+  dependents_.resize(static_cast<std::size_t>(nr));
+  for (int i = 0; i < nr; ++i) {
+    for (int j = 0; j < nr; ++j) {
+      bool depends = (i == j);
+      for (int s : writes[static_cast<std::size_t>(i)]) {
+        if (reads[static_cast<std::size_t>(j)].count(s)) {
+          depends = true;
+          break;
+        }
+      }
+      if (depends) dependents_[static_cast<std::size_t>(i)].push_back(j);
+    }
+  }
+
+  propensity_.resize(static_cast<std::size_t>(nr));
+  putative_.resize(static_cast<std::size_t>(nr));
+  heap_.resize(static_cast<std::size_t>(nr));
+  heap_pos_.resize(static_cast<std::size_t>(nr));
+}
+
+void NextReactionMethod::rebuild(const core::State& x) {
+  const int nr = network_->num_reactions();
+  for (int k = 0; k < nr; ++k) {
+    propensity_[static_cast<std::size_t>(k)] =
+        effective_propensity(*network_, k, x);
+    putative_[static_cast<std::size_t>(k)] =
+        propensity_[static_cast<std::size_t>(k)] > 0.0
+            ? now_ + exponential(rng_, propensity_[static_cast<std::size_t>(k)])
+            : kInf;
+    heap_[static_cast<std::size_t>(k)] = k;
+    heap_pos_[static_cast<std::size_t>(k)] = static_cast<std::size_t>(k);
+  }
+  for (std::size_t i = heap_.size(); i-- > 0;) heap_down(i);
+}
+
+void NextReactionMethod::heap_up(std::size_t pos) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (putative_[static_cast<std::size_t>(heap_[parent])] <=
+        putative_[static_cast<std::size_t>(heap_[pos])]) {
+      break;
+    }
+    std::swap(heap_[parent], heap_[pos]);
+    heap_pos_[static_cast<std::size_t>(heap_[parent])] = parent;
+    heap_pos_[static_cast<std::size_t>(heap_[pos])] = pos;
+    pos = parent;
+  }
+}
+
+void NextReactionMethod::heap_down(std::size_t pos) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = pos;
+    for (std::size_t child = 2 * pos + 1; child <= 2 * pos + 2; ++child) {
+      if (child < n && putative_[static_cast<std::size_t>(heap_[child])] <
+                           putative_[static_cast<std::size_t>(heap_[best])]) {
+        best = child;
+      }
+    }
+    if (best == pos) return;
+    std::swap(heap_[pos], heap_[best]);
+    heap_pos_[static_cast<std::size_t>(heap_[pos])] = pos;
+    heap_pos_[static_cast<std::size_t>(heap_[best])] = best;
+    pos = best;
+  }
+}
+
+void NextReactionMethod::update_key(int reaction, real_t new_time) {
+  const real_t old_time = putative_[static_cast<std::size_t>(reaction)];
+  putative_[static_cast<std::size_t>(reaction)] = new_time;
+  const std::size_t pos = heap_pos_[static_cast<std::size_t>(reaction)];
+  if (new_time < old_time) {
+    heap_up(pos);
+  } else {
+    heap_down(pos);
+  }
+}
+
+std::uint64_t NextReactionMethod::advance(core::State& x, real_t horizon) {
+  now_ = 0.0;
+  rebuild(x);
+
+  std::uint64_t events = 0;
+  for (;;) {
+    const int k = heap_.front();
+    const real_t t_fire = putative_[static_cast<std::size_t>(k)];
+    if (!(t_fire <= horizon)) break;  // also exits on +inf (absorbing)
+
+    now_ = t_fire;
+    x = network_->apply(k, x);
+    ++events;
+
+    // Gibson-Bruck update: the fired reaction redraws; dependent reactions
+    // rescale their residual waiting time by the propensity ratio.
+    for (int j : dependents_[static_cast<std::size_t>(k)]) {
+      const real_t a_new = effective_propensity(*network_, j, x);
+      const real_t a_old = propensity_[static_cast<std::size_t>(j)];
+      real_t t_new;
+      if (j == k || putative_[static_cast<std::size_t>(j)] == kInf ||
+          a_old <= 0.0) {
+        t_new = a_new > 0.0 ? now_ + exponential(rng_, a_new) : kInf;
+      } else if (a_new <= 0.0) {
+        t_new = kInf;
+      } else {
+        t_new = now_ + (a_old / a_new) *
+                           (putative_[static_cast<std::size_t>(j)] - now_);
+      }
+      propensity_[static_cast<std::size_t>(j)] = a_new;
+      update_key(j, t_new);
+    }
+  }
+  return events;
+}
+
+// --- empirical stationary ---------------------------------------------------------
+
+std::vector<real_t> empirical_stationary(const core::ReactionNetwork& network,
+                                         const core::StateSpace& space,
+                                         core::State initial,
+                                         const EmpiricalOptions& opt) {
+  if (!network.valid_state(initial)) {
+    throw std::invalid_argument("empirical_stationary: invalid initial state");
+  }
+  DirectMethod sim(network, opt.seed);
+  core::State x = std::move(initial);
+
+  // Burn-in.
+  (void)sim.advance(x, opt.burn_in);
+
+  std::vector<real_t> occupancy(static_cast<std::size_t>(space.size()), 0.0);
+  real_t t = 0.0;
+  while (t < opt.horizon) {
+    const Event e = sim.next_event(x);
+    const real_t dwell = std::min(e.reaction < 0 ? opt.horizon - t : e.dt,
+                                  opt.horizon - t);
+    const index_t idx = space.find(x);
+    if (idx >= 0) occupancy[static_cast<std::size_t>(idx)] += dwell;
+    t += dwell;
+    if (e.reaction < 0 || t >= opt.horizon) break;
+    x = network.apply(e.reaction, x);
+  }
+
+  real_t total = 0.0;
+  for (real_t v : occupancy) total += v;
+  if (total > 0.0) {
+    for (real_t& v : occupancy) v /= total;
+  }
+  return occupancy;
+}
+
+real_t total_variation(std::span<const real_t> p, std::span<const real_t> q) {
+  assert(p.size() == q.size());
+  real_t sum = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    sum += std::abs(p[i] - q[i]);
+  }
+  return 0.5 * sum;
+}
+
+}  // namespace cmesolve::ssa

@@ -1,0 +1,98 @@
+#pragma once
+//
+// Stochastic Simulation Algorithm (SSA) substrate.
+//
+// The CME's probability landscape is the ensemble law of the jump process
+// that Gillespie's SSA samples one trajectory at a time. This module exists
+// to cross-validate the linear-algebra pipeline: the time-average occupancy
+// of a long, ergodic trajectory must converge to the steady-state vector
+// the Jacobi solver computes (and the paper's Sec. I positions the CME
+// solve as the scalable alternative to exactly this kind of sampling).
+//
+// Two classic exact samplers are provided:
+//   * DirectMethod      — Gillespie 1977: resample all propensities per step;
+//   * NextReactionMethod — Gibson & Bruck 2000: putative-time priority queue
+//     with a reaction dependency graph, O(log R) per event.
+//
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/reaction_network.hpp"
+#include "core/state_space.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::ssa {
+
+/// One sampled reaction event.
+struct Event {
+  real_t dt = 0.0;    ///< waiting time before the firing
+  int reaction = -1;  ///< fired reaction, or -1 when the state is absorbing
+};
+
+/// Gillespie's direct method.
+class DirectMethod {
+ public:
+  explicit DirectMethod(const core::ReactionNetwork& network,
+                        std::uint64_t seed = 1);
+
+  /// Sample the next event from state `x` (which is NOT modified).
+  [[nodiscard]] Event next_event(const core::State& x);
+
+  /// Advance `x` in place until `horizon` time has elapsed.
+  /// @return number of reaction firings.
+  std::uint64_t advance(core::State& x, real_t horizon);
+
+ private:
+  const core::ReactionNetwork* network_;
+  Xoshiro256 rng_;
+  std::vector<real_t> propensity_;  // scratch
+};
+
+/// Gibson-Bruck next-reaction method. Equivalent law to DirectMethod;
+/// asymptotically cheaper for networks with many reactions because only the
+/// propensities that the dependency graph marks stale are recomputed.
+class NextReactionMethod {
+ public:
+  explicit NextReactionMethod(const core::ReactionNetwork& network,
+                              std::uint64_t seed = 1);
+
+  /// Advance `x` in place until `horizon` time has elapsed.
+  std::uint64_t advance(core::State& x, real_t horizon);
+
+ private:
+  void rebuild(const core::State& x);
+  void heap_up(std::size_t pos);
+  void heap_down(std::size_t pos);
+  void update_key(int reaction, real_t new_time);
+
+  const core::ReactionNetwork* network_;
+  Xoshiro256 rng_;
+  /// reaction -> reactions whose propensity changes when it fires.
+  std::vector<std::vector<int>> dependents_;
+  std::vector<real_t> propensity_;
+  std::vector<real_t> putative_;        // absolute putative firing times
+  std::vector<int> heap_;               // reaction ids, min-heap by putative_
+  std::vector<std::size_t> heap_pos_;   // reaction -> heap slot
+  real_t now_ = 0.0;
+};
+
+/// Time-average state occupancy of one trajectory over an enumerated space:
+/// the empirical stationary distribution. States visited outside the
+/// enumerated space (impossible when the space is closed) are ignored.
+struct EmpiricalOptions {
+  real_t burn_in = 10.0;     ///< discarded warm-up time
+  real_t horizon = 1000.0;   ///< averaged simulation time after burn-in
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] std::vector<real_t> empirical_stationary(
+    const core::ReactionNetwork& network, const core::StateSpace& space,
+    core::State initial, const EmpiricalOptions& opt = {});
+
+/// Total-variation distance between two distributions on the same support.
+[[nodiscard]] real_t total_variation(std::span<const real_t> p,
+                                     std::span<const real_t> q);
+
+}  // namespace cmesolve::ssa

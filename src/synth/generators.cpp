@@ -1,0 +1,193 @@
+#include "synth/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cmesolve::synth {
+
+namespace {
+
+/// Fill a row with `len` distinct columns around `center` within [0, n).
+/// `spread` controls locality: small spread = neighbours, large = scattered.
+void fill_row(sparse::Coo& coo, Xoshiro256& rng, index_t row, index_t n,
+              index_t len, index_t center, index_t spread) {
+  std::vector<index_t> cols;
+  cols.reserve(static_cast<std::size_t>(len));
+  cols.push_back(std::clamp<index_t>(center, 0, n - 1));  // near-diagonal
+  while (static_cast<index_t>(cols.size()) < len) {
+    const index_t offset =
+        static_cast<index_t>(rng.range(-spread, spread));
+    const index_t c = std::clamp<index_t>(center + offset, 0, n - 1);
+    cols.push_back(c);
+  }
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  for (index_t c : cols) {
+    coo.add(row, c, rng.uniform(0.1, 1.0));
+  }
+}
+
+}  // namespace
+
+sparse::Csr fem_2d(index_t grid) {
+  sparse::Coo coo;
+  const index_t n = grid * grid;
+  coo.nrows = coo.ncols = n;
+  coo.reserve(static_cast<std::size_t>(n) * 5);
+  for (index_t i = 0; i < grid; ++i) {
+    for (index_t j = 0; j < grid; ++j) {
+      const index_t r = i * grid + j;
+      coo.add(r, r, 4.0);
+      if (i > 0) coo.add(r, r - grid, -1.0);
+      if (i < grid - 1) coo.add(r, r + grid, -1.0);
+      if (j > 0) coo.add(r, r - 1, -1.0);
+      if (j < grid - 1) coo.add(r, r + 1, -1.0);
+    }
+  }
+  return sparse::csr_from_coo(std::move(coo));
+}
+
+sparse::Csr fem_3d(index_t grid) {
+  sparse::Coo coo;
+  const index_t n = grid * grid * grid;
+  coo.nrows = coo.ncols = n;
+  coo.reserve(static_cast<std::size_t>(n) * 7);
+  const index_t g2 = grid * grid;
+  for (index_t i = 0; i < grid; ++i) {
+    for (index_t j = 0; j < grid; ++j) {
+      for (index_t k = 0; k < grid; ++k) {
+        const index_t r = i * g2 + j * grid + k;
+        coo.add(r, r, 6.0);
+        if (i > 0) coo.add(r, r - g2, -1.0);
+        if (i < grid - 1) coo.add(r, r + g2, -1.0);
+        if (j > 0) coo.add(r, r - grid, -1.0);
+        if (j < grid - 1) coo.add(r, r + grid, -1.0);
+        if (k > 0) coo.add(r, r - 1, -1.0);
+        if (k < grid - 1) coo.add(r, r + 1, -1.0);
+      }
+    }
+  }
+  return sparse::csr_from_coo(std::move(coo));
+}
+
+sparse::Csr structural(index_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  sparse::Coo coo;
+  coo.nrows = coo.ncols = n;
+  for (index_t r = 0; r < n; ++r) {
+    // 3-DOF node blocks: near-constant in-band rows + rare constraint rows.
+    index_t len = 15 + static_cast<index_t>(rng.bounded(4));
+    if (rng.uniform() < 0.001) len += 18;  // stiffener / constraint row
+    fill_row(coo, rng, r, n, len, r, 60);
+  }
+  return sparse::csr_from_coo(std::move(coo));
+}
+
+sparse::Csr circuit(index_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  sparse::Coo coo;
+  coo.nrows = coo.ncols = n;
+  for (index_t r = 0; r < n; ++r) {
+    index_t len;
+    index_t spread;
+    if (rng.uniform() < 0.0002) {
+      // Power/ground rail: touches a scattered set of nodes.
+      len = 20 + static_cast<index_t>(rng.bounded(30));
+      spread = n / 8;
+    } else {
+      len = 2 + static_cast<index_t>(rng.bounded(5));
+      spread = 200;
+    }
+    fill_row(coo, rng, r, n, len, r, spread);
+  }
+  return sparse::csr_from_coo(std::move(coo));
+}
+
+sparse::Csr quantum_chemistry(index_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  sparse::Coo coo;
+  coo.nrows = coo.ncols = n;
+  // Orbital blocks of widely varying size; rows inside a block couple to
+  // the whole block plus a tail into neighbouring blocks. Adjacent rows
+  // therefore jump between short and very long — maximal local variability.
+  index_t r = 0;
+  while (r < n) {
+    const index_t block = 4 + static_cast<index_t>(rng.bounded(60));
+    const index_t end = std::min<index_t>(r + block, n);
+    for (index_t i = r; i < end; ++i) {
+      const index_t len =
+          std::max<index_t>(2, block + static_cast<index_t>(rng.bounded(
+                                            static_cast<std::uint64_t>(block))));
+      fill_row(coo, rng, i, n, len, r + block / 2, block * 3);
+    }
+    r = end;
+  }
+  return sparse::csr_from_coo(std::move(coo));
+}
+
+sparse::Csr web_graph(index_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  sparse::Coo coo;
+  coo.nrows = coo.ncols = n;
+  for (index_t r = 0; r < n; ++r) {
+    // Mostly short out-degrees with rare hub pages.
+    index_t len = 2 + static_cast<index_t>(rng.bounded(4));
+    if (rng.uniform() < 0.0002) {
+      len = 15 + static_cast<index_t>(rng.bounded(25));
+    }
+    // Host locality: pages link within their site neighbourhood.
+    fill_row(coo, rng, r, n, len, r, 400);
+  }
+  return sparse::csr_from_coo(std::move(coo));
+}
+
+sparse::Csr economics(index_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  sparse::Coo coo;
+  coo.nrows = coo.ncols = n;
+  const index_t sector = std::max<index_t>(256, n / 50);
+  for (index_t r = 0; r < n; ++r) {
+    if (r % sector == 0) {
+      // Aggregate row: one per sector, couples across many sectors.
+      fill_row(coo, rng, r, n, 16 + static_cast<index_t>(rng.bounded(16)), r,
+               sector);
+    } else {
+      // Ordinary sector rows are near-constant length and couple to nearby
+      // industries (input-output tables are block-regular); the variance
+      // lives in the aggregate rows.
+      fill_row(coo, rng, r, n, 6 + static_cast<index_t>(rng.bounded(3)), r,
+               200);
+    }
+  }
+  return sparse::csr_from_coo(std::move(coo));
+}
+
+sparse::Csr epidemiology(index_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  sparse::Coo coo;
+  coo.nrows = coo.ncols = n;
+  for (index_t r = 0; r < n; ++r) {
+    const index_t len = 2 + static_cast<index_t>(rng.bounded(3));
+    fill_row(coo, rng, r, n, len, r, 500);
+  }
+  return sparse::csr_from_coo(std::move(coo));
+}
+
+std::vector<DomainMatrix> figure5_suite(index_t scale, std::uint64_t seed) {
+  std::vector<DomainMatrix> suite;
+  const auto grid2 =
+      static_cast<index_t>(std::lround(std::sqrt(static_cast<double>(scale))));
+  const auto grid3 =
+      static_cast<index_t>(std::lround(std::cbrt(static_cast<double>(scale))));
+  suite.push_back({"fem-2d", fem_2d(grid2)});
+  suite.push_back({"fem-3d", fem_3d(grid3)});
+  suite.push_back({"structural", structural(scale, seed + 1)});
+  suite.push_back({"circuit", circuit(scale, seed + 2)});
+  suite.push_back({"quantum-chemistry", quantum_chemistry(scale / 2, seed + 3)});
+  suite.push_back({"web-graph", web_graph(scale / 2, seed + 4)});
+  suite.push_back({"economics", economics(scale, seed + 5)});
+  suite.push_back({"epidemiology", epidemiology(scale, seed + 6)});
+  return suite;
+}
+
+}  // namespace cmesolve::synth

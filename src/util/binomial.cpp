@@ -1,0 +1,11 @@
+// Intentionally (almost) empty: binomial.hpp is header-only, but the
+// translation unit anchors the target and verifies the header is
+// self-contained.
+#include "util/binomial.hpp"
+
+namespace cmesolve {
+static_assert(binomial(0, 0) == 1.0);
+static_assert(binomial(5, 2) == 10.0);
+static_assert(binomial(4, 5) == 0.0);
+static_assert(falling_factorial(5, 2) == 20.0);
+}  // namespace cmesolve

@@ -1,0 +1,53 @@
+#pragma once
+//
+// Exact binomial coefficients for propensity evaluation.
+//
+// The CME propensity of reaction k in microstate x is
+//     A_k(x) = r_k * prod_i C(x_i, c_i)
+// where c_i is the reactant copy number of species i (Sec. II-A of the
+// paper). Copy numbers in finitely-buffered state spaces are small, so the
+// coefficient is computed exactly in double precision with a multiplicative
+// scheme; reactant orders above 4 never occur in the shipped models but the
+// routine is general.
+//
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace cmesolve {
+
+/// C(n, k) as a double. Returns 0 for k > n or negative arguments
+/// (a reaction lacking reactants has zero propensity). Exact for all values
+/// representable without rounding in a double (n below ~1e15 for small k).
+[[nodiscard]] constexpr real_t binomial(std::int64_t n, std::int64_t k) noexcept {
+  if (k < 0 || n < 0 || k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  real_t result = 1.0;
+  // Multiply incrementally: result stays an exact integer at every step
+  // because C(n, j) divides evenly.
+  for (std::int64_t j = 1; j <= k; ++j) {
+    result = result * static_cast<real_t>(n - k + j) / static_cast<real_t>(j);
+  }
+  // Round away the tiny drift the division can leave behind for larger k.
+  // Coefficients beyond 2^63 cannot round-trip through an integer; return
+  // the (correctly rounded to ~1 ulp) double directly in that regime.
+  if (result < 9.0e18) {
+    return static_cast<real_t>(static_cast<std::uint64_t>(result + 0.5));
+  }
+  return result;
+}
+
+/// Falling factorial n * (n-1) * ... * (n-k+1): the number of ordered ways
+/// to pick k reactant molecules. Some CME texts use this as the propensity
+/// combinatorics instead of C(n, k); exposed for completeness.
+[[nodiscard]] constexpr real_t falling_factorial(std::int64_t n,
+                                                 std::int64_t k) noexcept {
+  if (k < 0 || n < 0 || k > n) return 0.0;
+  real_t result = 1.0;
+  for (std::int64_t j = 0; j < k; ++j) {
+    result *= static_cast<real_t>(n - j);
+  }
+  return result;
+}
+
+}  // namespace cmesolve

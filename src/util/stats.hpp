@@ -1,0 +1,57 @@
+#pragma once
+//
+// Streaming summary statistics (min / mean / max / stddev) used for the
+// nonzeros-per-row fingerprints of Table I and for benchmark reporting.
+//
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/types.hpp"
+
+namespace cmesolve {
+
+/// Welford-style online accumulator: numerically stable single pass.
+class RunningStats {
+ public:
+  void add(real_t x) noexcept {
+    ++count_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const real_t delta = x - mean_;
+    mean_ += delta / static_cast<real_t>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] real_t min() const noexcept {
+    return count_ ? min_ : std::numeric_limits<real_t>::quiet_NaN();
+  }
+  [[nodiscard]] real_t max() const noexcept {
+    return count_ ? max_ : std::numeric_limits<real_t>::quiet_NaN();
+  }
+  [[nodiscard]] real_t mean() const noexcept {
+    return count_ ? mean_ : std::numeric_limits<real_t>::quiet_NaN();
+  }
+  /// Population variance (the paper's sigma is over all rows, not a sample).
+  [[nodiscard]] real_t variance() const noexcept {
+    return count_ ? m2_ / static_cast<real_t>(count_)
+                  : std::numeric_limits<real_t>::quiet_NaN();
+  }
+  [[nodiscard]] real_t stddev() const noexcept { return std::sqrt(variance()); }
+
+  /// sigma / mu: the row-length variability factor of Table I.
+  [[nodiscard]] real_t variability() const noexcept { return stddev() / mean(); }
+  /// (max - mu) / mu: the row-length skew factor of Table I.
+  [[nodiscard]] real_t skew() const noexcept { return (max() - mean()) / mean(); }
+
+ private:
+  std::uint64_t count_ = 0;
+  real_t min_ = std::numeric_limits<real_t>::infinity();
+  real_t max_ = -std::numeric_limits<real_t>::infinity();
+  real_t mean_ = 0.0;
+  real_t m2_ = 0.0;
+};
+
+}  // namespace cmesolve

@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace cmesolve {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << "  ";
+      out << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::count(long long v) {
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int since_sep = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since_sep == 3) {
+      out.push_back(',');
+      since_sep = 0;
+    }
+    out.push_back(*it);
+    ++since_sep;
+  }
+  if (v < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cmesolve

@@ -1,0 +1,32 @@
+#pragma once
+//
+// Plain-text table rendering for the benchmark harness. Every bench binary
+// regenerates one of the paper's tables/figures; TextTable keeps their
+// output aligned and diff-able.
+//
+#include <string>
+#include <vector>
+
+namespace cmesolve {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; shorter rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column auto-sizing, a header separator, and 2-space gutters.
+  [[nodiscard]] std::string render() const;
+
+  /// Format a double with fixed precision (convenience for bench rows).
+  static std::string num(double v, int precision = 3);
+  /// Format an integer with thousands separators for readability.
+  static std::string count(long long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cmesolve

@@ -1,0 +1,27 @@
+#pragma once
+//
+// Monotonic wall-clock timer for the CPU-baseline measurements.
+//
+#include <chrono>
+
+#include "util/types.hpp"
+
+namespace cmesolve {
+
+class WallTimer {
+ public:
+  WallTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] real_t seconds() const noexcept {
+    return std::chrono::duration<real_t>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cmesolve

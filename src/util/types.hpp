@@ -1,0 +1,25 @@
+#pragma once
+//
+// Fundamental scalar and index types used across cmesolve.
+//
+// The GPU formats in the paper store 4-byte column indices (the 4n-byte
+// saving of ELL+DIA in Sec. V depends on that), so the library-wide index
+// type is a 32-bit signed integer. Matrices beyond 2^31-1 rows are out of
+// scope, exactly as they were for a 3 GB GTX580.
+//
+#include <cstdint>
+#include <cstddef>
+
+namespace cmesolve {
+
+/// Row/column index type. Signed so that `-1` can mark ELL padding slots.
+using index_t = std::int32_t;
+
+/// Floating-point type of all numerical kernels (the paper evaluates
+/// double precision throughout).
+using real_t = double;
+
+/// Sentinel column index marking a padding slot in ELL-family formats.
+inline constexpr index_t kPadColumn = -1;
+
+}  // namespace cmesolve

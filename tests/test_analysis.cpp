@@ -1,0 +1,164 @@
+// Tests for the communication-structure analysis and the DTMC wrapper.
+#include <gtest/gtest.h>
+
+#include "core/irreducibility.hpp"
+#include "core/models.hpp"
+#include "core/rate_matrix.hpp"
+#include "core/state_space.hpp"
+#include "solver/dtmc.hpp"
+#include "solver/vector_ops.hpp"
+
+namespace cmesolve {
+namespace {
+
+using core::analyze_communication;
+
+sparse::Csr generator_from_triplets(
+    index_t n, std::initializer_list<std::tuple<index_t, index_t, real_t>> ts) {
+  sparse::Coo c;
+  c.nrows = c.ncols = n;
+  std::vector<real_t> out(static_cast<std::size_t>(n), 0.0);
+  for (auto [i, j, v] : ts) {
+    c.add(i, j, v);
+    out[static_cast<std::size_t>(j)] += v;
+  }
+  for (index_t j = 0; j < n; ++j) c.add(j, j, -out[j]);
+  return sparse::csr_from_coo(std::move(c));
+}
+
+// --- communication structure ----------------------------------------------------
+
+TEST(Communication, BirthDeathChainIsIrreducible) {
+  // 0 <-> 1 <-> 2
+  const auto a = generator_from_triplets(
+      3, {{1, 0, 1.0}, {0, 1, 1.0}, {2, 1, 1.0}, {1, 2, 1.0}});
+  const auto cs = analyze_communication(a);
+  EXPECT_TRUE(cs.irreducible());
+  EXPECT_TRUE(cs.unique_stationary());
+  EXPECT_EQ(cs.num_components, 1);
+}
+
+TEST(Communication, PureDecayHasAbsorbingState) {
+  // 2 -> 1 -> 0, no way back: three SCCs, only {0} closed.
+  const auto a = generator_from_triplets(3, {{1, 2, 1.0}, {0, 1, 1.0}});
+  const auto cs = analyze_communication(a);
+  EXPECT_FALSE(cs.irreducible());
+  EXPECT_TRUE(cs.unique_stationary());
+  EXPECT_EQ(cs.num_components, 3);
+  ASSERT_EQ(cs.closed_components.size(), 1u);
+  EXPECT_EQ(cs.closed_components[0], cs.component[0]);
+}
+
+TEST(Communication, TwoDisconnectedCyclesGiveTwoClosedClasses) {
+  // {0,1} and {2,3} each reversible, no cross edges.
+  const auto a = generator_from_triplets(
+      4, {{1, 0, 1.0}, {0, 1, 1.0}, {3, 2, 1.0}, {2, 3, 1.0}});
+  const auto cs = analyze_communication(a);
+  EXPECT_FALSE(cs.unique_stationary());
+  EXPECT_EQ(cs.num_components, 2);
+  EXPECT_EQ(cs.closed_components.size(), 2u);
+}
+
+TEST(Communication, TransientFeederIntoCycle) {
+  // 0 -> 1 <-> 2: state 0 is transient, {1,2} the closed class.
+  const auto a = generator_from_triplets(
+      3, {{1, 0, 1.0}, {2, 1, 1.0}, {1, 2, 1.0}});
+  const auto cs = analyze_communication(a);
+  EXPECT_FALSE(cs.irreducible());
+  EXPECT_TRUE(cs.unique_stationary());
+  EXPECT_EQ(cs.component[1], cs.component[2]);
+  EXPECT_NE(cs.component[0], cs.component[1]);
+}
+
+TEST(Communication, PaperSuiteIsIrreducible) {
+  // Every benchmark network must have a unique steady state — the implicit
+  // assumption behind Table IV.
+  for (auto& model : core::models::paper_suite(core::models::SuiteScale::kTiny)) {
+    const core::StateSpace space(model.network, model.initial, 1'000'000);
+    const auto a = core::rate_matrix(space);
+    const auto cs = analyze_communication(a);
+    EXPECT_TRUE(cs.irreducible()) << model.name;
+  }
+}
+
+TEST(Communication, LargeChainDoesNotOverflowTheStack) {
+  // 100k-state chain: the iterative Tarjan must handle the deep DFS.
+  const index_t n = 100'000;
+  sparse::Coo c;
+  c.nrows = c.ncols = n;
+  for (index_t i = 0; i + 1 < n; ++i) {
+    c.add(i + 1, i, 1.0);
+    c.add(i, i + 1, 1.0);
+    c.add(i, i, -2.0);
+  }
+  c.add(n - 1, n - 1, -1.0);
+  const auto cs = analyze_communication(sparse::csr_from_coo(std::move(c)));
+  EXPECT_TRUE(cs.irreducible());
+}
+
+// --- DTMC ----------------------------------------------------------------------
+
+sparse::Csr two_state_dtmc(real_t stay0, real_t stay1) {
+  sparse::Coo c;
+  c.nrows = c.ncols = 2;
+  c.add(0, 0, stay0);
+  c.add(1, 0, 1.0 - stay0);
+  c.add(1, 1, stay1);
+  c.add(0, 1, 1.0 - stay1);
+  return sparse::csr_from_coo(std::move(c));
+}
+
+TEST(Dtmc, ColumnStochasticCheck) {
+  EXPECT_TRUE(solver::is_column_stochastic(two_state_dtmc(0.9, 0.5)));
+  sparse::Coo bad;
+  bad.nrows = bad.ncols = 2;
+  bad.add(0, 0, 0.5);  // column 0 sums to 0.5
+  bad.add(1, 1, 1.0);
+  EXPECT_FALSE(solver::is_column_stochastic(sparse::csr_from_coo(std::move(bad))));
+}
+
+TEST(Dtmc, TwoStateStationary) {
+  // pi proportional to (p01, p10) with p01 = 1-stay1 etc.
+  const real_t stay0 = 0.8;
+  const real_t stay1 = 0.4;
+  const auto p = two_state_dtmc(stay0, stay1);
+  std::vector<real_t> pi{0.5, 0.5};
+  const auto r = solver::dtmc_stationary(p, pi);
+  EXPECT_EQ(r.reason, solver::StopReason::kConverged);
+  const real_t q01 = 1.0 - stay1;  // 1 -> 0
+  const real_t q10 = 1.0 - stay0;  // 0 -> 1
+  EXPECT_NEAR(pi[0], q01 / (q01 + q10), 1e-9);
+  EXPECT_NEAR(pi[1], q10 / (q01 + q10), 1e-9);
+}
+
+TEST(Dtmc, RandomWalkOnCycle) {
+  // Symmetric walk on a 5-cycle with holding 0.5: uniform stationary law.
+  const index_t n = 5;
+  sparse::Coo c;
+  c.nrows = c.ncols = n;
+  for (index_t j = 0; j < n; ++j) {
+    c.add(j, j, 0.5);
+    c.add((j + 1) % n, j, 0.25);
+    c.add((j + n - 1) % n, j, 0.25);
+  }
+  const auto p = sparse::csr_from_coo(std::move(c));
+  std::vector<real_t> pi(static_cast<std::size_t>(n));
+  pi[0] = 1.0;
+  const auto r = solver::dtmc_stationary(p, pi);
+  EXPECT_EQ(r.reason, solver::StopReason::kConverged);
+  for (real_t v : pi) EXPECT_NEAR(v, 0.2, 1e-9);
+}
+
+TEST(Dtmc, NonStochasticRejected) {
+  sparse::Coo c;
+  c.nrows = c.ncols = 2;
+  c.add(0, 0, 0.7);
+  c.add(1, 0, 0.7);
+  c.add(1, 1, 1.0);
+  const auto p = sparse::csr_from_coo(std::move(c));
+  std::vector<real_t> pi{0.5, 0.5};
+  EXPECT_THROW((void)solver::dtmc_stationary(p, pi), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmesolve

@@ -1,0 +1,145 @@
+// Tests for the probability-landscape utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/landscape.hpp"
+#include "core/models.hpp"
+#include "core/rate_matrix.hpp"
+#include "core/state_space.hpp"
+#include "solver/jacobi.hpp"
+#include "solver/operators.hpp"
+#include "solver/vector_ops.hpp"
+
+namespace cmesolve::core {
+namespace {
+
+struct ToggleFixture {
+  models::ToggleSwitchParams params;
+  ReactionNetwork net;
+  StateSpace space;
+  std::vector<real_t> p;
+
+  explicit ToggleFixture(std::int32_t cap)
+      : params([cap] {
+          models::ToggleSwitchParams tp;
+          tp.cap_a = tp.cap_b = cap;
+          return tp;
+        }()),
+        net(models::toggle_switch(params)),
+        space(net, models::toggle_switch_initial(params), 1'000'000) {
+    const auto a = rate_matrix(space);
+    solver::WarpedEllDiaOperator op(a);
+    p.resize(static_cast<std::size_t>(a.nrows));
+    solver::fill_uniform(p);
+    solver::JacobiOptions opt;
+    opt.eps = 1e-10;
+    (void)solver::jacobi_solve(op, a.inf_norm(), p, opt);
+  }
+};
+
+TEST(Landscape, MarginalSumsToOne) {
+  const ToggleFixture f(15);
+  const auto m = marginal(f.space, f.p, f.net.find_species("A"));
+  real_t sum = 0;
+  for (real_t v : m) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+  EXPECT_EQ(m.size(), 16u);
+}
+
+TEST(Landscape, Marginal2dSumsToOneAndMatches1d) {
+  const ToggleFixture f(15);
+  const int sa = f.net.find_species("A");
+  const int sb = f.net.find_species("B");
+  const auto joint = marginal2d(f.space, f.p, sa, sb);
+  const auto ma = marginal(f.space, f.p, sa);
+
+  real_t sum = 0;
+  for (real_t v : joint.grid) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+
+  for (std::int32_t a = 0; a <= joint.cap_a; ++a) {
+    real_t row = 0;
+    for (std::int32_t b = 0; b <= joint.cap_b; ++b) row += joint.at(a, b);
+    EXPECT_NEAR(row, ma[static_cast<std::size_t>(a)], 1e-12);
+  }
+}
+
+TEST(Landscape, ToggleSwitchIsBistable) {
+  // Fig. 2 of the paper: the mass sits at (A on, B off) and (A off, B on).
+  const ToggleFixture f(30);
+  const int sa = f.net.find_species("A");
+  const int sb = f.net.find_species("B");
+  const auto joint = marginal2d(f.space, f.p, sa, sb);
+
+  // Mass in the two "exclusive" quadrants dominates the diagonal quadrants.
+  const auto quadrant = [&](bool a_high, bool b_high) {
+    real_t sum = 0;
+    for (std::int32_t a = 0; a <= joint.cap_a; ++a) {
+      for (std::int32_t b = 0; b <= joint.cap_b; ++b) {
+        if ((a > joint.cap_a / 2) == a_high && (b > joint.cap_b / 2) == b_high) {
+          sum += joint.at(a, b);
+        }
+      }
+    }
+    return sum;
+  };
+  const real_t exclusive = quadrant(true, false) + quadrant(false, true);
+  const real_t diagonal = quadrant(true, true) + quadrant(false, false);
+  EXPECT_GT(exclusive, 3.0 * diagonal);
+
+  // Symmetry of the landscape under A <-> B.
+  EXPECT_NEAR(quadrant(true, false), quadrant(false, true), 1e-6);
+}
+
+TEST(Landscape, TopStatesSortedDescending) {
+  const std::vector<real_t> p{0.1, 0.4, 0.05, 0.3, 0.15};
+  const auto top = top_states(p, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1);
+  EXPECT_EQ(top[1], 3);
+  EXPECT_EQ(top[2], 4);
+}
+
+TEST(Landscape, TopStatesClampsK) {
+  const std::vector<real_t> p{0.5, 0.5};
+  EXPECT_EQ(top_states(p, 10).size(), 2u);
+}
+
+TEST(Landscape, CountModesOnSyntheticGrids) {
+  // Single Gaussian bump -> 1 mode; two separated bumps -> 2 modes.
+  const auto bump_grid = [](std::initializer_list<std::pair<int, int>> centers) {
+    Marginal2D m;
+    m.cap_a = m.cap_b = 31;
+    m.grid.assign(32 * 32, 0.0);
+    for (auto [ca, cb] : centers) {
+      for (int a = 0; a < 32; ++a) {
+        for (int b = 0; b < 32; ++b) {
+          const real_t d2 = static_cast<real_t>((a - ca) * (a - ca) +
+                                                (b - cb) * (b - cb));
+          m.grid[static_cast<std::size_t>(a) * 32 + b] += std::exp(-d2 / 8.0);
+        }
+      }
+    }
+    return m;
+  };
+  EXPECT_EQ(count_modes(bump_grid({{16, 16}}), 16, 0.05), 1);
+  EXPECT_EQ(count_modes(bump_grid({{6, 25}, {25, 6}}), 16, 0.05), 2);
+}
+
+TEST(Landscape, RenderAsciiSmoke) {
+  const ToggleFixture f(15);
+  const auto joint = marginal2d(f.space, f.p, f.net.find_species("A"),
+                                f.net.find_species("B"));
+  const std::string art = render_ascii(joint, 40, 20);
+  EXPECT_FALSE(art.empty());
+  EXPECT_NE(art.find('\n'), std::string::npos);
+  // Peak shade must appear somewhere.
+  EXPECT_NE(art.find('@'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cmesolve::core

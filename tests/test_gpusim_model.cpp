@@ -1,0 +1,238 @@
+// Unit tests for the GPU performance model: cache, occupancy, timing
+// calibration and the memory event engine.
+#include <gtest/gtest.h>
+
+#include "gpusim/cache.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/memory_sim.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace cmesolve::gpusim {
+namespace {
+
+// --- CacheModel -------------------------------------------------------------
+
+TEST(Cache, ColdMissThenHit) {
+  CacheModel c(1024, 2, 128);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(64));  // same 128-byte line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, DistinctLinesMiss) {
+  CacheModel c(1024, 2, 128);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(128));
+  EXPECT_FALSE(c.access(256));
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  // 1024 B / 128 B lines / 2 ways = 4 sets. Lines 0, 4, 8 share set 0.
+  CacheModel c(1024, 2, 128);
+  const auto addr = [](std::uint64_t line) { return line * 128; };
+  EXPECT_FALSE(c.access(addr(0)));
+  EXPECT_FALSE(c.access(addr(4)));
+  EXPECT_TRUE(c.access(addr(0)));   // refresh line 0: line 4 is now LRU
+  EXPECT_FALSE(c.access(addr(8)));  // evicts line 4
+  EXPECT_TRUE(c.access(addr(0)));
+  EXPECT_FALSE(c.access(addr(4)));  // line 4 was evicted
+}
+
+TEST(Cache, FullCapacityRetained) {
+  CacheModel c(48 * 1024, 6, 128);  // 384 lines
+  for (std::uint64_t line = 0; line < 384; ++line) {
+    EXPECT_FALSE(c.access(line * 128));
+  }
+  for (std::uint64_t line = 0; line < 384; ++line) {
+    EXPECT_TRUE(c.access(line * 128)) << line;
+  }
+}
+
+TEST(Cache, ResetClears) {
+  CacheModel c(1024, 2, 128);
+  (void)c.access(0);
+  c.reset();
+  EXPECT_EQ(c.hits() + c.misses(), 0u);
+  EXPECT_FALSE(c.access(0));
+}
+
+// --- occupancy ---------------------------------------------------------------
+
+TEST(Occupancy, Gtx580ReferencePoints) {
+  const auto dev = DeviceSpec::gtx580();
+  // Sec. III: b=256 -> 6 blocks = 1536 threads (full); b=512 -> 3 blocks
+  // (full); b=1024 -> 1 block (2/3); b=32 -> 8-block cap = 256 threads (1/6).
+  EXPECT_EQ(occupancy(dev, 256).blocks_per_sm, 6);
+  EXPECT_DOUBLE_EQ(occupancy(dev, 256).fraction, 1.0);
+  EXPECT_EQ(occupancy(dev, 512).blocks_per_sm, 3);
+  EXPECT_DOUBLE_EQ(occupancy(dev, 512).fraction, 1.0);
+  EXPECT_EQ(occupancy(dev, 1024).blocks_per_sm, 1);
+  EXPECT_NEAR(occupancy(dev, 1024).fraction, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(occupancy(dev, 32).blocks_per_sm, 8);
+  EXPECT_NEAR(occupancy(dev, 32).fraction, 1.0 / 6.0, 1e-12);
+  EXPECT_EQ(occupancy(dev, 32).threads_per_sm, 256);
+}
+
+TEST(Occupancy, OversizedBlockDoesNotFit) {
+  const auto dev = DeviceSpec::gtx580();
+  EXPECT_EQ(occupancy(dev, 2048).blocks_per_sm, 0);
+}
+
+TEST(Occupancy, BandwidthEfficiencySaturates) {
+  const auto dev = DeviceSpec::gtx580();
+  EXPECT_DOUBLE_EQ(bandwidth_efficiency(dev, 1.0), 1.0);
+  EXPECT_LT(bandwidth_efficiency(dev, 1.0 / 6.0), 0.3);
+  EXPECT_GT(bandwidth_efficiency(dev, 1.0 / 6.0), 0.1);
+}
+
+TEST(Occupancy, BlockShapePenaltyFavors256) {
+  const auto dev = DeviceSpec::gtx580();
+  const real_t p256 = block_shape_penalty(dev, 256);
+  EXPECT_LT(p256, block_shape_penalty(dev, 64));
+  EXPECT_LT(p256, block_shape_penalty(dev, 1024));
+}
+
+// --- AddressSpace ----------------------------------------------------------------
+
+TEST(AddressSpace, AllocationsAlignedAndDisjoint) {
+  AddressSpace as;
+  const auto a = as.alloc(100);
+  const auto b = as.alloc(100);
+  EXPECT_EQ(a % 128, 0u);
+  EXPECT_EQ(b % 128, 0u);
+  EXPECT_GE(b, a + 100);
+}
+
+// --- MemorySim --------------------------------------------------------------------
+
+TEST(MemorySim, StreamLoadCountsWholeLines) {
+  MemorySim sim(DeviceSpec::gtx580());
+  sim.begin_pass();
+  sim.stream_load(0, 256);  // exactly 2 lines
+  EXPECT_EQ(sim.counters().dram_bytes, 256u);
+  sim.stream_load(1000, 8);  // 8 bytes still cost a 128-byte transaction
+  EXPECT_EQ(sim.counters().dram_bytes, 384u);
+}
+
+TEST(MemorySim, GatherDeduplicatesLines) {
+  MemorySim sim(DeviceSpec::gtx580());
+  sim.begin_pass();
+  std::vector<std::uint64_t> addrs;
+  for (int lane = 0; lane < 32; ++lane) addrs.push_back(lane * 8);  // 2 lines
+  sim.gather(addrs, 8);
+  EXPECT_EQ(sim.counters().l1_misses, 2u);
+  sim.gather(addrs, 8);  // warm
+  EXPECT_EQ(sim.counters().l1_hits, 2u);
+  EXPECT_EQ(sim.counters().l1_misses, 2u);
+}
+
+TEST(MemorySim, GatherMissesGoThroughL2ToDram) {
+  MemorySim sim(DeviceSpec::gtx580());
+  sim.begin_pass();
+  const std::uint64_t addr = 1 << 20;
+  sim.gather(std::vector<std::uint64_t>{addr}, 8);
+  EXPECT_EQ(sim.counters().l2_misses, 1u);
+  EXPECT_EQ(sim.counters().dram_bytes, 128u);
+  // A different SM's L1 misses but the shared L2 hits.
+  sim.set_active_sm(3);
+  sim.gather(std::vector<std::uint64_t>{addr}, 8);
+  EXPECT_EQ(sim.counters().l1_misses, 2u);
+  EXPECT_EQ(sim.counters().l2_hits, 1u);
+  EXPECT_EQ(sim.counters().dram_bytes, 128u);  // unchanged
+}
+
+TEST(MemorySim, L1DisabledRoutesToL2) {
+  MemorySim sim(DeviceSpec::gtx580(), /*l1_enabled=*/false);
+  sim.begin_pass();
+  const std::uint64_t addr = 4096;
+  sim.gather(std::vector<std::uint64_t>{addr}, 8);
+  sim.gather(std::vector<std::uint64_t>{addr}, 8);
+  EXPECT_EQ(sim.counters().l1_hits, 0u);
+  EXPECT_EQ(sim.counters().l2_hits, 1u);
+}
+
+TEST(MemorySim, WriteBackChargesDirtyLinesOncePerPass) {
+  MemorySim sim(DeviceSpec::gtx580());
+  sim.begin_pass();
+  // Two scattered stores hitting the same line: one write-back.
+  std::vector<std::uint64_t> w1{0};
+  std::vector<std::uint64_t> w2{64};
+  sim.scatter_store(w1, 8);
+  sim.scatter_store(w2, 8);
+  const auto stats = sim.finalize(256, 1);
+  EXPECT_EQ(stats.traffic.dram_bytes, 128u);
+}
+
+TEST(MemorySim, ScatterTransactionsPerSegment) {
+  MemorySim sim(DeviceSpec::gtx580());
+  sim.begin_pass();
+  // 32 lanes, stride 64 bytes: 32 distinct 32-byte segments.
+  std::vector<std::uint64_t> addrs;
+  for (int lane = 0; lane < 32; ++lane) addrs.push_back(lane * 64);
+  sim.scatter_store(addrs, 8);
+  EXPECT_EQ(sim.counters().transactions, 32u);
+  // Contiguous warp store: 256 bytes = 8 segments.
+  sim.begin_pass();
+  sim.stream_store(0, 256);
+  EXPECT_EQ(sim.counters().transactions, 8u);
+}
+
+TEST(MemorySim, FinalizeTimingMonotoneInTraffic) {
+  const auto dev = DeviceSpec::gtx580();
+  MemorySim sim(dev);
+  sim.begin_pass();
+  sim.stream_load(0, 1 << 20);
+  const auto t1 = sim.finalize(256, 1000);
+  sim.begin_pass();
+  sim.stream_load(0, 2 << 20);
+  const auto t2 = sim.finalize(256, 1000);
+  EXPECT_GT(t2.seconds, t1.seconds);
+  EXPECT_GT(t1.seconds, dev.launch_overhead);
+}
+
+TEST(MemorySim, LowOccupancySlowsKernel) {
+  const auto dev = DeviceSpec::gtx580();
+  MemorySim sim(dev);
+  sim.begin_pass();
+  sim.stream_load(0, 16 << 20);
+  const auto full = sim.finalize(256, 1000);
+  const auto low = sim.finalize(32, 1000);
+  EXPECT_GT(low.seconds, 2.0 * full.seconds);
+}
+
+TEST(MemorySim, RooflineMatchesBandwidth) {
+  // Pure streaming at full occupancy: time ~= bytes / BW + launch overhead.
+  const auto dev = DeviceSpec::gtx580();
+  MemorySim sim(dev);
+  sim.begin_pass();
+  const std::size_t bytes = 192 << 20;
+  sim.stream_load(0, bytes);
+  const auto s = sim.finalize(256, 1);
+  const real_t ideal = static_cast<real_t>(bytes) / dev.dram_bandwidth;
+  EXPECT_NEAR(s.seconds, ideal, 0.05 * ideal);
+}
+
+// --- device descriptors -------------------------------------------------------------
+
+TEST(Device, Gtx580Parameters) {
+  const auto dev = DeviceSpec::gtx580();
+  EXPECT_EQ(dev.num_sms, 16);
+  EXPECT_EQ(dev.warp_size, 32);
+  EXPECT_EQ(dev.max_threads_per_sm, 1536);
+  EXPECT_EQ(dev.max_blocks_per_sm, 8);
+  EXPECT_DOUBLE_EQ(dev.dram_bandwidth, 192.0e9);
+  EXPECT_EQ(DeviceSpec::gtx580(16 * 1024).l1_bytes, 16u * 1024u);
+}
+
+TEST(Device, KeplerIsBeefier) {
+  const auto fermi = DeviceSpec::gtx580();
+  const auto kepler = DeviceSpec::kepler_k20();
+  EXPECT_GT(kepler.dram_bandwidth, fermi.dram_bandwidth);
+  EXPECT_GT(kepler.dp_peak_flops, fermi.dp_peak_flops);
+  EXPECT_GT(kepler.l2_bytes, fermi.l2_bytes);
+}
+
+}  // namespace
+}  // namespace cmesolve::gpusim

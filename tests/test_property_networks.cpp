@@ -1,0 +1,120 @@
+// Property tests over randomized reaction networks: whatever the network,
+// the enumeration must be closed, the rate matrix a proper generator, and
+// the solver output a probability vector.
+#include <gtest/gtest.h>
+
+#include "core/rate_matrix.hpp"
+#include "core/state_space.hpp"
+#include "solver/jacobi.hpp"
+#include "solver/operators.hpp"
+#include "solver/vector_ops.hpp"
+#include "util/rng.hpp"
+
+namespace cmesolve::core {
+namespace {
+
+/// Build a random mass-action network. Every consuming reaction gets a
+/// reverse partner so no state is absorbing and the chain stays irreducible
+/// on its reachable component.
+ReactionNetwork random_network(Xoshiro256& rng, int num_species,
+                               std::int32_t cap, int num_pairs) {
+  ReactionNetwork net;
+  for (int s = 0; s < num_species; ++s) {
+    net.add_species("S" + std::to_string(s), cap);
+  }
+  for (int k = 0; k < num_pairs; ++k) {
+    const int src = static_cast<int>(rng.bounded(num_species));
+    int dst = static_cast<int>(rng.bounded(num_species));
+    if (dst == src) dst = (dst + 1) % num_species;
+    const auto copies = static_cast<std::int32_t>(1 + rng.bounded(2));
+
+    // forward: copies of src convert into one dst
+    net.add_reaction("fwd" + std::to_string(k), rng.uniform(0.5, 3.0),
+                     {{src, copies}}, {{src, -copies}, {dst, +1}});
+    // reverse
+    net.add_reaction("rev" + std::to_string(k), rng.uniform(0.5, 3.0),
+                     {{dst, 1}}, {{dst, -1}, {src, +copies}});
+  }
+  // One birth/death pair keeps the origin connected.
+  net.add_reaction("feed", rng.uniform(0.5, 4.0), {}, {{0, +1}});
+  net.add_reaction("decay", rng.uniform(0.5, 2.0), {{0, 1}}, {{0, -1}});
+  return net;
+}
+
+class RandomNetwork : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomNetwork, EnumerationIsClosedAndConsistent) {
+  Xoshiro256 rng(GetParam());
+  const int ns = 2 + static_cast<int>(rng.bounded(3));
+  const auto cap = static_cast<std::int32_t>(3 + rng.bounded(6));
+  const auto net = random_network(rng, ns, cap, 2 + static_cast<int>(rng.bounded(4)));
+
+  const StateSpace space(net, State(static_cast<std::size_t>(ns), 0), 200000);
+  ASSERT_FALSE(space.truncated());
+  ASSERT_GT(space.size(), 1);
+
+  for (index_t i = 0; i < space.size(); ++i) {
+    const State x = space.state(i);
+    EXPECT_EQ(space.find(x), i);
+    for (int k = 0; k < net.num_reactions(); ++k) {
+      if (net.applicable(k, x)) {
+        EXPECT_GE(space.find(net.apply(k, x)), 0)
+            << "reachable successor missing from the enumeration";
+      }
+    }
+  }
+}
+
+TEST_P(RandomNetwork, RateMatrixIsAGenerator) {
+  Xoshiro256 rng(GetParam() ^ 0xBEEF);
+  const int ns = 2 + static_cast<int>(rng.bounded(3));
+  const auto cap = static_cast<std::int32_t>(3 + rng.bounded(5));
+  const auto net = random_network(rng, ns, cap, 2 + static_cast<int>(rng.bounded(4)));
+  const StateSpace space(net, State(static_cast<std::size_t>(ns), 0), 200000);
+  const auto a = rate_matrix(space);
+
+  EXPECT_LT(max_column_sum(a), 1e-9 * a.inf_norm());
+  for (index_t r = 0; r < a.nrows; ++r) {
+    for (index_t p = a.row_ptr[r]; p < a.row_ptr[r + 1]; ++p) {
+      if (a.col_idx[p] == r) {
+        EXPECT_LE(a.val[p], 0.0);
+      } else {
+        EXPECT_GT(a.val[p], 0.0);
+      }
+    }
+  }
+}
+
+TEST_P(RandomNetwork, SolverReturnsAProbabilityVector) {
+  Xoshiro256 rng(GetParam() ^ 0xF00D);
+  const int ns = 2 + static_cast<int>(rng.bounded(2));
+  const auto cap = static_cast<std::int32_t>(3 + rng.bounded(4));
+  const auto net = random_network(rng, ns, cap, 2 + static_cast<int>(rng.bounded(3)));
+  const StateSpace space(net, State(static_cast<std::size_t>(ns), 0), 200000);
+  const auto a = rate_matrix(space);
+
+  solver::WarpedEllDiaOperator op(a);
+  std::vector<real_t> p(static_cast<std::size_t>(a.nrows));
+  solver::fill_uniform(p);
+  solver::JacobiOptions opt;
+  opt.eps = 1e-9;
+  opt.max_iterations = 100000;
+  opt.damping = 0.8;  // random nets can be bipartite-ish
+  (void)solver::jacobi_solve(op, a.inf_norm(), p, opt);
+
+  real_t sum = 0.0;
+  for (real_t v : p) {
+    EXPECT_GE(v, -1e-15);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetwork,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace cmesolve::core

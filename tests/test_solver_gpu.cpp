@@ -1,0 +1,89 @@
+// Tests for the simulated-GPU Jacobi solve (Table IV machinery).
+#include <gtest/gtest.h>
+
+#include "core/models.hpp"
+#include "core/rate_matrix.hpp"
+#include "core/state_space.hpp"
+#include "solver/gpu_jacobi.hpp"
+#include "solver/jacobi.hpp"
+#include "solver/operators.hpp"
+#include "solver/vector_ops.hpp"
+
+namespace cmesolve::solver {
+namespace {
+
+sparse::Csr toggle_matrix(std::int32_t cap) {
+  core::models::ToggleSwitchParams p;
+  p.cap_a = p.cap_b = cap;
+  const auto net = core::models::toggle_switch(p);
+  const core::StateSpace space(net, core::models::toggle_switch_initial(p),
+                               1'000'000);
+  return core::rate_matrix(space);
+}
+
+TEST(GpuJacobi, NumericsIdenticalToHostSolve) {
+  const auto a = toggle_matrix(12);
+  JacobiOptions opt;
+  opt.eps = 1e-10;
+
+  std::vector<real_t> p_host(static_cast<std::size_t>(a.nrows));
+  fill_uniform(p_host);
+  WarpedEllDiaOperator op(a);
+  const auto host = jacobi_solve(op, a.inf_norm(), p_host, opt);
+
+  std::vector<real_t> p_gpu(static_cast<std::size_t>(a.nrows));
+  fill_uniform(p_gpu);
+  const auto gpu =
+      gpu_jacobi_solve(gpusim::DeviceSpec::gtx580(), a, p_gpu, opt);
+
+  EXPECT_EQ(gpu.result.iterations, host.iterations);
+  EXPECT_DOUBLE_EQ(gpu.result.residual, host.residual);
+  for (std::size_t i = 0; i < p_host.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p_gpu[i], p_host[i]);
+  }
+}
+
+TEST(GpuJacobi, SimulatedCostIsPlausible) {
+  const auto a = toggle_matrix(20);
+  std::vector<real_t> p(static_cast<std::size_t>(a.nrows));
+  fill_uniform(p);
+  const auto gpu = gpu_jacobi_solve(gpusim::DeviceSpec::gtx580(), a, p);
+
+  EXPECT_GT(gpu.sweep.seconds, 0.0);
+  EXPECT_GT(gpu.sim_seconds,
+            static_cast<real_t>(gpu.result.iterations) * gpu.sweep.seconds *
+                0.99);
+  // A bandwidth-bound double-precision kernel on a 192 GB/s part cannot
+  // exceed the cached-roofline peak the paper derives (34.4 GFLOPS).
+  EXPECT_GT(gpu.sim_gflops, 0.5);
+  EXPECT_LT(gpu.sim_gflops, 34.4);
+}
+
+TEST(GpuJacobi, FasterDeviceSolvesFaster) {
+  const auto a = toggle_matrix(20);
+  std::vector<real_t> p1(static_cast<std::size_t>(a.nrows));
+  std::vector<real_t> p2(static_cast<std::size_t>(a.nrows));
+  fill_uniform(p1);
+  fill_uniform(p2);
+  const auto fermi = gpu_jacobi_solve(gpusim::DeviceSpec::gtx580(), a, p1);
+  const auto kepler = gpu_jacobi_solve(gpusim::DeviceSpec::kepler_k20(), a, p2);
+  EXPECT_EQ(fermi.result.iterations, kepler.result.iterations);
+  EXPECT_LT(kepler.sim_seconds, fermi.sim_seconds);
+}
+
+TEST(GpuJacobi, SolutionIsStationary) {
+  const auto a = toggle_matrix(15);
+  std::vector<real_t> p(static_cast<std::size_t>(a.nrows));
+  fill_uniform(p);
+  JacobiOptions opt;
+  opt.eps = 1e-11;
+  const auto gpu = gpu_jacobi_solve(gpusim::DeviceSpec::gtx580(), a, p, opt);
+  EXPECT_EQ(gpu.result.reason, StopReason::kConverged);
+
+  std::vector<real_t> ap(static_cast<std::size_t>(a.nrows));
+  sparse::spmv(a, p, ap);
+  EXPECT_LT(norm_inf(ap), 1e-8 * a.inf_norm());
+}
+
+}  // namespace
+}  // namespace cmesolve::solver

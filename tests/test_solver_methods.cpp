@@ -1,0 +1,219 @@
+// Tests for the alternative solvers: Gauss-Seidel, uniformized power
+// iteration, GMRES.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/models.hpp"
+#include "core/rate_matrix.hpp"
+#include "core/state_space.hpp"
+#include "solver/gauss_seidel.hpp"
+#include "solver/gmres.hpp"
+#include "solver/jacobi.hpp"
+#include "solver/operators.hpp"
+#include "solver/power_iteration.hpp"
+#include "solver/vector_ops.hpp"
+
+namespace cmesolve::solver {
+namespace {
+
+sparse::Csr immigration_death_matrix(std::int32_t cap, real_t lambda,
+                                     real_t mu) {
+  core::ReactionNetwork net;
+  const int x = net.add_species("X", cap);
+  net.add_reaction("birth", lambda, {}, {{x, +1}});
+  net.add_reaction("death", mu, {{x, 1}}, {{x, -1}});
+  const core::StateSpace space(net, core::State{0}, 100000);
+  return core::rate_matrix(space);
+}
+
+std::vector<real_t> truncated_poisson(std::int32_t cap, real_t rate) {
+  std::vector<real_t> pi(static_cast<std::size_t>(cap) + 1);
+  real_t term = 1.0;
+  pi[0] = 1.0;
+  for (std::int32_t k = 1; k <= cap; ++k) {
+    term *= rate / static_cast<real_t>(k);
+    pi[static_cast<std::size_t>(k)] = term;
+  }
+  real_t sum = 0;
+  for (real_t v : pi) sum += v;
+  for (real_t& v : pi) v /= sum;
+  return pi;
+}
+
+// --- Gauss-Seidel -----------------------------------------------------------------
+
+TEST(GaussSeidel, MatchesExactStationary) {
+  const auto a = immigration_death_matrix(25, 4.0, 1.0);
+  const auto exact = truncated_poisson(25, 4.0);
+  std::vector<real_t> p(static_cast<std::size_t>(a.nrows));
+  fill_uniform(p);
+  JacobiOptions opt;
+  opt.eps = 1e-12;
+  const auto r = gauss_seidel_solve(a, a.inf_norm(), p, opt);
+  EXPECT_EQ(r.reason, StopReason::kConverged);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(p[i], exact[i], 1e-8);
+  }
+}
+
+TEST(GaussSeidel, ConvergesInFewerSweepsThanJacobi) {
+  const auto a = immigration_death_matrix(40, 8.0, 1.0);
+  JacobiOptions opt;
+  opt.eps = 1e-10;
+  opt.check_every = 10;
+  opt.damping = 0.8;
+
+  std::vector<real_t> pj(static_cast<std::size_t>(a.nrows));
+  fill_uniform(pj);
+  CsrOperator op(a);
+  const auto rj = jacobi_solve(op, a.inf_norm(), pj, opt);
+
+  std::vector<real_t> pg(static_cast<std::size_t>(a.nrows));
+  fill_uniform(pg);
+  const auto rg = gauss_seidel_solve(a, a.inf_norm(), pg, opt);
+
+  EXPECT_EQ(rg.reason, StopReason::kConverged);
+  EXPECT_LT(rg.iterations, rj.iterations);
+}
+
+// --- power iteration -------------------------------------------------------------
+
+TEST(PowerIteration, MatchesExactStationary) {
+  const auto a = immigration_death_matrix(25, 4.0, 1.0);
+  const auto exact = truncated_poisson(25, 4.0);
+  CsrOperator op(a);
+  std::vector<real_t> p(static_cast<std::size_t>(a.nrows));
+  fill_uniform(p);
+  PowerIterationOptions opt;
+  opt.eps = 1e-12;
+  const auto r = power_iteration_solve(op, a.inf_norm(), p, opt);
+  EXPECT_EQ(r.reason, StopReason::kConverged);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(p[i], exact[i], 1e-8);
+  }
+}
+
+TEST(PowerIteration, AgreesWithJacobiOnToggleSwitch) {
+  core::models::ToggleSwitchParams tp;
+  tp.cap_a = tp.cap_b = 10;
+  const auto net = core::models::toggle_switch(tp);
+  const core::StateSpace space(net, core::models::toggle_switch_initial(tp),
+                               100000);
+  const auto a = core::rate_matrix(space);
+  CsrOperator op(a);
+
+  std::vector<real_t> pj(static_cast<std::size_t>(a.nrows));
+  fill_uniform(pj);
+  JacobiOptions jopt;
+  jopt.eps = 1e-11;
+  (void)jacobi_solve(op, a.inf_norm(), pj, jopt);
+
+  std::vector<real_t> pp(static_cast<std::size_t>(a.nrows));
+  fill_uniform(pp);
+  PowerIterationOptions popt;
+  popt.eps = 1e-11;
+  (void)power_iteration_solve(op, a.inf_norm(), pp, popt);
+
+  for (std::size_t i = 0; i < pj.size(); ++i) {
+    EXPECT_NEAR(pj[i], pp[i], 1e-7);
+  }
+}
+
+// --- GMRES -----------------------------------------------------------------------
+
+TEST(Gmres, SolvesDiagonallyDominantSystem) {
+  // Well-conditioned system: GMRES must nail it quickly.
+  const index_t n = 50;
+  sparse::Coo c;
+  c.nrows = c.ncols = n;
+  for (index_t i = 0; i < n; ++i) {
+    c.add(i, i, 10.0 + i);
+    if (i > 0) c.add(i, i - 1, 1.0);
+    if (i < n - 1) c.add(i, i + 1, 2.0);
+  }
+  const auto a = sparse::csr_from_coo(std::move(c));
+
+  std::vector<real_t> x_true(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) x_true[i] = std::sin(0.1 * i);
+  std::vector<real_t> b(static_cast<std::size_t>(n));
+  sparse::spmv(a, x_true, b);
+
+  std::vector<real_t> x(static_cast<std::size_t>(n), 0.0);
+  const LinearOp op = [&a](std::span<const real_t> in, std::span<real_t> out) {
+    sparse::spmv(a, in, out);
+  };
+  const auto r = gmres_solve(op, n, b, x, {});
+  EXPECT_TRUE(r.converged);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-6);
+}
+
+TEST(Gmres, RestartPathExercised) {
+  const index_t n = 80;
+  sparse::Coo c;
+  c.nrows = c.ncols = n;
+  for (index_t i = 0; i < n; ++i) {
+    c.add(i, i, 4.0);
+    if (i > 0) c.add(i, i - 1, -1.0);
+    if (i < n - 1) c.add(i, i + 1, -1.0);
+  }
+  const auto a = sparse::csr_from_coo(std::move(c));
+  std::vector<real_t> b(static_cast<std::size_t>(n), 1.0);
+  std::vector<real_t> x(static_cast<std::size_t>(n), 0.0);
+  const LinearOp op = [&a](std::span<const real_t> in, std::span<real_t> out) {
+    sparse::spmv(a, in, out);
+  };
+  GmresOptions opt;
+  opt.restart = 5;  // force several restarts
+  opt.max_iterations = 500;
+  const auto r = gmres_solve(op, n, b, x, opt);
+  EXPECT_TRUE(r.converged);
+  std::vector<real_t> check(static_cast<std::size_t>(n));
+  sparse::spmv(a, x, check);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(check[i], 1.0, 1e-6);
+}
+
+TEST(Gmres, ZeroRhsReturnsZero) {
+  const LinearOp op = [](std::span<const real_t> in, std::span<real_t> out) {
+    std::copy(in.begin(), in.end(), out.begin());
+  };
+  std::vector<real_t> b(10, 0.0);
+  std::vector<real_t> x(10, 3.0);
+  const auto r = gmres_solve(op, 10, b, x, {});
+  EXPECT_TRUE(r.converged);
+  for (real_t v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Gmres, SteadyStateOperatorSolvesSmallChain) {
+  // On a small, benign chain the constraint-row formulation is solvable;
+  // the result must match the known stationary distribution.
+  const auto a = immigration_death_matrix(10, 2.0, 1.0);
+  const auto exact = truncated_poisson(10, 2.0);
+  const auto op = steady_state_operator(a, a.nrows - 1);
+  const auto b = steady_state_rhs(a.nrows, a.nrows - 1);
+  std::vector<real_t> x(static_cast<std::size_t>(a.nrows), 0.0);
+  GmresOptions opt;
+  opt.max_iterations = 500;
+  const auto r = gmres_solve(op, a.nrows, b, x, opt);
+  EXPECT_TRUE(r.converged);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i], exact[i], 1e-6);
+  }
+}
+
+TEST(Gmres, ResidualHistoryMonotoneWithinCycle) {
+  const auto a = immigration_death_matrix(20, 3.0, 1.0);
+  const auto op = steady_state_operator(a, a.nrows - 1);
+  const auto b = steady_state_rhs(a.nrows, a.nrows - 1);
+  std::vector<real_t> x(static_cast<std::size_t>(a.nrows), 0.0);
+  GmresOptions opt;
+  opt.restart = 30;
+  opt.max_iterations = 30;
+  const auto r = gmres_solve(op, a.nrows, b, x, opt);
+  for (std::size_t i = 1; i < r.residual_history.size(); ++i) {
+    EXPECT_LE(r.residual_history[i], r.residual_history[i - 1] + 1e-15);
+  }
+}
+
+}  // namespace
+}  // namespace cmesolve::solver

@@ -1,0 +1,172 @@
+// Tests for the uniformization-based transient solver (the paper's
+// future-work extension).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/models.hpp"
+#include "core/rate_matrix.hpp"
+#include "core/state_space.hpp"
+#include "solver/jacobi.hpp"
+#include "solver/operators.hpp"
+#include "solver/transient.hpp"
+#include "solver/vector_ops.hpp"
+
+namespace cmesolve::solver {
+namespace {
+
+sparse::Csr two_state(real_t up, real_t down) {
+  sparse::Coo c;
+  c.nrows = c.ncols = 2;
+  c.add(0, 0, -up);
+  c.add(1, 0, up);
+  c.add(0, 1, down);
+  c.add(1, 1, -down);
+  return sparse::csr_from_coo(std::move(c));
+}
+
+TEST(Transient, TwoStateAnalyticSolution) {
+  // p1(t) = pi1 + (p1(0) - pi1) e^{-(a+b) t}.
+  const real_t up = 2.0;
+  const real_t down = 3.0;
+  const auto a = two_state(up, down);
+  CsrOperator op(a);
+  const real_t pi0 = down / (up + down);
+
+  for (const real_t t : {0.0, 0.1, 0.5, 1.0, 3.0}) {
+    std::vector<real_t> p{1.0, 0.0};
+    const auto r = transient_solve(op, t, p);
+    EXPECT_FALSE(r.truncated_early);
+    const real_t expect0 = pi0 + (1.0 - pi0) * std::exp(-(up + down) * t);
+    EXPECT_NEAR(p[0], expect0, 1e-10) << "t=" << t;
+    EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+  }
+}
+
+TEST(Transient, TimeZeroIsIdentity) {
+  const auto a = two_state(1.0, 1.0);
+  CsrOperator op(a);
+  std::vector<real_t> p{0.3, 0.7};
+  const auto r = transient_solve(op, 0.0, p);
+  EXPECT_EQ(r.matvecs, 0u);
+  EXPECT_DOUBLE_EQ(p[0], 0.3);
+  EXPECT_DOUBLE_EQ(p[1], 0.7);
+}
+
+TEST(Transient, NegativeTimeRejected) {
+  const auto a = two_state(1.0, 1.0);
+  CsrOperator op(a);
+  std::vector<real_t> p{0.5, 0.5};
+  EXPECT_THROW((void)transient_solve(op, -1.0, p), std::invalid_argument);
+}
+
+TEST(Transient, ImmigrationDeathMeanMatchesOde) {
+  // d E[X]/dt = lambda - mu E[X]  =>  E[X](t) = (lambda/mu)(1 - e^{-mu t})
+  // starting from X = 0 (buffer large enough that truncation is invisible).
+  const real_t lambda = 4.0;
+  const real_t mu = 1.0;
+  core::ReactionNetwork net;
+  const int x = net.add_species("X", 40);
+  net.add_reaction("birth", lambda, {}, {{x, +1}});
+  net.add_reaction("death", mu, {{x, 1}}, {{x, -1}});
+  const core::StateSpace space(net, core::State{0}, 1000);
+  const auto a = core::rate_matrix(space);
+  CsrOperator op(a);
+
+  for (const real_t t : {0.25, 1.0, 2.5}) {
+    std::vector<real_t> p(static_cast<std::size_t>(a.nrows), 0.0);
+    p[0] = 1.0;  // start empty
+    (void)transient_solve(op, t, p);
+    real_t mean = 0.0;
+    for (index_t i = 0; i < a.nrows; ++i) mean += p[i] * i;
+    const real_t expect = lambda / mu * (1.0 - std::exp(-mu * t));
+    EXPECT_NEAR(mean, expect, 1e-6) << "t=" << t;
+  }
+}
+
+TEST(Transient, LongHorizonReachesSteadyState) {
+  core::models::ToggleSwitchParams tp;
+  tp.cap_a = tp.cap_b = 8;
+  const auto net = core::models::toggle_switch(tp);
+  const core::StateSpace space(net, core::models::toggle_switch_initial(tp),
+                               100000);
+  const auto a = core::rate_matrix(space);
+  CsrOperator op(a);
+
+  std::vector<real_t> steady(static_cast<std::size_t>(a.nrows));
+  fill_uniform(steady);
+  JacobiOptions jopt;
+  jopt.eps = 1e-11;
+  (void)jacobi_solve(op, a.inf_norm(), steady, jopt);
+
+  std::vector<real_t> p(static_cast<std::size_t>(a.nrows), 0.0);
+  p[0] = 1.0;
+  (void)transient_solve(op, 200.0, p);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(p[i], steady[i], 1e-6);
+  }
+}
+
+TEST(Transient, ProbabilityVectorInvariantAtAllTimes) {
+  core::models::BrusselatorParams bp;
+  bp.cap_x = 15;
+  bp.cap_y = 8;
+  const auto net = core::models::brusselator(bp);
+  const core::StateSpace space(net, core::models::brusselator_initial(bp),
+                               100000);
+  const auto a = core::rate_matrix(space);
+  CsrDiaOperator op(a);
+
+  std::vector<real_t> p(static_cast<std::size_t>(a.nrows), 0.0);
+  p[0] = 1.0;
+  for (const real_t dt : {0.01, 0.1, 1.0}) {
+    (void)transient_solve(op, dt, p);  // chained propagation
+    real_t sum = 0.0;
+    real_t minimum = 1.0;
+    for (real_t v : p) {
+      sum += v;
+      minimum = std::min(minimum, v);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_GE(minimum, -1e-15);
+  }
+}
+
+TEST(Transient, SemigroupProperty) {
+  // Propagating by t then s equals propagating by t + s.
+  const auto a = two_state(1.3, 0.7);
+  CsrOperator op(a);
+  std::vector<real_t> p1{1.0, 0.0};
+  (void)transient_solve(op, 0.4, p1);
+  (void)transient_solve(op, 0.6, p1);
+  std::vector<real_t> p2{1.0, 0.0};
+  (void)transient_solve(op, 1.0, p2);
+  EXPECT_NEAR(p1[0], p2[0], 1e-10);
+  EXPECT_NEAR(p1[1], p2[1], 1e-10);
+}
+
+TEST(Transient, SeriesLengthGrowsWithHorizon) {
+  const auto a = two_state(5.0, 5.0);
+  CsrOperator op(a);
+  std::vector<real_t> p{1.0, 0.0};
+  const auto short_run = transient_solve(op, 0.1, p);
+  p = {1.0, 0.0};
+  const auto long_run = transient_solve(op, 10.0, p);
+  EXPECT_GT(long_run.matvecs, short_run.matvecs);
+}
+
+TEST(Transient, MaxTermsCapRespected) {
+  const auto a = two_state(100.0, 100.0);
+  CsrOperator op(a);
+  std::vector<real_t> p{1.0, 0.0};
+  TransientOptions opt;
+  opt.max_terms = 5;  // far too few for lambda*t ~ 2000
+  const auto r = transient_solve(op, 10.0, p, opt);
+  EXPECT_TRUE(r.truncated_early);
+  EXPECT_LE(r.matvecs, 5u);
+  // Renormalization keeps the output a probability vector regardless.
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cmesolve::solver

@@ -1,0 +1,103 @@
+// Unit tests for the BCSR register-blocked format.
+#include <gtest/gtest.h>
+
+#include "gpusim/kernels.hpp"
+#include "sparse/bcsr.hpp"
+#include "sparse/dense.hpp"
+#include "util/rng.hpp"
+
+namespace cmesolve::sparse {
+namespace {
+
+Csr random_matrix(index_t n, index_t max_row, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Coo c;
+  c.nrows = c.ncols = n;
+  for (index_t r = 0; r < n; ++r) {
+    const auto len = 1 + rng.bounded(static_cast<std::uint64_t>(max_row));
+    for (std::uint64_t j = 0; j < len; ++j) {
+      c.add(r, static_cast<index_t>(rng.bounded(static_cast<std::uint64_t>(n))),
+            rng.uniform(-1, 1));
+    }
+  }
+  return csr_from_coo(std::move(c));
+}
+
+TEST(Bcsr, DenseBlocksHavePerfectEfficiency) {
+  // Block-diagonal matrix of dense 2x2 blocks.
+  Coo c;
+  c.nrows = c.ncols = 8;
+  for (index_t b = 0; b < 4; ++b) {
+    for (int lr = 0; lr < 2; ++lr) {
+      for (int lc = 0; lc < 2; ++lc) {
+        c.add(b * 2 + lr, b * 2 + lc, 1.0 + lr + lc);
+      }
+    }
+  }
+  const Bcsr m = bcsr_from_csr(csr_from_coo(std::move(c)), 2, 2);
+  EXPECT_EQ(m.num_blocks(), 4u);
+  EXPECT_DOUBLE_EQ(m.efficiency(), 1.0);
+}
+
+TEST(Bcsr, SingletonEntriesFillPoorly) {
+  // Diagonal matrix: every 2x2 block holds one nonzero... except that the
+  // two diagonal entries of a block grid cell share the block.
+  Coo c;
+  c.nrows = c.ncols = 16;
+  for (index_t i = 0; i < 16; ++i) c.add(i, i, 1.0);
+  const Bcsr m = bcsr_from_csr(csr_from_coo(std::move(c)), 2, 2);
+  EXPECT_EQ(m.num_blocks(), 8u);
+  EXPECT_DOUBLE_EQ(m.efficiency(), 0.5);
+}
+
+TEST(Bcsr, RoundTripThroughCsr) {
+  const Csr m = random_matrix(50, 5, 3);
+  for (const auto& [br, bc] : {std::pair{2, 2}, std::pair{4, 4}, std::pair{3, 2}}) {
+    const Bcsr b = bcsr_from_csr(m, br, bc);
+    const Csr back = csr_from_bcsr(b);
+    ASSERT_EQ(back.nnz(), m.nnz()) << br << "x" << bc;
+    for (index_t r = 0; r < m.nrows; ++r) {
+      for (index_t p = m.row_ptr[r]; p < m.row_ptr[r + 1]; ++p) {
+        EXPECT_DOUBLE_EQ(back.at(r, m.col_idx[p]), m.val[p]);
+      }
+    }
+  }
+}
+
+TEST(Bcsr, SpmvMatchesCsr) {
+  for (std::uint64_t seed : {4u, 5u}) {
+    const Csr m = random_matrix(101, 6, seed);  // non-multiple of block size
+    const Bcsr b = bcsr_from_csr(m, 2, 2);
+    Xoshiro256 rng(seed + 50);
+    std::vector<real_t> x(101);
+    for (auto& v : x) v = rng.uniform(-1, 1);
+    std::vector<real_t> expect(101);
+    std::vector<real_t> y(101);
+    spmv(m, x, expect);
+    spmv(b, x, y);
+    for (index_t i = 0; i < 101; ++i) EXPECT_NEAR(y[i], expect[i], 1e-12);
+  }
+}
+
+TEST(Bcsr, GpuKernelFunctionalEquivalence) {
+  const Csr m = random_matrix(300, 5, 9);
+  const Bcsr b = bcsr_from_csr(m, 2, 2);
+  std::vector<real_t> x(300);
+  for (index_t i = 0; i < 300; ++i) x[i] = 1.0 + 0.01 * i;
+  std::vector<real_t> expect(300);
+  std::vector<real_t> y(300);
+  spmv(m, x, expect);
+  const auto stats =
+      gpusim::simulate_spmv(gpusim::DeviceSpec::gtx580(), b, x, y);
+  EXPECT_GT(stats.gflops, 0.0);
+  for (index_t i = 0; i < 300; ++i) EXPECT_NEAR(y[i], expect[i], 1e-11);
+}
+
+TEST(Bcsr, InvalidBlockDimsThrow) {
+  const Csr m = random_matrix(10, 2, 1);
+  EXPECT_THROW((void)bcsr_from_csr(m, 0, 2), std::invalid_argument);
+  EXPECT_THROW((void)bcsr_from_csr(m, 2, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmesolve::sparse

@@ -1,0 +1,167 @@
+// Unit tests for the COO and CSR interchange formats.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "util/rng.hpp"
+
+namespace cmesolve::sparse {
+namespace {
+
+Coo small_coo() {
+  // 3x4:  [ 1 0 2 0
+  //         0 3 0 0
+  //         4 0 5 6 ]
+  Coo c;
+  c.nrows = 3;
+  c.ncols = 4;
+  c.add(2, 3, 6.0);
+  c.add(0, 0, 1.0);
+  c.add(2, 0, 4.0);
+  c.add(1, 1, 3.0);
+  c.add(0, 2, 2.0);
+  c.add(2, 2, 5.0);
+  return c;
+}
+
+TEST(Coo, SortAndCombineOrders) {
+  Coo c = small_coo();
+  EXPECT_FALSE(c.is_canonical());
+  c.sort_and_combine();
+  EXPECT_TRUE(c.is_canonical());
+  EXPECT_EQ(c.nnz(), 6u);
+  EXPECT_EQ(c.row.front(), 0);
+  EXPECT_EQ(c.col.front(), 0);
+}
+
+TEST(Coo, DuplicatesAreSummed) {
+  Coo c;
+  c.nrows = c.ncols = 2;
+  c.add(0, 1, 1.5);
+  c.add(0, 1, 2.5);
+  c.add(1, 0, 1.0);
+  c.sort_and_combine();
+  EXPECT_EQ(c.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(c.val[0], 4.0);
+}
+
+TEST(Csr, FromCooLayout) {
+  const Csr m = csr_from_coo(small_coo());
+  EXPECT_EQ(m.nrows, 3);
+  EXPECT_EQ(m.ncols, 4);
+  EXPECT_EQ(m.nnz(), 6u);
+  ASSERT_EQ(m.row_ptr.size(), 4u);
+  EXPECT_EQ(m.row_ptr[0], 0);
+  EXPECT_EQ(m.row_ptr[1], 2);
+  EXPECT_EQ(m.row_ptr[2], 3);
+  EXPECT_EQ(m.row_ptr[3], 6);
+  EXPECT_EQ(m.row_length(0), 2);
+  EXPECT_EQ(m.row_length(1), 1);
+  EXPECT_EQ(m.max_row_length(), 3);
+}
+
+TEST(Csr, AtReturnsValuesAndZeros) {
+  const Csr m = csr_from_coo(small_coo());
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 3), 6.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 3), 0.0);
+}
+
+TEST(Csr, OutOfBoundsEntryThrows) {
+  Coo c;
+  c.nrows = c.ncols = 2;
+  c.add(0, 5, 1.0);
+  EXPECT_THROW((void)csr_from_coo(std::move(c)), std::out_of_range);
+}
+
+TEST(Csr, InfNorm) {
+  const Csr m = csr_from_coo(small_coo());
+  EXPECT_DOUBLE_EQ(m.inf_norm(), 15.0);  // |4| + |5| + |6|
+}
+
+TEST(Csr, CooRoundTrip) {
+  const Csr m = csr_from_coo(small_coo());
+  const Csr again = csr_from_coo(coo_from_csr(m));
+  EXPECT_EQ(m.row_ptr, again.row_ptr);
+  EXPECT_EQ(m.col_idx, again.col_idx);
+  EXPECT_EQ(m.val, again.val);
+}
+
+TEST(Csr, TransposeTwiceIsIdentity) {
+  const Csr m = csr_from_coo(small_coo());
+  const Csr tt = transpose(transpose(m));
+  EXPECT_EQ(m.row_ptr, tt.row_ptr);
+  EXPECT_EQ(m.col_idx, tt.col_idx);
+  EXPECT_EQ(m.val, tt.val);
+}
+
+TEST(Csr, TransposeEntries) {
+  const Csr m = csr_from_coo(small_coo());
+  const Csr t = transpose(m);
+  EXPECT_EQ(t.nrows, 4);
+  EXPECT_EQ(t.ncols, 3);
+  for (index_t r = 0; r < m.nrows; ++r) {
+    for (index_t c = 0; c < m.ncols; ++c) {
+      EXPECT_DOUBLE_EQ(m.at(r, c), t.at(c, r));
+    }
+  }
+}
+
+TEST(Csr, SplitDiagonal) {
+  Coo c;
+  c.nrows = c.ncols = 3;
+  c.add(0, 0, -2.0);
+  c.add(0, 1, 1.0);
+  c.add(1, 1, -3.0);
+  c.add(2, 0, 4.0);  // row 2 has no diagonal entry
+  const auto [diag, off] = split_diagonal(csr_from_coo(std::move(c)));
+  EXPECT_DOUBLE_EQ(diag[0], -2.0);
+  EXPECT_DOUBLE_EQ(diag[1], -3.0);
+  EXPECT_DOUBLE_EQ(diag[2], 0.0);
+  EXPECT_EQ(off.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(off.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(off.at(2, 0), 4.0);
+  EXPECT_DOUBLE_EQ(off.at(0, 0), 0.0);
+}
+
+TEST(Csr, SpmvMatchesDenseOracle) {
+  Xoshiro256 rng(99);
+  Coo c;
+  c.nrows = 37;
+  c.ncols = 29;
+  for (int e = 0; e < 200; ++e) {
+    c.add(static_cast<index_t>(rng.bounded(37)),
+          static_cast<index_t>(rng.bounded(29)), rng.uniform(-1, 1));
+  }
+  const Csr m = csr_from_coo(std::move(c));
+  const Dense d = dense_from_csr(m);
+
+  std::vector<real_t> x(29);
+  for (auto& v : x) v = rng.uniform(-2, 2);
+  std::vector<real_t> y1(37);
+  std::vector<real_t> y2(37);
+  spmv(m, x, y1);
+  spmv(d, x, y2);
+  for (int i = 0; i < 37; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(Dense, RoundTripThroughCsr) {
+  Dense d(3, 3);
+  d(0, 0) = 1.0;
+  d(1, 2) = -2.0;
+  d(2, 1) = 0.5;
+  const Dense back = dense_from_csr(csr_from_dense(d));
+  for (index_t r = 0; r < 3; ++r) {
+    for (index_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(d(r, c), back(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cmesolve::sparse

@@ -1,0 +1,210 @@
+// Unit tests for the ELL and DIA formats.
+#include <gtest/gtest.h>
+
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/dia.hpp"
+#include "sparse/ell.hpp"
+#include "util/rng.hpp"
+
+namespace cmesolve::sparse {
+namespace {
+
+Csr random_matrix(index_t n, index_t max_row, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Coo c;
+  c.nrows = c.ncols = n;
+  for (index_t r = 0; r < n; ++r) {
+    const auto len = 1 + rng.bounded(static_cast<std::uint64_t>(max_row));
+    for (std::uint64_t j = 0; j < len; ++j) {
+      c.add(r, static_cast<index_t>(rng.bounded(static_cast<std::uint64_t>(n))),
+            rng.uniform(-1, 1));
+    }
+  }
+  return csr_from_coo(std::move(c));
+}
+
+std::vector<real_t> random_vector(index_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<real_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  return x;
+}
+
+// --- ELL ---------------------------------------------------------------------
+
+TEST(Ell, PaddedRowsMultipleOfWarp) {
+  const Csr m = random_matrix(100, 4, 1);
+  const Ell e = ell_from_csr(m);
+  EXPECT_EQ(e.padded_rows, 128);
+  EXPECT_EQ(e.padded_rows % 32, 0);
+  EXPECT_EQ(e.nrows, 100);
+}
+
+TEST(Ell, ExactMultipleNotPadded) {
+  const Csr m = random_matrix(96, 4, 2);
+  EXPECT_EQ(ell_from_csr(m).padded_rows, 96);
+}
+
+TEST(Ell, KIsMaxRowLength) {
+  const Csr m = random_matrix(64, 6, 3);
+  EXPECT_EQ(ell_from_csr(m).k, m.max_row_length());
+}
+
+TEST(Ell, ColumnMajorLayoutAndPadding) {
+  // Row 0: two entries; row 1: one entry.
+  Coo c;
+  c.nrows = c.ncols = 2;
+  c.add(0, 0, 1.0);
+  c.add(0, 1, 2.0);
+  c.add(1, 1, 3.0);
+  const Ell e = ell_from_csr(csr_from_coo(std::move(c)));
+  EXPECT_EQ(e.k, 2);
+  EXPECT_EQ(e.padded_rows, 32);
+  // (r=0, j=0) at slot 0; (r=0, j=1) at slot padded_rows.
+  EXPECT_DOUBLE_EQ(e.val[0], 1.0);
+  EXPECT_EQ(e.col[0], 0);
+  EXPECT_DOUBLE_EQ(e.val[static_cast<std::size_t>(e.padded_rows)], 2.0);
+  EXPECT_EQ(e.col[static_cast<std::size_t>(e.padded_rows)], 1);
+  // Row 1 second slot is padding.
+  EXPECT_EQ(e.col[static_cast<std::size_t>(e.padded_rows) + 1], kPadColumn);
+  EXPECT_DOUBLE_EQ(e.val[static_cast<std::size_t>(e.padded_rows) + 1], 0.0);
+}
+
+TEST(Ell, EfficiencyMetric) {
+  // 32 rows, all length 2 except one of length 8: e = nnz / (n' * k).
+  Coo c;
+  c.nrows = c.ncols = 32;
+  for (index_t r = 0; r < 32; ++r) {
+    c.add(r, 0, 1.0);
+    c.add(r, 1, 1.0);
+  }
+  for (index_t j = 2; j < 8; ++j) c.add(0, j, 1.0);
+  const Ell e = ell_from_csr(csr_from_coo(std::move(c)));
+  EXPECT_EQ(e.k, 8);
+  EXPECT_DOUBLE_EQ(e.efficiency(), 70.0 / (32.0 * 8.0));
+}
+
+TEST(Ell, SpmvMatchesCsr) {
+  for (std::uint64_t seed : {10u, 11u, 12u}) {
+    const Csr m = random_matrix(150, 7, seed);
+    const Ell e = ell_from_csr(m);
+    const auto x = random_vector(m.ncols, seed + 100);
+    std::vector<real_t> y1(static_cast<std::size_t>(m.nrows));
+    std::vector<real_t> y2(static_cast<std::size_t>(m.nrows));
+    spmv(m, x, y1);
+    spmv(e, x, y2);
+    for (index_t i = 0; i < m.nrows; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+  }
+}
+
+TEST(Ell, BytesAccounting) {
+  const Csr m = random_matrix(64, 3, 5);
+  const Ell e = ell_from_csr(m);
+  EXPECT_EQ(e.bytes(), static_cast<std::size_t>(e.padded_rows) * e.k * 12);
+}
+
+// --- DIA ---------------------------------------------------------------------
+
+Csr tridiagonal(index_t n) {
+  Coo c;
+  c.nrows = c.ncols = n;
+  for (index_t i = 0; i < n; ++i) {
+    c.add(i, i, -2.0);
+    if (i > 0) c.add(i, i - 1, 1.0);
+    if (i < n - 1) c.add(i, i + 1, 1.0);
+  }
+  return csr_from_coo(std::move(c));
+}
+
+TEST(Dia, ExtractsTridiagonalFully) {
+  const Csr m = tridiagonal(50);
+  const Dia d = dia_from_csr(m, {-1, 0, 1});
+  EXPECT_EQ(d.nnz, m.nnz());
+  EXPECT_DOUBLE_EQ(d.density(), 1.0);
+}
+
+TEST(Dia, OffsetsSorted) {
+  const Dia d = dia_from_csr(tridiagonal(10), {1, -1, 0});
+  EXPECT_EQ(d.offsets, (std::vector<index_t>{-1, 0, 1}));
+}
+
+TEST(Dia, PartialExtraction) {
+  const Csr m = tridiagonal(50);
+  const Dia d = dia_from_csr(m, {0});
+  EXPECT_EQ(d.nnz, 50u);
+  EXPECT_DOUBLE_EQ(d.density(), 1.0);
+  for (index_t i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(d.data[i], -2.0);
+}
+
+TEST(Dia, SpmvMatchesCsrOnBandedMatrix) {
+  const Csr m = tridiagonal(77);
+  const Dia d = dia_from_csr(m, {-1, 0, 1});
+  const auto x = random_vector(77, 42);
+  std::vector<real_t> y1(77);
+  std::vector<real_t> y2(77);
+  spmv(m, x, y1);
+  spmv(d, x, y2);
+  for (index_t i = 0; i < 77; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(Dia, SpmvAddAccumulates) {
+  const Dia d = dia_from_csr(tridiagonal(10), {0});
+  std::vector<real_t> x(10, 1.0);
+  std::vector<real_t> y(10, 5.0);
+  spmv_add(d, x, y);
+  for (index_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(y[i], 3.0);  // 5 + (-2)
+}
+
+TEST(Dia, StripRemovesExactlyTheBand) {
+  const Csr m = random_matrix(60, 5, 77);
+  const std::vector<index_t> offsets{-1, 0, 1};
+  const Dia band = dia_from_csr(m, offsets);
+  const Csr rest = strip_diagonals(m, offsets);
+  EXPECT_EQ(band.nnz + rest.nnz(), m.nnz());
+  // Sum reconstructs the original matrix.
+  const auto x = random_vector(60, 5);
+  std::vector<real_t> y_full(60);
+  std::vector<real_t> y_sum(60);
+  spmv(m, x, y_full);
+  spmv(rest, x, y_sum);
+  spmv_add(band, x, y_sum);
+  for (index_t i = 0; i < 60; ++i) EXPECT_NEAR(y_full[i], y_sum[i], 1e-12);
+}
+
+TEST(Dia, DensityOfEmptyDiagonalIsZero) {
+  const Csr m = tridiagonal(20);
+  const auto density = diagonal_density(m, std::vector<index_t>{5});
+  EXPECT_DOUBLE_EQ(density[0], 0.0);
+}
+
+TEST(Dia, DensityPerOffset) {
+  const Csr m = tridiagonal(20);
+  const std::vector<index_t> offs{-1, 0, 1, 2};
+  const auto density = diagonal_density(m, offs);
+  EXPECT_DOUBLE_EQ(density[0], 1.0);
+  EXPECT_DOUBLE_EQ(density[1], 1.0);
+  EXPECT_DOUBLE_EQ(density[2], 1.0);
+  EXPECT_DOUBLE_EQ(density[3], 0.0);
+}
+
+TEST(Dia, RectangularBoundsRespected) {
+  Coo c;
+  c.nrows = 3;
+  c.ncols = 5;
+  c.add(0, 1, 1.0);
+  c.add(1, 2, 2.0);
+  c.add(2, 3, 3.0);
+  const Csr m = csr_from_coo(std::move(c));
+  const Dia d = dia_from_csr(m, {1});
+  EXPECT_EQ(d.nnz, 3u);
+  std::vector<real_t> x(5, 1.0);
+  std::vector<real_t> y(3);
+  spmv(d, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  EXPECT_DOUBLE_EQ(y[2], 3.0);
+}
+
+}  // namespace
+}  // namespace cmesolve::sparse

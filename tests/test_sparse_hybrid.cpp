@@ -1,0 +1,247 @@
+// Unit tests for the hybrid band+remainder formats, format statistics and
+// Matrix Market I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/format_stats.hpp"
+#include "sparse/hybrid.hpp"
+#include "sparse/matrix_market.hpp"
+#include "util/rng.hpp"
+
+namespace cmesolve::sparse {
+namespace {
+
+/// Banded matrix with a dense {-1,0,+1} band plus scattered extras; a few
+/// rows get a long tail so the spill path is exercised.
+Csr banded_with_outliers(index_t n, std::uint64_t seed,
+                         index_t outlier_period = 97) {
+  Xoshiro256 rng(seed);
+  Coo c;
+  c.nrows = c.ncols = n;
+  for (index_t r = 0; r < n; ++r) {
+    c.add(r, r, -4.0);
+    if (r > 0) c.add(r, r - 1, 1.0);
+    if (r < n - 1) c.add(r, r + 1, 1.0);
+    c.add(r, (r + n / 2) % n, 0.5);
+    if (r % outlier_period == 0) {  // outlier rows
+      for (index_t j = 0; j < 6; ++j) {
+        c.add(r, (r + 7 + 13 * j) % n, 0.25);
+      }
+    }
+  }
+  Csr m = csr_from_coo(std::move(c));
+  return m;
+}
+
+std::vector<real_t> random_vector(index_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<real_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  return x;
+}
+
+// --- band selection -----------------------------------------------------------
+
+TEST(BandSelection, DenseBandSelected) {
+  const Csr m = banded_with_outliers(300, 1);
+  EXPECT_EQ(select_band_offsets(m), (std::vector<index_t>{-1, 0, 1}));
+}
+
+TEST(BandSelection, SparseBandRejected) {
+  // Diagonal plus far scattered entries only: neighbours are empty.
+  Coo c;
+  c.nrows = c.ncols = 100;
+  for (index_t r = 0; r < 100; ++r) {
+    c.add(r, r, -1.0);
+    c.add(r, (r + 50) % 100, 1.0);
+  }
+  EXPECT_EQ(select_band_offsets(csr_from_coo(std::move(c))),
+            (std::vector<index_t>{0}));
+}
+
+// --- EllDia --------------------------------------------------------------------
+
+TEST(EllDia, PartitionCoversEveryNonzero) {
+  const Csr m = banded_with_outliers(400, 2);
+  const EllDia h = ell_dia_from_csr(m, {-1, 0, 1});
+  EXPECT_EQ(h.band.nnz + h.rest.nnz + h.spill.nnz(), m.nnz());
+}
+
+TEST(EllDia, SpillCapsRestK) {
+  const Csr m = banded_with_outliers(970, 3);
+  const EllDia h = ell_dia_from_csr(m, {-1, 0, 1});
+  // Most rows have exactly 1 off-band entry; outlier rows have 7. The 0.99
+  // quantile is 1, so the ELL part stays at k = 1.
+  EXPECT_EQ(h.rest.k, 1);
+  EXPECT_GT(h.spill.nnz(), 0u);
+}
+
+TEST(EllDia, SpmvMatchesCsr) {
+  const Csr m = banded_with_outliers(500, 4);
+  const EllDia h = ell_dia_from_csr(m, {-1, 0, 1});
+  const auto x = random_vector(500, 21);
+  std::vector<real_t> expect(500);
+  std::vector<real_t> y(500);
+  spmv(m, x, expect);
+  spmv(h, x, y);
+  for (index_t i = 0; i < 500; ++i) EXPECT_NEAR(y[i], expect[i], 1e-12);
+}
+
+TEST(EllDia, DiagonalOnlyBand) {
+  const Csr m = banded_with_outliers(200, 5);
+  const EllDia h = ell_dia_from_csr(m, {0});
+  const auto x = random_vector(200, 22);
+  std::vector<real_t> expect(200);
+  std::vector<real_t> y(200);
+  spmv(m, x, expect);
+  spmv(h, x, y);
+  for (index_t i = 0; i < 200; ++i) EXPECT_NEAR(y[i], expect[i], 1e-12);
+}
+
+// --- SlicedEllDia ---------------------------------------------------------------
+
+TEST(SlicedEllDia, SpmvMatchesCsr) {
+  const Csr m = banded_with_outliers(450, 6);
+  const SlicedEllDia h = sliced_ell_dia_from_csr(m, {-1, 0, 1});
+  const auto x = random_vector(450, 23);
+  std::vector<real_t> expect(450);
+  std::vector<real_t> y(450);
+  spmv(m, x, expect);
+  spmv(h, x, y);
+  for (index_t i = 0; i < 450; ++i) EXPECT_NEAR(y[i], expect[i], 1e-12);
+}
+
+TEST(SlicedEllDia, BandHoldsTheDiagonal) {
+  const Csr m = banded_with_outliers(100, 7);
+  const SlicedEllDia h = sliced_ell_dia_from_csr(m, {-1, 0, 1});
+  const auto it = std::find(h.band.offsets.begin(), h.band.offsets.end(), 0);
+  ASSERT_NE(it, h.band.offsets.end());
+  const auto d0 = static_cast<std::size_t>(it - h.band.offsets.begin());
+  for (index_t r = 0; r < 100; ++r) {
+    EXPECT_DOUBLE_EQ(h.band.data[d0 * 100 + static_cast<std::size_t>(r)],
+                     m.at(r, r));
+  }
+}
+
+// --- CsrDia ----------------------------------------------------------------------
+
+TEST(CsrDia, SpmvMatchesCsr) {
+  const Csr m = banded_with_outliers(380, 8);
+  const CsrDia h = csr_dia_from_csr(m, {-1, 0, 1});
+  const auto x = random_vector(380, 24);
+  std::vector<real_t> expect(380);
+  std::vector<real_t> y(380);
+  spmv(m, x, expect);
+  spmv(h, x, y);
+  for (index_t i = 0; i < 380; ++i) EXPECT_NEAR(y[i], expect[i], 1e-12);
+}
+
+// --- fingerprints / footprints ------------------------------------------------------
+
+TEST(Fingerprint, HandBuiltMatrix) {
+  // 4 rows of lengths 1, 2, 3, 2.
+  Coo c;
+  c.nrows = c.ncols = 4;
+  c.add(0, 0, -1.0);
+  c.add(1, 0, 1.0);
+  c.add(1, 1, -1.0);
+  c.add(2, 1, 1.0);
+  c.add(2, 2, -1.0);
+  c.add(2, 3, 1.0);
+  c.add(3, 2, 1.0);
+  c.add(3, 3, -1.0);
+  const auto f = fingerprint(csr_from_coo(std::move(c)));
+  EXPECT_EQ(f.n, 4);
+  EXPECT_EQ(f.nnz, 8u);
+  EXPECT_EQ(f.row_min, 1);
+  EXPECT_EQ(f.row_max, 3);
+  EXPECT_DOUBLE_EQ(f.row_mean, 2.0);
+  EXPECT_DOUBLE_EQ(f.d0, 1.0);
+  EXPECT_DOUBLE_EQ(f.skew, 0.5);
+}
+
+TEST(Footprints, OrderingOnSkewedMatrix) {
+  // Outliers rare enough that most 256-row slices keep the short local k.
+  const Csr m = banded_with_outliers(2000, 9, /*outlier_period=*/499);
+  const auto fp = footprints(m);
+  EXPECT_LT(fp.warped_ell, fp.sliced_ell);
+  EXPECT_LT(fp.sliced_ell, fp.ell);
+  EXPECT_EQ(fp.csr, (m.row_ptr.size() + m.col_idx.size()) * 4 +
+                        m.val.size() * 8);
+  EXPECT_EQ(fp.coo, m.nnz() * 16);
+}
+
+TEST(Fingerprint, DiskSizeMatchesActualFile) {
+  const Csr m = banded_with_outliers(50, 10);
+  std::ostringstream out;
+  write_matrix_market(out, m);
+  EXPECT_EQ(matrix_market_size_bytes(m), out.str().size());
+}
+
+// --- matrix market ---------------------------------------------------------------
+
+TEST(MatrixMarket, RoundTrip) {
+  const Csr m = banded_with_outliers(120, 11);
+  std::stringstream io;
+  write_matrix_market(io, m);
+  const Csr back = read_matrix_market(io);
+  ASSERT_EQ(back.nrows, m.nrows);
+  ASSERT_EQ(back.nnz(), m.nnz());
+  for (index_t r = 0; r < m.nrows; ++r) {
+    for (index_t p = m.row_ptr[r]; p < m.row_ptr[r + 1]; ++p) {
+      EXPECT_NEAR(back.at(r, m.col_idx[p]), m.val[p],
+                  1e-6 * std::abs(m.val[p]) + 1e-12);
+    }
+  }
+}
+
+TEST(MatrixMarket, SymmetricExpansion) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "3 3 5.0\n");
+  const Csr m = read_matrix_market(in);
+  EXPECT_EQ(m.nnz(), 4u);  // the (2,1) entry mirrors to (1,2)
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+}
+
+TEST(MatrixMarket, PatternField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  const Csr m = read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 1.0);
+}
+
+TEST(MatrixMarket, CommentsSkipped) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment line\n"
+      "% another\n"
+      "1 1 1\n"
+      "1 1 3.5\n");
+  const Csr m = read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.5);
+}
+
+TEST(MatrixMarket, MalformedInputsThrow) {
+  const auto expect_throw = [](const char* text) {
+    std::istringstream in(text);
+    EXPECT_THROW((void)read_matrix_market(in), std::runtime_error) << text;
+  };
+  expect_throw("");
+  expect_throw("%%MatrixMarket tensor coordinate real general\n1 1 1\n1 1 1\n");
+  expect_throw("%%MatrixMarket matrix array real general\n1 1\n1.0\n");
+  expect_throw("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+  expect_throw("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+}
+
+}  // namespace
+}  // namespace cmesolve::sparse

@@ -1,0 +1,192 @@
+// Unit tests for sliced / warp-grained ELL and the reordering strategies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "sparse/csr.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/sliced_ell.hpp"
+#include "util/rng.hpp"
+
+namespace cmesolve::sparse {
+namespace {
+
+/// Matrix with strongly varying row lengths: row r has 1 + (r % spread)
+/// nonzeros in a near-diagonal band.
+Csr skewed_matrix(index_t n, index_t spread) {
+  Coo c;
+  c.nrows = c.ncols = n;
+  for (index_t r = 0; r < n; ++r) {
+    const index_t len = 1 + (r % spread);
+    for (index_t j = 0; j < len; ++j) {
+      c.add(r, (r + j) % n, 1.0 + static_cast<real_t>(j));
+    }
+  }
+  return csr_from_coo(std::move(c));
+}
+
+std::vector<real_t> random_vector(index_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<real_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  return x;
+}
+
+TEST(SlicedEll, SliceCountAndK) {
+  const Csr m = skewed_matrix(100, 8);
+  const SlicedEll s = sliced_ell_from_csr(m, 32);
+  EXPECT_EQ(s.num_slices(), 4);  // ceil(100/32)
+  for (index_t sl = 0; sl < s.num_slices(); ++sl) {
+    index_t expected = 0;
+    for (index_t lane = 0; lane < 32; ++lane) {
+      const index_t stored = sl * 32 + lane;
+      if (stored >= m.nrows) break;
+      expected = std::max(expected, m.row_length(s.perm[stored]));
+    }
+    EXPECT_EQ(s.slice_k[sl], expected);
+  }
+}
+
+TEST(SlicedEll, SlicePtrConsistent) {
+  const Csr m = skewed_matrix(200, 5);
+  const SlicedEll s = sliced_ell_from_csr(m, 32);
+  EXPECT_EQ(s.slice_ptr.front(), 0u);
+  for (index_t sl = 0; sl < s.num_slices(); ++sl) {
+    EXPECT_EQ(s.slice_ptr[sl + 1] - s.slice_ptr[sl],
+              static_cast<std::size_t>(s.slice_k[sl]) * 32);
+  }
+  EXPECT_EQ(s.slice_ptr.back(), s.val.size());
+}
+
+TEST(SlicedEll, IdentityPermWithoutReordering) {
+  const Csr m = skewed_matrix(100, 8);
+  EXPECT_TRUE(sliced_ell_from_csr(m, 32).is_identity_perm());
+}
+
+TEST(SlicedEll, PermIsAPermutation) {
+  const Csr m = skewed_matrix(300, 9);
+  for (auto r : {Reordering::kLocal, Reordering::kGlobal, Reordering::kRandom}) {
+    const SlicedEll s = sliced_ell_from_csr(m, 32, r, 256);
+    std::vector<index_t> sorted = s.perm;
+    std::sort(sorted.begin(), sorted.end());
+    for (index_t i = 0; i < m.nrows; ++i) EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(SlicedEll, GlobalSortOrdersByLengthDescending) {
+  const Csr m = skewed_matrix(300, 9);
+  const SlicedEll s = pjds_from_csr(m);
+  for (std::size_t i = 1; i < s.perm.size(); ++i) {
+    EXPECT_GE(m.row_length(s.perm[i - 1]), m.row_length(s.perm[i]));
+  }
+}
+
+TEST(SlicedEll, LocalRearrangementStaysInsideWindow) {
+  const Csr m = skewed_matrix(1000, 13);
+  const SlicedEll s = sliced_ell_from_csr(m, 32, Reordering::kLocal, 256);
+  for (std::size_t i = 0; i < s.perm.size(); ++i) {
+    EXPECT_EQ(static_cast<index_t>(i) / 256, s.perm[i] / 256)
+        << "row moved across a block window";
+  }
+}
+
+TEST(SlicedEll, LocalRearrangementNeverIncreasesPadding) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Xoshiro256 rng(seed);
+    Coo c;
+    c.nrows = c.ncols = 500;
+    for (index_t r = 0; r < 500; ++r) {
+      const auto len = 1 + rng.bounded(12);
+      for (std::uint64_t j = 0; j < len; ++j) {
+        c.add(r, static_cast<index_t>(rng.bounded(500)), 1.0);
+      }
+    }
+    const Csr m = csr_from_coo(std::move(c));
+    const SlicedEll plain = sliced_ell_from_csr(m, 32);
+    const SlicedEll local = sliced_ell_from_csr(m, 32, Reordering::kLocal, 256);
+    EXPECT_LE(local.val.size(), plain.val.size());
+  }
+}
+
+TEST(SlicedEll, UniformRowsKeepIdentityUnderLocalReordering) {
+  // All rows equally long: rearranging cannot reduce padding, so the format
+  // must not pay for a permutation.
+  Coo c;
+  c.nrows = c.ncols = 256;
+  for (index_t r = 0; r < 256; ++r) {
+    c.add(r, r, 1.0);
+    c.add(r, (r + 1) % 256, 2.0);
+  }
+  const SlicedEll s = sliced_ell_from_csr(csr_from_coo(std::move(c)), 32,
+                                          Reordering::kLocal, 256);
+  EXPECT_TRUE(s.is_identity_perm());
+}
+
+TEST(SlicedEll, SpmvMatchesCsrForAllReorderings) {
+  const Csr m = skewed_matrix(350, 11);
+  const auto x = random_vector(350, 5);
+  std::vector<real_t> expect(350);
+  spmv(m, x, expect);
+
+  for (auto r : {Reordering::kNone, Reordering::kLocal, Reordering::kGlobal,
+                 Reordering::kRandom}) {
+    const SlicedEll s = sliced_ell_from_csr(m, 32, r, 128);
+    std::vector<real_t> y(350, -1.0);
+    spmv(s, x, y);
+    for (index_t i = 0; i < 350; ++i) {
+      EXPECT_NEAR(y[i], expect[i], 1e-12) << "reordering " << static_cast<int>(r);
+    }
+  }
+}
+
+TEST(SlicedEll, SpmvMatchesCsrForVariousSliceSizes) {
+  const Csr m = skewed_matrix(123, 7);
+  const auto x = random_vector(123, 9);
+  std::vector<real_t> expect(123);
+  spmv(m, x, expect);
+  for (index_t slice : {1, 16, 32, 64, 256}) {
+    const SlicedEll s = sliced_ell_from_csr(m, slice);
+    std::vector<real_t> y(123);
+    spmv(s, x, y);
+    for (index_t i = 0; i < 123; ++i) EXPECT_NEAR(y[i], expect[i], 1e-12);
+  }
+}
+
+TEST(SlicedEll, WarpedUsesLessMemoryThanEllOnSkewedRows) {
+  // Row lengths grow with the row index (regional clustering): coarse
+  // slices already beat plain ELL, warp-grained slices beat both.
+  Coo c;
+  const index_t n = 2048;
+  c.nrows = c.ncols = n;
+  for (index_t r = 0; r < n; ++r) {
+    const index_t len = 1 + r * 15 / n + (r % 3);  // local jitter
+    for (index_t j = 0; j < len; ++j) c.add(r, (r + j) % n, 1.0);
+  }
+  const Csr m = csr_from_coo(std::move(c));
+  const Ell e = ell_from_csr(m);
+  const SlicedEll sliced = sliced_ell_from_csr(m, 256);
+  const SlicedEll warped = warped_ell_from_csr(m);
+  EXPECT_LT(warped.bytes(), sliced.bytes());
+  EXPECT_LT(sliced.bytes(), e.bytes());
+}
+
+TEST(SlicedEll, EfficiencyImprovesWithFinerSlices) {
+  const Csr m = skewed_matrix(2000, 15);
+  const real_t e256 = sliced_ell_from_csr(m, 256).efficiency();
+  const real_t e32 = sliced_ell_from_csr(m, 32).efficiency();
+  EXPECT_GT(e32, e256);
+  EXPECT_GT(ell_from_csr(m).k, 0);
+}
+
+TEST(SlicedEll, RandomReorderingIsDeterministicPerSeed) {
+  const Csr m = skewed_matrix(100, 4);
+  const SlicedEll a = sliced_ell_from_csr(m, 32, Reordering::kRandom, 256, 7);
+  const SlicedEll b = sliced_ell_from_csr(m, 32, Reordering::kRandom, 256, 7);
+  const SlicedEll c = sliced_ell_from_csr(m, 32, Reordering::kRandom, 256, 8);
+  EXPECT_EQ(a.perm, b.perm);
+  EXPECT_NE(a.perm, c.perm);
+}
+
+}  // namespace
+}  // namespace cmesolve::sparse

@@ -1,0 +1,108 @@
+// Property-based SpMV equivalence: every format must agree with the dense
+// oracle on randomized matrices across a (size x density x seed) sweep.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <span>
+#include <tuple>
+
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/dia.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/hybrid.hpp"
+#include "sparse/sliced_ell.hpp"
+#include "util/rng.hpp"
+
+namespace cmesolve::sparse {
+namespace {
+
+struct Params {
+  index_t n;
+  index_t max_row_len;
+  bool banded;  // band-dominated vs scattered columns
+  std::uint64_t seed;
+};
+
+class SpmvProperty : public ::testing::TestWithParam<Params> {
+ protected:
+  static Csr make_matrix(const Params& p) {
+    Xoshiro256 rng(p.seed);
+    Coo c;
+    c.nrows = c.ncols = p.n;
+    for (index_t r = 0; r < p.n; ++r) {
+      c.add(r, r, rng.uniform(-4, -2));  // dense diagonal (CME-like)
+      const auto extra = rng.bounded(static_cast<std::uint64_t>(p.max_row_len));
+      for (std::uint64_t j = 0; j < extra; ++j) {
+        index_t col;
+        if (p.banded) {
+          col = std::clamp<index_t>(
+              r + static_cast<index_t>(rng.range(-2, 2)), 0, p.n - 1);
+        } else {
+          col = static_cast<index_t>(rng.bounded(static_cast<std::uint64_t>(p.n)));
+        }
+        c.add(r, col, rng.uniform(0.1, 1.0));
+      }
+    }
+    return csr_from_coo(std::move(c));
+  }
+
+  static std::vector<real_t> make_x(index_t n, std::uint64_t seed) {
+    Xoshiro256 rng(seed ^ 0xABCDEF);
+    std::vector<real_t> x(static_cast<std::size_t>(n));
+    for (auto& v : x) v = rng.uniform(-1, 1);
+    return x;
+  }
+
+  template <class Format>
+  void expect_matches(const Format& fmt, const Csr& m,
+                      std::span<const real_t> x,
+                      std::span<const real_t> expect, const char* name) {
+    std::vector<real_t> y(static_cast<std::size_t>(m.nrows),
+                          std::numeric_limits<real_t>::quiet_NaN());
+    spmv(fmt, x, y);
+    for (index_t i = 0; i < m.nrows; ++i) {
+      ASSERT_NEAR(y[i], expect[i], 1e-11) << name << " row " << i;
+    }
+  }
+};
+
+TEST_P(SpmvProperty, AllFormatsAgreeWithDenseOracle) {
+  const Params p = GetParam();
+  const Csr m = make_matrix(p);
+  const auto x = make_x(p.n, p.seed);
+
+  std::vector<real_t> expect(static_cast<std::size_t>(p.n));
+  spmv(dense_from_csr(m), x, expect);
+
+  expect_matches(m, m, x, expect, "csr");
+  expect_matches(ell_from_csr(m), m, x, expect, "ell");
+  expect_matches(sliced_ell_from_csr(m, 256), m, x, expect, "sliced-256");
+  expect_matches(warped_ell_from_csr(m), m, x, expect, "warped");
+  expect_matches(pjds_from_csr(m), m, x, expect, "pjds");
+  expect_matches(ell_dia_from_csr(m, select_band_offsets(m)), m, x, expect,
+                 "ell+dia");
+  expect_matches(sliced_ell_dia_from_csr(m, {-1, 0, 1}), m, x, expect,
+                 "warped-ell+dia");
+  expect_matches(csr_dia_from_csr(m, {-1, 0, 1}), m, x, expect, "csr+dia");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpmvProperty,
+    ::testing::Values(
+        Params{1, 1, true, 1}, Params{7, 2, true, 2}, Params{31, 3, false, 3},
+        Params{32, 4, true, 4}, Params{33, 5, false, 5},
+        Params{64, 6, true, 6}, Params{100, 8, false, 7},
+        Params{255, 3, true, 8}, Params{256, 10, false, 9},
+        Params{257, 5, true, 10}, Params{500, 12, false, 11},
+        Params{777, 7, true, 12}, Params{1024, 4, false, 13},
+        Params{1500, 9, true, 14}),
+    [](const auto& param_info) {
+      return "n" + std::to_string(param_info.param.n) + "_len" +
+             std::to_string(param_info.param.max_row_len) +
+             (param_info.param.banded ? "_banded" : "_scattered") + "_s" +
+             std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace cmesolve::sparse

@@ -1,0 +1,88 @@
+// Tests for the synthetic domain-matrix generators (Fig. 5 substitution).
+#include <gtest/gtest.h>
+
+#include "sparse/format_stats.hpp"
+#include "synth/generators.hpp"
+
+namespace cmesolve::synth {
+namespace {
+
+TEST(Synth, Fem2dIsTheFivePointStencil) {
+  const auto m = fem_2d(10);
+  EXPECT_EQ(m.nrows, 100);
+  // Interior rows have 5 entries, corners 3.
+  const auto f = sparse::fingerprint(m);
+  EXPECT_EQ(f.row_min, 3);
+  EXPECT_EQ(f.row_max, 5);
+  EXPECT_DOUBLE_EQ(f.d0, 1.0);
+  // Symmetric Laplacian, zero row sums.
+  for (index_t r = 0; r < m.nrows; ++r) {
+    real_t sum = 0;
+    for (index_t p = m.row_ptr[r]; p < m.row_ptr[r + 1]; ++p) sum += m.val[p];
+    EXPECT_NEAR(sum, 4.0 - (m.row_length(r) - 1), 1e-12);
+  }
+}
+
+TEST(Synth, Fem3dSevenPoint) {
+  const auto m = fem_3d(8);
+  EXPECT_EQ(m.nrows, 512);
+  const auto f = sparse::fingerprint(m);
+  EXPECT_EQ(f.row_max, 7);
+  EXPECT_EQ(f.row_min, 4);
+}
+
+TEST(Synth, GeneratorsAreDeterministic) {
+  const auto a = circuit(2000, 5);
+  const auto b = circuit(2000, 5);
+  EXPECT_EQ(a.val, b.val);
+  EXPECT_EQ(a.col_idx, b.col_idx);
+  const auto c = circuit(2000, 6);
+  EXPECT_NE(a.col_idx, c.col_idx);
+}
+
+TEST(Synth, QuantumChemistryHasTheHighestLocalVariability) {
+  // The Fig. 5 story: quantum chemistry's within-warp row-length spread is
+  // what warp-grained slicing exploits; FEM has none.
+  const auto fem = fem_2d(100);
+  const auto qc = quantum_chemistry(10000, 3);
+  EXPECT_GT(sparse::fingerprint(qc).variability,
+            5.0 * sparse::fingerprint(fem).variability);
+}
+
+TEST(Synth, CircuitHasRareLongRails) {
+  const auto m = circuit(20000, 7);
+  const auto f = sparse::fingerprint(m);
+  EXPECT_LT(f.row_mean, 8.0);
+  EXPECT_GT(f.row_max, 15);
+  EXPECT_GT(f.skew, 2.0);
+}
+
+TEST(Synth, EpidemiologyIsShortAndRegular)  {
+  const auto f = sparse::fingerprint(epidemiology(20000, 9));
+  EXPECT_LT(f.row_max, 6);
+  EXPECT_LT(f.variability, 0.5);
+}
+
+TEST(Synth, AllRowsNonEmptyAndInBounds) {
+  for (auto& d : figure5_suite(5000, 11)) {
+    for (index_t r = 0; r < d.matrix.nrows; ++r) {
+      ASSERT_GE(d.matrix.row_length(r), 1) << d.domain << " row " << r;
+      for (index_t p = d.matrix.row_ptr[r]; p < d.matrix.row_ptr[r + 1]; ++p) {
+        ASSERT_GE(d.matrix.col_idx[p], 0);
+        ASSERT_LT(d.matrix.col_idx[p], d.matrix.ncols);
+      }
+    }
+  }
+}
+
+TEST(Synth, SuiteCoversEightDomains) {
+  const auto suite = figure5_suite(3000, 1);
+  EXPECT_EQ(suite.size(), 8u);
+  for (auto& d : suite) {
+    EXPECT_FALSE(d.domain.empty());
+    EXPECT_GT(d.matrix.nnz(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace cmesolve::synth
