@@ -6,14 +6,21 @@
 
 #include <vector>
 
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
 #include "core/models.hpp"
 #include "core/rate_matrix.hpp"
 #include "core/state_space.hpp"
+#include "solver/jacobi.hpp"
+#include "solver/operators.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/dia.hpp"
 #include "sparse/ell.hpp"
 #include "sparse/hybrid.hpp"
 #include "sparse/sliced_ell.hpp"
+#include "util/parallel.hpp"
 
 using namespace cmesolve;
 
@@ -79,6 +86,64 @@ void BM_SpmvWarpedEll(benchmark::State& state) {
   run_spmv(state, w, a.nrows, a.ncols, a.nnz());
 }
 BENCHMARK(BM_SpmvWarpedEll);
+
+// --- thread-scaling sweeps ---------------------------------------------------
+//
+// Arg(0) is the thread budget, applied to BOTH the OpenMP loops and the
+// std::thread pool, so one binary sweeps the full parallel stack. Arguments
+// above hardware_concurrency oversubscribe on purpose (the numbers stay
+// honest; the speedup just saturates).
+
+void set_threads(int t) {  // t = 0 restores auto-detection
+  util::set_max_threads(t);
+#if defined(_OPENMP)
+  omp_set_num_threads(t > 0 ? t : util::hardware_threads());
+#endif
+}
+
+void thread_args(benchmark::internal::Benchmark* b) {
+  const int hw = util::hardware_threads();
+  for (int t = 1; t <= hw; t *= 2) b->Arg(t);
+  if ((hw & (hw - 1)) != 0) b->Arg(hw);
+}
+
+void BM_SpmvCsrThreads(benchmark::State& state) {
+  const auto& a = toggle_matrix();
+  set_threads(static_cast<int>(state.range(0)));
+  run_spmv(state, a, a.nrows, a.ncols, a.nnz());
+  set_threads(0);
+}
+BENCHMARK(BM_SpmvCsrThreads)->Apply(thread_args)->UseRealTime();
+
+void BM_SpmvWarpedEllThreads(benchmark::State& state) {
+  const auto& a = toggle_matrix();
+  const auto w = sparse::warped_ell_from_csr(a);
+  set_threads(static_cast<int>(state.range(0)));
+  run_spmv(state, w, a.nrows, a.ncols, a.nnz());
+  set_threads(0);
+}
+BENCHMARK(BM_SpmvWarpedEllThreads)->Apply(thread_args)->UseRealTime();
+
+// End-to-end solver iterations: SpMV + diagonal scale + fixed-chunk
+// reductions, i.e. everything a Jacobi step touches.
+void BM_JacobiIterationsThreads(benchmark::State& state) {
+  const auto& a = toggle_matrix();
+  const solver::CsrDiaOperator op(a);
+  const real_t an = a.inf_norm();
+  solver::JacobiOptions opt;
+  opt.max_iterations = 20;
+  opt.check_every = 20;
+  set_threads(static_cast<int>(state.range(0)));
+  std::vector<real_t> x(static_cast<std::size_t>(a.nrows));
+  for (auto _ : state) {
+    solver::fill_uniform(x);
+    const auto res = solver::jacobi_solve(op, an, x, opt);
+    benchmark::DoNotOptimize(res.residual);
+  }
+  state.counters["iters"] = static_cast<double>(opt.max_iterations);
+  set_threads(0);
+}
+BENCHMARK(BM_JacobiIterationsThreads)->Apply(thread_args)->UseRealTime();
 
 }  // namespace
 

@@ -2,8 +2,20 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "util/parallel.hpp"
 
 namespace cmesolve::core {
+
+namespace {
+
+/// States per assembly chunk. Fixed (thread-count independent) so the
+/// triplet stream below is always concatenated in the same order.
+constexpr index_t kAssemblyChunk = 2048;
+
+}  // namespace
 
 sparse::Csr rate_matrix(const StateSpace& space) {
   if (space.truncated()) {
@@ -14,28 +26,51 @@ sparse::Csr rate_matrix(const StateSpace& space) {
   const index_t n = space.size();
   const int nr = net.num_reactions();
 
+  // Propensity evaluation and successor lookup dominate assembly time and
+  // are independent per source state, so states are carved into fixed
+  // chunks, each chunk fills a private triplet buffer, and the buffers are
+  // concatenated in chunk order — the exact triplet sequence the serial
+  // loop would emit, hence an identical CSR after sort_and_combine.
+  // (StateSpace::find is a const hash lookup, safe for concurrent reads.)
+  const index_t nchunks = n > 0 ? (n + kAssemblyChunk - 1) / kAssemblyChunk : 0;
+  std::vector<sparse::Coo> parts(static_cast<std::size_t>(nchunks));
+
+  util::parallel_tasks(static_cast<int>(nchunks), [&](int c) {
+    const index_t j0 = static_cast<index_t>(c) * kAssemblyChunk;
+    const index_t j1 = std::min<index_t>(j0 + kAssemblyChunk, n);
+    sparse::Coo& part = parts[static_cast<std::size_t>(c)];
+    part.reserve(static_cast<std::size_t>(j1 - j0) *
+                 static_cast<std::size_t>(nr / 2 + 2));
+    for (index_t j = j0; j < j1; ++j) {
+      const State x = space.state(j);
+      real_t out_rate = 0.0;
+      for (int k = 0; k < nr; ++k) {
+        if (!net.within_capacity(k, x)) continue;
+        const real_t a = net.propensity(k, x);
+        if (a <= 0.0) continue;
+        const index_t i = space.find(net.apply(k, x));
+        if (i < 0) {
+          throw std::logic_error("rate_matrix: successor not enumerated");
+        }
+        if (i == j) continue;  // null transition (no net state change)
+        part.add(i, j, a);
+        out_rate += a;
+      }
+      part.add(j, j, -out_rate);
+    }
+  });
+
   sparse::Coo coo;
   coo.nrows = n;
   coo.ncols = n;
-  coo.reserve(static_cast<std::size_t>(n) *
-              static_cast<std::size_t>(nr / 2 + 2));
-
-  for (index_t j = 0; j < n; ++j) {
-    const State x = space.state(j);
-    real_t out_rate = 0.0;
-    for (int k = 0; k < nr; ++k) {
-      if (!net.within_capacity(k, x)) continue;
-      const real_t a = net.propensity(k, x);
-      if (a <= 0.0) continue;
-      const index_t i = space.find(net.apply(k, x));
-      if (i < 0) {
-        throw std::logic_error("rate_matrix: successor not enumerated");
-      }
-      if (i == j) continue;  // null transition (no net state change)
-      coo.add(i, j, a);
-      out_rate += a;
-    }
-    coo.add(j, j, -out_rate);
+  std::size_t total = 0;
+  for (const sparse::Coo& part : parts) total += part.nnz();
+  coo.reserve(total);
+  for (sparse::Coo& part : parts) {
+    coo.row.insert(coo.row.end(), part.row.begin(), part.row.end());
+    coo.col.insert(coo.col.end(), part.col.begin(), part.col.end());
+    coo.val.insert(coo.val.end(), part.val.begin(), part.val.end());
+    part = sparse::Coo{};  // release chunk memory eagerly
   }
   return sparse::csr_from_coo(std::move(coo));
 }

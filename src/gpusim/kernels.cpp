@@ -1,54 +1,97 @@
 #include "gpusim/kernels.hpp"
 
 #include "gpusim/occupancy.hpp"
+#include "util/parallel.hpp"
 
 #include <algorithm>
 #include <array>
 #include <cassert>
 #include <functional>
+#include <utility>
 #include <vector>
 
 namespace cmesolve::gpusim {
 
 namespace {
 
+/// Warp-schedule geometry shared by both execution engines.
+struct WarpSchedule {
+  index_t nblocks = 0;
+  int resident = 0;          ///< blocks resident per SM
+  index_t wave = 0;          ///< blocks retired per scheduling wave
+  index_t warps_per_block = 0;
+};
+
+WarpSchedule warp_schedule(const DeviceSpec& dev, index_t total_rows,
+                           int block_size) {
+  WarpSchedule s;
+  s.nblocks = (total_rows + block_size - 1) / static_cast<index_t>(block_size);
+  s.resident = std::max(1, occupancy(dev, block_size).blocks_per_sm);
+  s.wave = static_cast<index_t>(dev.num_sms) * s.resident;
+  s.warps_per_block =
+      (static_cast<index_t>(block_size) + dev.warp_size - 1) / dev.warp_size;
+  return s;
+}
+
 /// Iterate warps the way an SM would see them: blocks are assigned to SMs
 /// round-robin, up to occupancy().blocks_per_sm blocks are RESIDENT on an SM
 /// at once, and their warps interleave. The interleaving matters for the L1
 /// model — a 16 KB L1 must hold the working set of every resident block,
 /// which is exactly the effect the paper's 16 KB-vs-48 KB experiment probes.
-/// fn(first_stored_row, lanes_in_warp) is called once per warp.
-template <class WarpFn>
+///
+/// `make_body(stream)` builds the per-warp callable `fn(first_stored_row,
+/// lanes_in_warp)` around an SmStream event sink; the factory is invoked
+/// once per SM task so every host thread owns its scratch buffers.
+///
+/// Engine selection: with a thread budget of 1 the original serial engine
+/// runs — direct mode, (wave, sm, warp, slot) program order. Otherwise the
+/// 16 SM warp streams execute as pool tasks against private shards, and
+/// merge_shards() replays the shared-L2 traffic in the identical order, so
+/// the resulting KernelStats are bit-identical either way (enforced by
+/// tests/test_parallel_determinism.cpp).
+template <class BodyFactory>
 void for_each_warp(MemorySim& sim, index_t total_rows, int block_size,
-                   WarpFn&& fn) {
+                   BodyFactory&& make_body) {
   const DeviceSpec& dev = sim.device();
-  const index_t nblocks =
-      (total_rows + block_size - 1) / static_cast<index_t>(block_size);
-  const int resident =
-      std::max(1, occupancy(dev, block_size).blocks_per_sm);
-  const index_t wave = static_cast<index_t>(dev.num_sms) * resident;
-  const index_t warps_per_block =
-      (static_cast<index_t>(block_size) + dev.warp_size - 1) / dev.warp_size;
+  const WarpSchedule s = warp_schedule(dev, total_rows, block_size);
 
-  for (index_t wave0 = 0; wave0 < nblocks; wave0 += wave) {
-    for (int sm = 0; sm < dev.num_sms; ++sm) {
-      sim.set_active_sm(sm);
-      // Warps of this SM's resident blocks execute interleaved.
-      for (index_t j = 0; j < warps_per_block; ++j) {
-        for (int slot = 0; slot < resident; ++slot) {
-          const index_t b = wave0 + static_cast<index_t>(sm) +
-                            static_cast<index_t>(slot) * dev.num_sms;
-          if (b >= nblocks) continue;
-          const index_t row0 = b * block_size + j * dev.warp_size;
-          if (row0 >= total_rows) continue;
-          const index_t row_end =
-              std::min<index_t>({row0 + dev.warp_size,
-                                 b * block_size + block_size, total_rows});
-          if (row_end > row0) fn(row0, row_end - row0);
-        }
+  // One SM's warps of one wave, in the serial engine's (warp, slot) order.
+  const auto sm_wave = [&](auto& body, index_t wave0, int sm) {
+    for (index_t j = 0; j < s.warps_per_block; ++j) {
+      for (int slot = 0; slot < s.resident; ++slot) {
+        const index_t b = wave0 + static_cast<index_t>(sm) +
+                          static_cast<index_t>(slot) * dev.num_sms;
+        if (b >= s.nblocks) continue;
+        const index_t row0 = b * block_size + j * dev.warp_size;
+        if (row0 >= total_rows) continue;
+        const index_t row_end =
+            std::min<index_t>({row0 + dev.warp_size,
+                               b * block_size + block_size, total_rows});
+        if (row_end > row0) body(row0, row_end - row0);
       }
     }
+  };
+
+  if (util::max_threads() <= 1) {
+    auto body = make_body(sim.direct());
+    for (index_t wave0 = 0; wave0 < s.nblocks; wave0 += s.wave) {
+      for (int sm = 0; sm < dev.num_sms; ++sm) {
+        sim.set_active_sm(sm);
+        sm_wave(body, wave0, sm);
+      }
+    }
+    return;
   }
+
+  util::parallel_tasks(dev.num_sms, [&](int sm) {
+    SmStream& stream = sim.shard(sm);
+    auto body = make_body(stream);
+    for (index_t wave0 = 0; wave0 < s.nblocks; wave0 += s.wave) {
+      stream.begin_wave();
+      sm_wave(body, wave0, sm);
+    }
+  });
+  sim.merge_shards();
 }
 
 /// Device-address bookkeeping for one simulated kernel.
@@ -66,11 +109,11 @@ struct SpmvArrays {
 /// active lanes (the conditional of Listing 1 skips lanes whose slot is
 /// padding, but a transaction covers whatever lies between the first and
 /// last active lane).
-void load_active_values(MemorySim& sim, std::uint64_t base_addr,
+void load_active_values(SmStream& mem, std::uint64_t base_addr,
                         std::size_t vb, index_t first_active,
                         index_t last_active) {
   if (first_active > last_active) return;
-  sim.stream_load(base_addr + static_cast<std::uint64_t>(first_active) * vb,
+  mem.stream_load(base_addr + static_cast<std::uint64_t>(first_active) * vb,
                   static_cast<std::size_t>(last_active - first_active + 1) * vb);
 }
 
@@ -81,7 +124,7 @@ void load_active_values(MemorySim& sim, std::uint64_t base_addr,
 /// therefore still pays the value stream — exactly the efficiency-metric
 /// waste e = nnz / (n' * k) of Sec. V.
 template <class SlotFn>
-void ell_warp_steps(MemorySim& sim, const std::vector<real_t>& val,
+void ell_warp_steps(SmStream& mem, const std::vector<real_t>& val,
                     const std::vector<index_t>& col, const SpmvArrays& a,
                     std::span<const real_t> x, index_t lanes, index_t k,
                     std::size_t vb, SlotFn&& slot_of,
@@ -103,16 +146,16 @@ void ell_warp_steps(MemorySim& sim, const std::vector<real_t>& val,
       }
     }
     // Values stream for the full warp width at every step (detector load).
-    sim.stream_load(a.val + slot_of(0, j) * vb,
+    mem.stream_load(a.val + slot_of(0, j) * vb,
                     static_cast<std::size_t>(lanes) * vb);
     if (last_active >= 0) {
       // Column indices only where at least one lane passed the test.
-      load_active_values(sim, a.col + slot_of(0, j) * sizeof(index_t),
+      load_active_values(mem, a.col + slot_of(0, j) * sizeof(index_t),
                          sizeof(index_t), first_active, last_active);
-      sim.gather(std::span<const std::uint64_t>(gather_addrs.data(),
+      mem.gather(std::span<const std::uint64_t>(gather_addrs.data(),
                                                 static_cast<std::size_t>(n_gather)),
                  vb);
-      sim.add_flops(2ULL * static_cast<std::uint64_t>(n_gather));
+      mem.add_flops(2ULL * static_cast<std::uint64_t>(n_gather));
     }
   }
 }
@@ -132,7 +175,7 @@ SpmvArrays alloc_spmv(AddressSpace& as, std::size_t val_slots,
 /// Contribution of one DIA band walk driven by stored rows. When `perm` is
 /// non-null the band data and x are gathered through the (local)
 /// permutation, otherwise they stream contiguously.
-void dia_warp_contribution(MemorySim& sim, const sparse::Dia& band,
+void dia_warp_contribution(SmStream& mem, const sparse::Dia& band,
                            const SpmvArrays& a, std::span<const real_t> x,
                            index_t w, index_t lanes,
                            const std::vector<index_t>* perm, std::size_t vb,
@@ -159,18 +202,18 @@ void dia_warp_contribution(MemorySim& sim, const sparse::Dia& band,
     }
     if (n_active > 0) {
       if (perm) {
-        sim.gather(std::span<const std::uint64_t>(data_addrs.data(),
+        mem.gather(std::span<const std::uint64_t>(data_addrs.data(),
                                                   static_cast<std::size_t>(n_active)),
                    vb);
       } else {
         // Contiguous rows: the band data streams like a dense vector.
-        sim.stream_load(data_addrs[0],
+        mem.stream_load(data_addrs[0],
                         static_cast<std::size_t>(n_active) * vb);
       }
-      sim.gather(std::span<const std::uint64_t>(x_addrs.data(),
+      mem.gather(std::span<const std::uint64_t>(x_addrs.data(),
                                                 static_cast<std::size_t>(n_active)),
                  vb);
-      sim.add_flops(2ULL * static_cast<std::uint64_t>(n_active));
+      mem.add_flops(2ULL * static_cast<std::uint64_t>(n_active));
     }
   }
 }
@@ -200,25 +243,27 @@ KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::Ell& m,
       alloc_spmv(as, m.val.size(), m.col.size(), m.ncols, m.nrows, opt.value_bytes);
 
   const auto body = [&] {
-    std::vector<real_t> sums(static_cast<std::size_t>(dev.warp_size));
-    for_each_warp(sim, m.padded_rows, opt.block_size, [&](index_t w,
-                                                          index_t lanes) {
-      std::fill(sums.begin(), sums.end(), 0.0);
-      const auto slot_of = [&](index_t lane, index_t j) {
-        return static_cast<std::size_t>(j) * m.padded_rows +
-               static_cast<std::size_t>(w + lane);
-      };
-      ell_warp_steps(sim, m.val, m.col, a, x, lanes, m.k, opt.value_bytes,
-                     slot_of, std::span<real_t>(sums));
-      const index_t real_lanes = std::max<index_t>(
-          0, std::min<index_t>(lanes, m.nrows - w));
-      if (real_lanes > 0) {
-        sim.stream_store(a.y + static_cast<std::uint64_t>(w) * opt.value_bytes,
-                         static_cast<std::size_t>(real_lanes) * opt.value_bytes);
-        for (index_t lane = 0; lane < real_lanes; ++lane) {
-          y[w + lane] = sums[lane];
+    for_each_warp(sim, m.padded_rows, opt.block_size, [&](SmStream& mem) {
+      return [&, sums = std::vector<real_t>(
+                     static_cast<std::size_t>(dev.warp_size))](
+                 index_t w, index_t lanes) mutable {
+        std::fill(sums.begin(), sums.end(), 0.0);
+        const auto slot_of = [&](index_t lane, index_t j) {
+          return static_cast<std::size_t>(j) * m.padded_rows +
+                 static_cast<std::size_t>(w + lane);
+        };
+        ell_warp_steps(mem, m.val, m.col, a, x, lanes, m.k, opt.value_bytes,
+                       slot_of, std::span<real_t>(sums));
+        const index_t real_lanes = std::max<index_t>(
+            0, std::min<index_t>(lanes, m.nrows - w));
+        if (real_lanes > 0) {
+          mem.stream_store(a.y + static_cast<std::uint64_t>(w) * opt.value_bytes,
+                           static_cast<std::size_t>(real_lanes) * opt.value_bytes);
+          for (index_t lane = 0; lane < real_lanes; ++lane) {
+            y[w + lane] = sums[lane];
+          }
         }
-      }
+      };
     });
   };
   return run_passes(sim, opt.block_size, 2ULL * m.nnz, opt.passes, body);
@@ -238,45 +283,48 @@ KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::SlicedEll& m,
   const bool permuted = !m.is_identity_perm();
 
   const auto body = [&] {
-    std::vector<real_t> sums(static_cast<std::size_t>(dev.warp_size));
-    std::array<std::uint64_t, 32> store_addrs{};
-    for_each_warp(sim, m.nrows, opt.block_size, [&](index_t w, index_t lanes) {
-      std::fill(sums.begin(), sums.end(), 0.0);
-      const index_t slice = w / m.slice_size;
-      const index_t k = m.slice_k[slice];
-      const std::size_t base = m.slice_ptr[slice];
-      const index_t lane0 = w - slice * m.slice_size;
-      const auto slot_of = [&](index_t lane, index_t j) {
-        return base + static_cast<std::size_t>(j) * m.slice_size +
-               static_cast<std::size_t>(lane0 + lane);
+    for_each_warp(sim, m.nrows, opt.block_size, [&](SmStream& mem) {
+      return [&, sums = std::vector<real_t>(
+                     static_cast<std::size_t>(dev.warp_size)),
+              store_addrs = std::array<std::uint64_t, 32>{}](
+                 index_t w, index_t lanes) mutable {
+        std::fill(sums.begin(), sums.end(), 0.0);
+        const index_t slice = w / m.slice_size;
+        const index_t k = m.slice_k[slice];
+        const std::size_t base = m.slice_ptr[slice];
+        const index_t lane0 = w - slice * m.slice_size;
+        const auto slot_of = [&](index_t lane, index_t j) {
+          return base + static_cast<std::size_t>(j) * m.slice_size +
+                 static_cast<std::size_t>(lane0 + lane);
+        };
+        // The per-warp slice bound replaces the global k; the slice-k and
+        // slice-offset lookups are two 4-byte reads shared by the whole warp.
+        // Slice metadata (local k + storage offset): one cached lane read
+        // shared by the warp.
+        {
+          const std::uint64_t meta = a.row_ptr + static_cast<std::uint64_t>(slice) * 8;
+          mem.gather(std::span<const std::uint64_t>(&meta, 1), 8);
+        }
+        if (permuted) {
+          mem.stream_load(a.perm + static_cast<std::uint64_t>(w) * sizeof(index_t),
+                          static_cast<std::size_t>(lanes) * sizeof(index_t));
+        }
+        ell_warp_steps(mem, m.val, m.col, a, x, lanes, k, opt.value_bytes,
+                       slot_of, std::span<real_t>(sums));
+        for (index_t lane = 0; lane < lanes; ++lane) {
+          const index_t r = m.perm[w + lane];
+          store_addrs[lane] = a.y + static_cast<std::uint64_t>(r) * opt.value_bytes;
+          y[r] = sums[lane];
+        }
+        if (permuted) {
+          mem.scatter_store(std::span<const std::uint64_t>(store_addrs.data(),
+                                                           static_cast<std::size_t>(lanes)),
+                            opt.value_bytes);
+        } else {
+          mem.stream_store(a.y + static_cast<std::uint64_t>(w) * opt.value_bytes,
+                           static_cast<std::size_t>(lanes) * opt.value_bytes);
+        }
       };
-      // The per-warp slice bound replaces the global k; the slice-k and
-      // slice-offset lookups are two 4-byte reads shared by the whole warp.
-      // Slice metadata (local k + storage offset): one cached lane read
-      // shared by the warp.
-      {
-        const std::uint64_t meta = a.row_ptr + static_cast<std::uint64_t>(slice) * 8;
-        sim.gather(std::span<const std::uint64_t>(&meta, 1), 8);
-      }
-      if (permuted) {
-        sim.stream_load(a.perm + static_cast<std::uint64_t>(w) * sizeof(index_t),
-                        static_cast<std::size_t>(lanes) * sizeof(index_t));
-      }
-      ell_warp_steps(sim, m.val, m.col, a, x, lanes, k, opt.value_bytes,
-                     slot_of, std::span<real_t>(sums));
-      for (index_t lane = 0; lane < lanes; ++lane) {
-        const index_t r = m.perm[w + lane];
-        store_addrs[lane] = a.y + static_cast<std::uint64_t>(r) * opt.value_bytes;
-        y[r] = sums[lane];
-      }
-      if (permuted) {
-        sim.scatter_store(std::span<const std::uint64_t>(store_addrs.data(),
-                                                         static_cast<std::size_t>(lanes)),
-                          opt.value_bytes);
-      } else {
-        sim.stream_store(a.y + static_cast<std::uint64_t>(w) * opt.value_bytes,
-                         static_cast<std::size_t>(lanes) * opt.value_bytes);
-      }
     });
   };
   return run_passes(sim, opt.block_size, 2ULL * m.nnz, opt.passes, body);
@@ -300,31 +348,35 @@ KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::EllDia& m,
   const std::uint64_t flops =
       2ULL * (rest.nnz + m.band.nnz + m.spill.nnz());
   const auto body = [&] {
-    std::vector<real_t> sums(static_cast<std::size_t>(dev.warp_size));
-    for_each_warp(sim, rest.padded_rows, opt.block_size, [&](index_t w,
-                                                             index_t lanes) {
-      std::fill(sums.begin(), sums.end(), 0.0);
-      const auto slot_of = [&](index_t lane, index_t j) {
-        return static_cast<std::size_t>(j) * rest.padded_rows +
-               static_cast<std::size_t>(w + lane);
-      };
-      ell_warp_steps(sim, rest.val, rest.col, a, x, lanes, rest.k,
-                     opt.value_bytes, slot_of, std::span<real_t>(sums));
-      const index_t real_lanes =
-          std::max<index_t>(0, std::min<index_t>(lanes, rest.nrows - w));
-      if (real_lanes > 0) {
-        dia_warp_contribution(sim, m.band, a, x, w, real_lanes,
-                              /*perm=*/nullptr, opt.value_bytes,
-                              std::span<real_t>(sums), /*skip_offset=*/nullptr);
-        sim.stream_store(a.y + static_cast<std::uint64_t>(w) * opt.value_bytes,
-                         static_cast<std::size_t>(real_lanes) * opt.value_bytes);
-        for (index_t lane = 0; lane < real_lanes; ++lane) {
-          y[w + lane] = sums[lane];
+    for_each_warp(sim, rest.padded_rows, opt.block_size, [&](SmStream& mem) {
+      return [&, sums = std::vector<real_t>(
+                     static_cast<std::size_t>(dev.warp_size))](
+                 index_t w, index_t lanes) mutable {
+        std::fill(sums.begin(), sums.end(), 0.0);
+        const auto slot_of = [&](index_t lane, index_t j) {
+          return static_cast<std::size_t>(j) * rest.padded_rows +
+                 static_cast<std::size_t>(w + lane);
+        };
+        ell_warp_steps(mem, rest.val, rest.col, a, x, lanes, rest.k,
+                       opt.value_bytes, slot_of, std::span<real_t>(sums));
+        const index_t real_lanes =
+            std::max<index_t>(0, std::min<index_t>(lanes, rest.nrows - w));
+        if (real_lanes > 0) {
+          dia_warp_contribution(mem, m.band, a, x, w, real_lanes,
+                                /*perm=*/nullptr, opt.value_bytes,
+                                std::span<real_t>(sums), /*skip_offset=*/nullptr);
+          mem.stream_store(a.y + static_cast<std::uint64_t>(w) * opt.value_bytes,
+                           static_cast<std::size_t>(real_lanes) * opt.value_bytes);
+          for (index_t lane = 0; lane < real_lanes; ++lane) {
+            y[w + lane] = sums[lane];
+          }
         }
-      }
+      };
     });
     // COO spill pass: one warp per 32 row-sorted outlier entries
-    // (val/col/row stream, x gathered, y updated through the cache).
+    // (val/col/row stream, x gathered, y updated through the cache). Runs on
+    // the direct (serial) engine after the sharded waves have merged, so the
+    // shared L2 is in the exact post-wave state either engine produces.
     std::array<std::uint64_t, 32> x_addrs{};
     std::array<std::uint64_t, 32> y_addrs{};
     for (std::size_t e0 = 0; e0 < m.spill.nnz(); e0 += 32) {
@@ -369,40 +421,42 @@ KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::SlicedEllDia& m,
 
   const std::uint64_t flops = 2ULL * (rest.nnz + m.band.nnz);
   const auto body = [&] {
-    std::vector<real_t> sums(static_cast<std::size_t>(dev.warp_size));
-    std::array<std::uint64_t, 32> store_addrs{};
-    for_each_warp(sim, rest.nrows, opt.block_size, [&](index_t w,
-                                                       index_t lanes) {
-      std::fill(sums.begin(), sums.end(), 0.0);
-      const index_t slice = w / rest.slice_size;
-      const index_t k = rest.slice_k[slice];
-      const std::size_t base = rest.slice_ptr[slice];
-      const index_t lane0 = w - slice * rest.slice_size;
-      const auto slot_of = [&](index_t lane, index_t j) {
-        return base + static_cast<std::size_t>(j) * rest.slice_size +
-               static_cast<std::size_t>(lane0 + lane);
+    for_each_warp(sim, rest.nrows, opt.block_size, [&](SmStream& mem) {
+      return [&, sums = std::vector<real_t>(
+                     static_cast<std::size_t>(dev.warp_size)),
+              store_addrs = std::array<std::uint64_t, 32>{}](
+                 index_t w, index_t lanes) mutable {
+        std::fill(sums.begin(), sums.end(), 0.0);
+        const index_t slice = w / rest.slice_size;
+        const index_t k = rest.slice_k[slice];
+        const std::size_t base = rest.slice_ptr[slice];
+        const index_t lane0 = w - slice * rest.slice_size;
+        const auto slot_of = [&](index_t lane, index_t j) {
+          return base + static_cast<std::size_t>(j) * rest.slice_size +
+                 static_cast<std::size_t>(lane0 + lane);
+        };
+        {
+          const std::uint64_t meta = a.row_ptr + static_cast<std::uint64_t>(slice) * 8;
+          mem.gather(std::span<const std::uint64_t>(&meta, 1), 8);
+        }
+        if (permuted) {
+          mem.stream_load(a.perm + static_cast<std::uint64_t>(w) * sizeof(index_t),
+                          static_cast<std::size_t>(lanes) * sizeof(index_t));
+        }
+        ell_warp_steps(mem, rest.val, rest.col, a, x, lanes, k, opt.value_bytes,
+                       slot_of, std::span<real_t>(sums));
+        dia_warp_contribution(mem, m.band, a, x, w, lanes,
+                              permuted ? &rest.perm : nullptr, opt.value_bytes,
+                              std::span<real_t>(sums), /*skip_offset=*/nullptr);
+        for (index_t lane = 0; lane < lanes; ++lane) {
+          const index_t r = rest.perm[w + lane];
+          store_addrs[lane] = a.y + static_cast<std::uint64_t>(r) * opt.value_bytes;
+          y[r] = sums[lane];
+        }
+        mem.scatter_store(std::span<const std::uint64_t>(store_addrs.data(),
+                                                         static_cast<std::size_t>(lanes)),
+                          opt.value_bytes);
       };
-      {
-        const std::uint64_t meta = a.row_ptr + static_cast<std::uint64_t>(slice) * 8;
-        sim.gather(std::span<const std::uint64_t>(&meta, 1), 8);
-      }
-      if (permuted) {
-        sim.stream_load(a.perm + static_cast<std::uint64_t>(w) * sizeof(index_t),
-                        static_cast<std::size_t>(lanes) * sizeof(index_t));
-      }
-      ell_warp_steps(sim, rest.val, rest.col, a, x, lanes, k, opt.value_bytes,
-                     slot_of, std::span<real_t>(sums));
-      dia_warp_contribution(sim, m.band, a, x, w, lanes,
-                            permuted ? &rest.perm : nullptr, opt.value_bytes,
-                            std::span<real_t>(sums), /*skip_offset=*/nullptr);
-      for (index_t lane = 0; lane < lanes; ++lane) {
-        const index_t r = rest.perm[w + lane];
-        store_addrs[lane] = a.y + static_cast<std::uint64_t>(r) * opt.value_bytes;
-        y[r] = sums[lane];
-      }
-      sim.scatter_store(std::span<const std::uint64_t>(store_addrs.data(),
-                                                       static_cast<std::size_t>(lanes)),
-                        opt.value_bytes);
     });
   };
   return run_passes(sim, opt.block_size, flops, opt.passes, body);
@@ -421,48 +475,51 @@ KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::Csr& m,
   a.row_ptr = as.alloc(m.row_ptr.size() * sizeof(index_t));
 
   const auto body = [&] {
-    std::array<std::uint64_t, 32> val_addrs{};
-    std::array<std::uint64_t, 32> col_addrs{};
-    std::array<std::uint64_t, 32> x_addrs{};
-    std::vector<real_t> sums(static_cast<std::size_t>(dev.warp_size));
-    for_each_warp(sim, m.nrows, opt.block_size, [&](index_t w, index_t lanes) {
-      std::fill(sums.begin(), sums.end(), 0.0);
-      sim.stream_load(a.row_ptr + static_cast<std::uint64_t>(w) * sizeof(index_t),
-                      static_cast<std::size_t>(lanes + 1) * sizeof(index_t));
-      index_t kmax = 0;
-      for (index_t lane = 0; lane < lanes; ++lane) {
-        kmax = std::max(kmax, m.row_length(w + lane));
-      }
-      // SIMT lockstep: the warp iterates to the longest row; shorter lanes
-      // sit idle (divergence), but their memory slots are simply absent.
-      for (index_t j = 0; j < kmax; ++j) {
-        int n_active = 0;
+    for_each_warp(sim, m.nrows, opt.block_size, [&](SmStream& mem) {
+      return [&, val_addrs = std::array<std::uint64_t, 32>{},
+              col_addrs = std::array<std::uint64_t, 32>{},
+              x_addrs = std::array<std::uint64_t, 32>{},
+              sums = std::vector<real_t>(
+                  static_cast<std::size_t>(dev.warp_size))](
+                 index_t w, index_t lanes) mutable {
+        std::fill(sums.begin(), sums.end(), 0.0);
+        mem.stream_load(a.row_ptr + static_cast<std::uint64_t>(w) * sizeof(index_t),
+                        static_cast<std::size_t>(lanes + 1) * sizeof(index_t));
+        index_t kmax = 0;
         for (index_t lane = 0; lane < lanes; ++lane) {
-          const index_t r = w + lane;
-          if (j >= m.row_length(r)) continue;
-          const std::size_t p = static_cast<std::size_t>(m.row_ptr[r]) + j;
-          val_addrs[n_active] = a.val + p * opt.value_bytes;
-          col_addrs[n_active] = a.col + p * sizeof(index_t);
-          x_addrs[n_active] =
-              a.x + static_cast<std::uint64_t>(m.col_idx[p]) * opt.value_bytes;
-          sums[lane] += m.val[p] * x[m.col_idx[p]];
-          ++n_active;
+          kmax = std::max(kmax, m.row_length(w + lane));
         }
-        const auto span_of = [](const std::array<std::uint64_t, 32>& arr,
-                                int n) {
-          return std::span<const std::uint64_t>(arr.data(),
-                                                static_cast<std::size_t>(n));
-        };
-        sim.gather(span_of(val_addrs, n_active), opt.value_bytes);
-        sim.gather(span_of(col_addrs, n_active), sizeof(index_t));
-        sim.gather(span_of(x_addrs, n_active), opt.value_bytes);
-        sim.add_flops(2ULL * static_cast<std::uint64_t>(n_active));
-      }
-      sim.stream_store(a.y + static_cast<std::uint64_t>(w) * opt.value_bytes,
-                       static_cast<std::size_t>(lanes) * opt.value_bytes);
-      for (index_t lane = 0; lane < lanes; ++lane) {
-        y[w + lane] = sums[lane];
-      }
+        // SIMT lockstep: the warp iterates to the longest row; shorter lanes
+        // sit idle (divergence), but their memory slots are simply absent.
+        for (index_t j = 0; j < kmax; ++j) {
+          int n_active = 0;
+          for (index_t lane = 0; lane < lanes; ++lane) {
+            const index_t r = w + lane;
+            if (j >= m.row_length(r)) continue;
+            const std::size_t p = static_cast<std::size_t>(m.row_ptr[r]) + j;
+            val_addrs[n_active] = a.val + p * opt.value_bytes;
+            col_addrs[n_active] = a.col + p * sizeof(index_t);
+            x_addrs[n_active] =
+                a.x + static_cast<std::uint64_t>(m.col_idx[p]) * opt.value_bytes;
+            sums[lane] += m.val[p] * x[m.col_idx[p]];
+            ++n_active;
+          }
+          const auto span_of = [](const std::array<std::uint64_t, 32>& arr,
+                                  int n) {
+            return std::span<const std::uint64_t>(arr.data(),
+                                                  static_cast<std::size_t>(n));
+          };
+          mem.gather(span_of(val_addrs, n_active), opt.value_bytes);
+          mem.gather(span_of(col_addrs, n_active), sizeof(index_t));
+          mem.gather(span_of(x_addrs, n_active), opt.value_bytes);
+          mem.add_flops(2ULL * static_cast<std::uint64_t>(n_active));
+        }
+        mem.stream_store(a.y + static_cast<std::uint64_t>(w) * opt.value_bytes,
+                         static_cast<std::size_t>(lanes) * opt.value_bytes);
+        for (index_t lane = 0; lane < lanes; ++lane) {
+          y[w + lane] = sums[lane];
+        }
+      };
     });
   };
   return run_passes(sim, opt.block_size, 2ULL * m.nnz(), opt.passes, body);
@@ -485,39 +542,41 @@ KernelStats simulate_spmv_csr_vector(const DeviceSpec& dev,
   // scheduler hands out 32-thread groups; group w/32 works on matrix row
   // w/32.
   const auto body = [&] {
-    std::array<std::uint64_t, 32> x_addrs{};
     for_each_warp(sim, m.nrows * dev.warp_size, opt.block_size,
-                  [&](index_t w, index_t) {
-      const index_t r = w / dev.warp_size;
-      if (r >= m.nrows) return;
-      sim.stream_load(a.row_ptr + static_cast<std::uint64_t>(r) * sizeof(index_t),
-                      2 * sizeof(index_t));
-      const index_t begin = m.row_ptr[r];
-      const index_t end = m.row_ptr[r + 1];
-      real_t sum = 0.0;
-      for (index_t p0 = begin; p0 < end; p0 += dev.warp_size) {
-        const index_t chunk = std::min<index_t>(dev.warp_size, end - p0);
-        // Coalesced val/col segment loads.
-        sim.stream_load(a.val + static_cast<std::uint64_t>(p0) * opt.value_bytes,
-                        static_cast<std::size_t>(chunk) * opt.value_bytes);
-        sim.stream_load(a.col + static_cast<std::uint64_t>(p0) * sizeof(index_t),
-                        static_cast<std::size_t>(chunk) * sizeof(index_t));
-        for (index_t l = 0; l < chunk; ++l) {
-          const std::size_t p = static_cast<std::size_t>(p0 + l);
-          x_addrs[l] = a.x + static_cast<std::uint64_t>(m.col_idx[p]) *
-                                 opt.value_bytes;
-          sum += m.val[p] * x[m.col_idx[p]];
+                  [&](SmStream& mem) {
+      return [&, x_addrs = std::array<std::uint64_t, 32>{}](
+                 index_t w, index_t) mutable {
+        const index_t r = w / dev.warp_size;
+        if (r >= m.nrows) return;
+        mem.stream_load(a.row_ptr + static_cast<std::uint64_t>(r) * sizeof(index_t),
+                        2 * sizeof(index_t));
+        const index_t begin = m.row_ptr[r];
+        const index_t end = m.row_ptr[r + 1];
+        real_t sum = 0.0;
+        for (index_t p0 = begin; p0 < end; p0 += dev.warp_size) {
+          const index_t chunk = std::min<index_t>(dev.warp_size, end - p0);
+          // Coalesced val/col segment loads.
+          mem.stream_load(a.val + static_cast<std::uint64_t>(p0) * opt.value_bytes,
+                          static_cast<std::size_t>(chunk) * opt.value_bytes);
+          mem.stream_load(a.col + static_cast<std::uint64_t>(p0) * sizeof(index_t),
+                          static_cast<std::size_t>(chunk) * sizeof(index_t));
+          for (index_t l = 0; l < chunk; ++l) {
+            const std::size_t p = static_cast<std::size_t>(p0 + l);
+            x_addrs[l] = a.x + static_cast<std::uint64_t>(m.col_idx[p]) *
+                                   opt.value_bytes;
+            sum += m.val[p] * x[m.col_idx[p]];
+          }
+          mem.gather(std::span<const std::uint64_t>(x_addrs.data(),
+                                                    static_cast<std::size_t>(chunk)),
+                     opt.value_bytes);
+          mem.add_flops(2ULL * static_cast<std::uint64_t>(chunk));
         }
-        sim.gather(std::span<const std::uint64_t>(x_addrs.data(),
-                                                  static_cast<std::size_t>(chunk)),
-                   opt.value_bytes);
-        sim.add_flops(2ULL * static_cast<std::uint64_t>(chunk));
-      }
-      // Warp-level reduction (shared-memory shuffle; ~log2(32) flops).
-      sim.add_flops(5);
-      sim.stream_store(a.y + static_cast<std::uint64_t>(r) * opt.value_bytes,
-                       opt.value_bytes);
-      y[r] = sum;
+        // Warp-level reduction (shared-memory shuffle; ~log2(32) flops).
+        mem.add_flops(5);
+        mem.stream_store(a.y + static_cast<std::uint64_t>(r) * opt.value_bytes,
+                         opt.value_bytes);
+        y[r] = sum;
+      };
     });
   };
   return run_passes(sim, opt.block_size, 2ULL * m.nnz(), opt.passes, body);
@@ -536,58 +595,59 @@ KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::Bcsr& m,
 
   const std::size_t slots = static_cast<std::size_t>(m.block_rows) *
                             static_cast<std::size_t>(m.block_cols);
-  std::vector<real_t> acc(static_cast<std::size_t>(m.block_rows));
   const auto body = [&] {
-    std::array<std::uint64_t, 32> x_addrs{};
     // Thread = block row; the wave scheduler walks warps of 32 block rows.
-    for_each_warp(sim, m.nblock_rows, opt.block_size, [&](index_t w,
-                                                          index_t lanes) {
-      sim.stream_load(a.row_ptr + static_cast<std::uint64_t>(w) * sizeof(index_t),
-                      static_cast<std::size_t>(lanes + 1) * sizeof(index_t));
-      for (index_t lane = 0; lane < lanes; ++lane) {
-        const index_t br = w + lane;
-        std::fill(acc.begin(), acc.end(), 0.0);
-        for (index_t bp = m.block_row_ptr[br]; bp < m.block_row_ptr[br + 1];
-             ++bp) {
-          // Per-lane block fetch: values + one block-column index. Lanes of
-          // a warp read different block rows, so these are gathers.
-          const std::uint64_t vaddr =
-              a.val + static_cast<std::uint64_t>(bp) * slots * opt.value_bytes;
-          for (std::size_t sl = 0; sl < slots;
-               sl += dev.line_bytes / opt.value_bytes) {
-            const std::uint64_t line_addr = vaddr + sl * opt.value_bytes;
-            sim.gather(std::span<const std::uint64_t>(&line_addr, 1),
-                       opt.value_bytes);
-          }
-          const std::uint64_t caddr =
-              a.col + static_cast<std::uint64_t>(bp) * sizeof(index_t);
-          sim.gather(std::span<const std::uint64_t>(&caddr, 1), sizeof(index_t));
-
-          const index_t col0 = m.block_col[bp] * m.block_cols;
-          int n_x = 0;
-          const real_t* data = m.val.data() + static_cast<std::size_t>(bp) * slots;
-          for (int lc = 0; lc < m.block_cols; ++lc) {
-            const index_t c = col0 + lc;
-            if (c >= m.ncols) continue;
-            x_addrs[n_x++] = a.x + static_cast<std::uint64_t>(c) * opt.value_bytes;
-            for (int lr = 0; lr < m.block_rows; ++lr) {
-              acc[static_cast<std::size_t>(lr)] +=
-                  data[static_cast<std::size_t>(lr) * m.block_cols + lc] * x[c];
+    for_each_warp(sim, m.nblock_rows, opt.block_size, [&](SmStream& mem) {
+      return [&, x_addrs = std::array<std::uint64_t, 32>{},
+              acc = std::vector<real_t>(static_cast<std::size_t>(m.block_rows))](
+                 index_t w, index_t lanes) mutable {
+        mem.stream_load(a.row_ptr + static_cast<std::uint64_t>(w) * sizeof(index_t),
+                        static_cast<std::size_t>(lanes + 1) * sizeof(index_t));
+        for (index_t lane = 0; lane < lanes; ++lane) {
+          const index_t br = w + lane;
+          std::fill(acc.begin(), acc.end(), 0.0);
+          for (index_t bp = m.block_row_ptr[br]; bp < m.block_row_ptr[br + 1];
+               ++bp) {
+            // Per-lane block fetch: values + one block-column index. Lanes of
+            // a warp read different block rows, so these are gathers.
+            const std::uint64_t vaddr =
+                a.val + static_cast<std::uint64_t>(bp) * slots * opt.value_bytes;
+            for (std::size_t sl = 0; sl < slots;
+                 sl += dev.line_bytes / opt.value_bytes) {
+              const std::uint64_t line_addr = vaddr + sl * opt.value_bytes;
+              mem.gather(std::span<const std::uint64_t>(&line_addr, 1),
+                         opt.value_bytes);
             }
+            const std::uint64_t caddr =
+                a.col + static_cast<std::uint64_t>(bp) * sizeof(index_t);
+            mem.gather(std::span<const std::uint64_t>(&caddr, 1), sizeof(index_t));
+
+            const index_t col0 = m.block_col[bp] * m.block_cols;
+            int n_x = 0;
+            const real_t* data = m.val.data() + static_cast<std::size_t>(bp) * slots;
+            for (int lc = 0; lc < m.block_cols; ++lc) {
+              const index_t c = col0 + lc;
+              if (c >= m.ncols) continue;
+              x_addrs[n_x++] = a.x + static_cast<std::uint64_t>(c) * opt.value_bytes;
+              for (int lr = 0; lr < m.block_rows; ++lr) {
+                acc[static_cast<std::size_t>(lr)] +=
+                    data[static_cast<std::size_t>(lr) * m.block_cols + lc] * x[c];
+              }
+            }
+            mem.gather(std::span<const std::uint64_t>(x_addrs.data(),
+                                                      static_cast<std::size_t>(n_x)),
+                       opt.value_bytes);
+            mem.add_flops(2ULL * slots);
           }
-          sim.gather(std::span<const std::uint64_t>(x_addrs.data(),
-                                                    static_cast<std::size_t>(n_x)),
-                     opt.value_bytes);
-          sim.add_flops(2ULL * slots);
+          for (int lr = 0; lr < m.block_rows; ++lr) {
+            const index_t r = br * m.block_rows + lr;
+            if (r < m.nrows) y[r] = acc[static_cast<std::size_t>(lr)];
+          }
+          mem.stream_store(a.y + static_cast<std::uint64_t>(br) * m.block_rows *
+                                     opt.value_bytes,
+                           static_cast<std::size_t>(m.block_rows) * opt.value_bytes);
         }
-        for (int lr = 0; lr < m.block_rows; ++lr) {
-          const index_t r = br * m.block_rows + lr;
-          if (r < m.nrows) y[r] = acc[static_cast<std::size_t>(lr)];
-        }
-        sim.stream_store(a.y + static_cast<std::uint64_t>(br) * m.block_rows *
-                                   opt.value_bytes,
-                         static_cast<std::size_t>(m.block_rows) * opt.value_bytes);
-      }
+      };
     });
   };
   return run_passes(sim, opt.block_size, 2ULL * m.nnz, opt.passes, body);
@@ -605,17 +665,20 @@ KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::Dia& m,
   a.dia = a.val;
 
   const auto body = [&] {
-    std::vector<real_t> sums(static_cast<std::size_t>(dev.warp_size));
-    for_each_warp(sim, m.nrows, opt.block_size, [&](index_t w, index_t lanes) {
-      std::fill(sums.begin(), sums.end(), 0.0);
-      dia_warp_contribution(sim, m, a, x, w, lanes, /*perm=*/nullptr,
-                            opt.value_bytes, std::span<real_t>(sums),
-                            /*skip_offset=*/nullptr);
-      sim.stream_store(a.y + static_cast<std::uint64_t>(w) * opt.value_bytes,
-                       static_cast<std::size_t>(lanes) * opt.value_bytes);
-      for (index_t lane = 0; lane < lanes; ++lane) {
-        y[w + lane] = sums[lane];
-      }
+    for_each_warp(sim, m.nrows, opt.block_size, [&](SmStream& mem) {
+      return [&, sums = std::vector<real_t>(
+                     static_cast<std::size_t>(dev.warp_size))](
+                 index_t w, index_t lanes) mutable {
+        std::fill(sums.begin(), sums.end(), 0.0);
+        dia_warp_contribution(mem, m, a, x, w, lanes, /*perm=*/nullptr,
+                              opt.value_bytes, std::span<real_t>(sums),
+                              /*skip_offset=*/nullptr);
+        mem.stream_store(a.y + static_cast<std::uint64_t>(w) * opt.value_bytes,
+                         static_cast<std::size_t>(lanes) * opt.value_bytes);
+        for (index_t lane = 0; lane < lanes; ++lane) {
+          y[w + lane] = sums[lane];
+        }
+      };
     });
   };
   return run_passes(sim, opt.block_size, 2ULL * m.nnz, opt.passes, body);
@@ -655,56 +718,58 @@ KernelStats simulate_jacobi_sweep(const DeviceSpec& dev,
       2ULL * offdiag_nnz + static_cast<std::uint64_t>(rest.nrows);
 
   const auto body = [&] {
-    std::vector<real_t> sums(static_cast<std::size_t>(dev.warp_size));
-    std::array<std::uint64_t, 32> store_addrs{};
-    std::array<std::uint64_t, 32> diag_addrs{};
-    for_each_warp(sim, rest.nrows, opt.block_size, [&](index_t w,
-                                                       index_t lanes) {
-      std::fill(sums.begin(), sums.end(), 0.0);
-      const index_t slice = w / rest.slice_size;
-      const index_t k = rest.slice_k[slice];
-      const std::size_t base = rest.slice_ptr[slice];
-      const index_t lane0 = w - slice * rest.slice_size;
-      const auto slot_of = [&](index_t lane, index_t j) {
-        return base + static_cast<std::size_t>(j) * rest.slice_size +
-               static_cast<std::size_t>(lane0 + lane);
+    for_each_warp(sim, rest.nrows, opt.block_size, [&](SmStream& mem) {
+      return [&, sums = std::vector<real_t>(
+                     static_cast<std::size_t>(dev.warp_size)),
+              store_addrs = std::array<std::uint64_t, 32>{},
+              diag_addrs = std::array<std::uint64_t, 32>{}](
+                 index_t w, index_t lanes) mutable {
+        std::fill(sums.begin(), sums.end(), 0.0);
+        const index_t slice = w / rest.slice_size;
+        const index_t k = rest.slice_k[slice];
+        const std::size_t base = rest.slice_ptr[slice];
+        const index_t lane0 = w - slice * rest.slice_size;
+        const auto slot_of = [&](index_t lane, index_t j) {
+          return base + static_cast<std::size_t>(j) * rest.slice_size +
+                 static_cast<std::size_t>(lane0 + lane);
+        };
+        {
+          const std::uint64_t meta = a.row_ptr + static_cast<std::uint64_t>(slice) * 8;
+          mem.gather(std::span<const std::uint64_t>(&meta, 1), 8);
+        }
+        if (permuted) {
+          mem.stream_load(a.perm + static_cast<std::uint64_t>(w) * sizeof(index_t),
+                          static_cast<std::size_t>(lanes) * sizeof(index_t));
+        }
+        ell_warp_steps(mem, rest.val, rest.col, a, x, lanes, k, opt.value_bytes,
+                       slot_of, std::span<real_t>(sums));
+        dia_warp_contribution(mem, m.band, a, x, w, lanes,
+                              permuted ? &rest.perm : nullptr, opt.value_bytes,
+                              std::span<real_t>(sums), &diag_offset);
+        // Dense-diagonal load + divide + negate, then write x_out.
+        for (index_t lane = 0; lane < lanes; ++lane) {
+          const index_t r = rest.perm[w + lane];
+          const std::size_t slot =
+              d0 * static_cast<std::size_t>(m.band.nrows) +
+              static_cast<std::size_t>(r);
+          diag_addrs[lane] = a.dia + slot * opt.value_bytes;
+          store_addrs[lane] =
+              a.y + static_cast<std::uint64_t>(r) * opt.value_bytes;
+          x_out[r] = -sums[lane] / m.band.data[slot];
+        }
+        if (permuted) {
+          mem.gather(std::span<const std::uint64_t>(diag_addrs.data(),
+                                                    static_cast<std::size_t>(lanes)),
+                     opt.value_bytes);
+        } else {
+          mem.stream_load(diag_addrs[0],
+                          static_cast<std::size_t>(lanes) * opt.value_bytes);
+        }
+        mem.add_flops(static_cast<std::uint64_t>(lanes));
+        mem.scatter_store(std::span<const std::uint64_t>(store_addrs.data(),
+                                                         static_cast<std::size_t>(lanes)),
+                          opt.value_bytes);
       };
-      {
-        const std::uint64_t meta = a.row_ptr + static_cast<std::uint64_t>(slice) * 8;
-        sim.gather(std::span<const std::uint64_t>(&meta, 1), 8);
-      }
-      if (permuted) {
-        sim.stream_load(a.perm + static_cast<std::uint64_t>(w) * sizeof(index_t),
-                        static_cast<std::size_t>(lanes) * sizeof(index_t));
-      }
-      ell_warp_steps(sim, rest.val, rest.col, a, x, lanes, k, opt.value_bytes,
-                     slot_of, std::span<real_t>(sums));
-      dia_warp_contribution(sim, m.band, a, x, w, lanes,
-                            permuted ? &rest.perm : nullptr, opt.value_bytes,
-                            std::span<real_t>(sums), &diag_offset);
-      // Dense-diagonal load + divide + negate, then write x_out.
-      for (index_t lane = 0; lane < lanes; ++lane) {
-        const index_t r = rest.perm[w + lane];
-        const std::size_t slot =
-            d0 * static_cast<std::size_t>(m.band.nrows) +
-            static_cast<std::size_t>(r);
-        diag_addrs[lane] = a.dia + slot * opt.value_bytes;
-        store_addrs[lane] =
-            a.y + static_cast<std::uint64_t>(r) * opt.value_bytes;
-        x_out[r] = -sums[lane] / m.band.data[slot];
-      }
-      if (permuted) {
-        sim.gather(std::span<const std::uint64_t>(diag_addrs.data(),
-                                                  static_cast<std::size_t>(lanes)),
-                   opt.value_bytes);
-      } else {
-        sim.stream_load(diag_addrs[0],
-                        static_cast<std::size_t>(lanes) * opt.value_bytes);
-      }
-      sim.add_flops(static_cast<std::uint64_t>(lanes));
-      sim.scatter_store(std::span<const std::uint64_t>(store_addrs.data(),
-                                                       static_cast<std::size_t>(lanes)),
-                        opt.value_bytes);
     });
   };
   return run_passes(sim, opt.block_size, flops, opt.passes, body);

@@ -8,6 +8,127 @@
 
 namespace cmesolve::gpusim {
 
+namespace {
+
+void accumulate(TrafficCounters& into, const TrafficCounters& from) noexcept {
+  into.dram_bytes += from.dram_bytes;
+  into.l2_bytes += from.l2_bytes;
+  into.l1_bytes += from.l1_bytes;
+  into.transactions += from.transactions;
+  into.l1_hits += from.l1_hits;
+  into.l1_misses += from.l1_misses;
+  into.l2_hits += from.l2_hits;
+  into.l2_misses += from.l2_misses;
+  into.flops += from.flops;
+}
+
+}  // namespace
+
+// --- SmStream ---------------------------------------------------------------
+
+void SmStream::begin_wave() {
+  if (l2_ != nullptr) return;  // direct mode: no recording
+  wave_start_.push_back(l2_lines_.size());
+}
+
+void SmStream::stream_load(std::uint64_t addr, std::size_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t first = addr / dev_->line_bytes;
+  const std::uint64_t last = (addr + bytes - 1) / dev_->line_bytes;
+  const std::uint64_t lines = last - first + 1;
+  counters_->transactions += lines;
+  counters_->dram_bytes += lines * dev_->line_bytes;
+  counters_->l1_bytes += lines * dev_->line_bytes;  // the LSU still issues them
+  // Fermi's L1 caches every global load, so streaming arrays evict the
+  // x-vector lines — the pollution that makes the 48 KB L1 split worth ~6%
+  // over 16 KB in Sec. VII-C. The DRAM cost above stays unconditional
+  // (each matrix line is consumed once per sweep regardless).
+  if (l1_enabled_) {
+    for (std::uint64_t line = first; line <= last; ++line) {
+      (void)l1_->access(line * dev_->line_bytes);
+    }
+  }
+}
+
+void SmStream::gather(std::span<const std::uint64_t> lane_addrs,
+                      std::size_t elem_bytes) {
+  if (lane_addrs.empty()) return;
+  scratch_.assign(lane_addrs.begin(), lane_addrs.end());
+  for (auto& a : scratch_) a /= dev_->line_bytes;
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()), scratch_.end());
+
+  for (std::uint64_t line : scratch_) {
+    const std::uint64_t addr = line * dev_->line_bytes;
+    ++counters_->transactions;
+    counters_->l1_bytes += dev_->line_bytes;
+    if (l1_enabled_) {
+      if (l1_->access(addr)) {
+        ++counters_->l1_hits;
+        continue;
+      }
+      ++counters_->l1_misses;
+    } else {
+      ++counters_->l1_misses;
+    }
+    counters_->l2_bytes += dev_->line_bytes;
+    if (l2_ != nullptr) {
+      if (l2_->access(addr)) {
+        ++counters_->l2_hits;
+      } else {
+        ++counters_->l2_misses;
+        counters_->dram_bytes += dev_->line_bytes;
+      }
+    } else {
+      // Shard mode: the shared-L2 lookup is deferred to the deterministic
+      // replay in MemorySim::merge_shards().
+      l2_lines_.push_back(addr);
+    }
+  }
+  (void)elem_bytes;
+}
+
+void SmStream::scatter_store(std::span<const std::uint64_t> lane_addrs,
+                             std::size_t elem_bytes) {
+  if (lane_addrs.empty()) return;
+  // LSU issues one transaction per touched write segment; DRAM traffic is
+  // the write-back of dirtied lines, accounted once per pass in finalize().
+  scratch_.clear();
+  for (std::uint64_t a : lane_addrs) {
+    // A lane store can straddle a segment boundary only if misaligned; the
+    // simulated arrays are element-aligned, so one segment per lane element.
+    scratch_.push_back(a / dev_->write_segment_bytes);
+    if (elem_bytes > dev_->write_segment_bytes) {
+      const std::uint64_t end = (a + elem_bytes - 1) / dev_->write_segment_bytes;
+      for (std::uint64_t s = a / dev_->write_segment_bytes + 1; s <= end; ++s) {
+        scratch_.push_back(s);
+      }
+    }
+  }
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()), scratch_.end());
+  counters_->transactions += scratch_.size();
+  counters_->l1_bytes += scratch_.size() * dev_->write_segment_bytes;
+  for (std::uint64_t seg : scratch_) {
+    dirty_->insert(seg * dev_->write_segment_bytes / dev_->line_bytes);
+  }
+}
+
+void SmStream::stream_store(std::uint64_t addr, std::size_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t first = addr / dev_->write_segment_bytes;
+  const std::uint64_t last = (addr + bytes - 1) / dev_->write_segment_bytes;
+  const std::uint64_t segs = last - first + 1;
+  counters_->transactions += segs;
+  counters_->l1_bytes += segs * dev_->write_segment_bytes;
+  for (std::uint64_t line = addr / dev_->line_bytes;
+       line <= (addr + bytes - 1) / dev_->line_bytes; ++line) {
+    dirty_->insert(line);
+  }
+}
+
+// --- MemorySim --------------------------------------------------------------
+
 MemorySim::MemorySim(const DeviceSpec& dev, bool l1_enabled)
     : dev_(dev),
       l1_enabled_(l1_enabled),
@@ -16,103 +137,74 @@ MemorySim::MemorySim(const DeviceSpec& dev, bool l1_enabled)
   for (int s = 0; s < dev.num_sms; ++s) {
     l1_.emplace_back(dev.l1_bytes, dev.l1_ways, dev.line_bytes);
   }
-}
 
-void MemorySim::stream_load(std::uint64_t addr, std::size_t bytes) {
-  if (bytes == 0) return;
-  const std::uint64_t first = addr / dev_.line_bytes;
-  const std::uint64_t last = (addr + bytes - 1) / dev_.line_bytes;
-  const std::uint64_t lines = last - first + 1;
-  counters_.transactions += lines;
-  counters_.dram_bytes += lines * dev_.line_bytes;
-  counters_.l1_bytes += lines * dev_.line_bytes;  // the LSU still issues them
-  // Fermi's L1 caches every global load, so streaming arrays evict the
-  // x-vector lines — the pollution that makes the 48 KB L1 split worth ~6%
-  // over 16 KB in Sec. VII-C. The DRAM cost above stays unconditional
-  // (each matrix line is consumed once per sweep regardless).
-  if (l1_enabled_) {
-    CacheModel& l1 = l1_[static_cast<std::size_t>(active_sm_)];
-    for (std::uint64_t line = first; line <= last; ++line) {
-      (void)l1.access(line * dev_.line_bytes);
-    }
+  direct_.dev_ = &dev_;
+  direct_.l1_enabled_ = l1_enabled_;
+  direct_.l1_ = &l1_[0];
+  direct_.l2_ = &l2_;
+  direct_.counters_ = &counters_;
+  direct_.dirty_ = &dirty_lines_;
+
+  shards_.resize(static_cast<std::size_t>(dev.num_sms));
+  for (int s = 0; s < dev.num_sms; ++s) {
+    SmStream& sh = shards_[static_cast<std::size_t>(s)];
+    sh.dev_ = &dev_;
+    sh.l1_enabled_ = l1_enabled_;
+    sh.l1_ = &l1_[static_cast<std::size_t>(s)];
+    sh.l2_ = nullptr;  // defer to merge_shards()
+    sh.counters_ = &sh.own_counters_;
+    sh.dirty_ = &sh.own_dirty_;
   }
 }
 
-void MemorySim::gather(std::span<const std::uint64_t> lane_addrs,
-                       std::size_t elem_bytes) {
-  if (lane_addrs.empty()) return;
-  scratch_.assign(lane_addrs.begin(), lane_addrs.end());
-  for (auto& a : scratch_) a /= dev_.line_bytes;
-  std::sort(scratch_.begin(), scratch_.end());
-  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()), scratch_.end());
-
-  CacheModel& l1 = l1_[static_cast<std::size_t>(active_sm_)];
-  for (std::uint64_t line : scratch_) {
-    const std::uint64_t addr = line * dev_.line_bytes;
-    ++counters_.transactions;
-    counters_.l1_bytes += dev_.line_bytes;
-    if (l1_enabled_) {
-      if (l1.access(addr)) {
-        ++counters_.l1_hits;
-        continue;
-      }
-      ++counters_.l1_misses;
-    } else {
-      ++counters_.l1_misses;
-    }
-    counters_.l2_bytes += dev_.line_bytes;
-    if (l2_.access(addr)) {
-      ++counters_.l2_hits;
-    } else {
-      ++counters_.l2_misses;
-      counters_.dram_bytes += dev_.line_bytes;
-    }
+void MemorySim::merge_shards() {
+  // Phase 1: replay the recorded L2-bound lines through the shared L2 in
+  // (wave, sm, program-order) order — the exact order the serial engine
+  // interleaves SM traffic — so L2 hit/miss classification is bit-identical
+  // to the direct engine regardless of how many host threads recorded.
+  std::size_t waves = 0;
+  for (const SmStream& sh : shards_) {
+    waves = std::max(waves, sh.wave_start_.size());
   }
-  (void)elem_bytes;
-}
-
-void MemorySim::scatter_store(std::span<const std::uint64_t> lane_addrs,
-                              std::size_t elem_bytes) {
-  if (lane_addrs.empty()) return;
-  // LSU issues one transaction per touched write segment; DRAM traffic is
-  // the write-back of dirtied lines, accounted once per pass in finalize().
-  scratch_.clear();
-  for (std::uint64_t a : lane_addrs) {
-    // A lane store can straddle a segment boundary only if misaligned; the
-    // simulated arrays are element-aligned, so one segment per lane element.
-    scratch_.push_back(a / dev_.write_segment_bytes);
-    if (elem_bytes > dev_.write_segment_bytes) {
-      const std::uint64_t end = (a + elem_bytes - 1) / dev_.write_segment_bytes;
-      for (std::uint64_t s = a / dev_.write_segment_bytes + 1; s <= end; ++s) {
-        scratch_.push_back(s);
+  for (std::size_t w = 0; w < waves; ++w) {
+    for (SmStream& sh : shards_) {
+      if (w >= sh.wave_start_.size()) continue;
+      const std::size_t b = sh.wave_start_[w];
+      const std::size_t e = w + 1 < sh.wave_start_.size()
+                                ? sh.wave_start_[w + 1]
+                                : sh.l2_lines_.size();
+      for (std::size_t i = b; i < e; ++i) {
+        if (l2_.access(sh.l2_lines_[i])) {
+          ++counters_.l2_hits;
+        } else {
+          ++counters_.l2_misses;
+          counters_.dram_bytes += dev_.line_bytes;
+        }
       }
     }
   }
-  std::sort(scratch_.begin(), scratch_.end());
-  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()), scratch_.end());
-  counters_.transactions += scratch_.size();
-  counters_.l1_bytes += scratch_.size() * dev_.write_segment_bytes;
-  for (std::uint64_t seg : scratch_) {
-    dirty_lines_.insert(seg * dev_.write_segment_bytes / dev_.line_bytes);
-  }
-}
-
-void MemorySim::stream_store(std::uint64_t addr, std::size_t bytes) {
-  if (bytes == 0) return;
-  const std::uint64_t first = addr / dev_.write_segment_bytes;
-  const std::uint64_t last = (addr + bytes - 1) / dev_.write_segment_bytes;
-  const std::uint64_t segs = last - first + 1;
-  counters_.transactions += segs;
-  counters_.l1_bytes += segs * dev_.write_segment_bytes;
-  for (std::uint64_t line = addr / dev_.line_bytes;
-       line <= (addr + bytes - 1) / dev_.line_bytes; ++line) {
-    dirty_lines_.insert(line);
+  // Phase 2: fold shard counters and write-sets into the pass totals
+  // (order-independent sums and unions) and clear the recordings.
+  for (SmStream& sh : shards_) {
+    accumulate(counters_, sh.own_counters_);
+    sh.own_counters_ = TrafficCounters{};
+    sh.own_dirty_.for_each(
+        [this](std::uint64_t line) { dirty_lines_.insert(line); });
+    sh.own_dirty_.clear();
+    sh.l2_lines_.clear();
+    sh.wave_start_.clear();
   }
 }
 
 void MemorySim::begin_pass() {
   counters_ = TrafficCounters{};
   dirty_lines_.clear();
+  for (SmStream& sh : shards_) {
+    sh.own_counters_ = TrafficCounters{};
+    sh.own_dirty_.clear();
+    sh.l2_lines_.clear();
+    sh.wave_start_.clear();
+  }
 }
 
 KernelStats MemorySim::finalize(int block_size,

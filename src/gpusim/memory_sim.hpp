@@ -22,13 +22,26 @@
 //     transaction count still reflects the (possibly scattered) 32-byte
 //     write segments.
 //
+// Execution engines. The DIRECT interface (stream_load/gather/... on the
+// MemorySim itself, routed by set_active_sm) is the serial engine: every
+// event updates the shared L2 immediately, in program order. The SHARDED
+// interface hands each simulated SM a private SmStream — its own L1, traffic
+// counters, write-set and L2-bound miss recording — so the 16 SM warp
+// streams can execute on concurrent host threads with no shared mutable
+// state. A shard never touches the L2; it records the line addresses that
+// missed (or bypassed) its L1, partitioned into scheduling waves. The
+// merge_shards() barrier then replays the recorded streams through the
+// shared L2 in (wave, sm, program-order) order — exactly the interleaving
+// the serial engine produces — so every TrafficCounters field is
+// bit-identical to the serial engine at any host thread count.
+//
 #include <cstdint>
 #include <span>
-#include <unordered_set>
 #include <vector>
 
 #include "gpusim/cache.hpp"
 #include "gpusim/device.hpp"
+#include "util/flat_set.hpp"
 #include "util/types.hpp"
 
 namespace cmesolve::gpusim {
@@ -70,16 +83,20 @@ struct KernelStats {
   std::uint64_t useful_flops = 0;
 };
 
-class MemorySim {
- public:
-  /// `sp_l1_enabled = false` routes gathers straight to L2 (used by the
-  /// clSpMV comparator model, whose OpenCL kernels did not benefit from the
-  /// L1 configuration the paper tunes in Sec. VII-C).
-  explicit MemorySim(const DeviceSpec& dev, bool l1_enabled = true);
+class MemorySim;
 
-  /// Select the SM whose L1 subsequent gathers hit (blocks are assigned
-  /// round-robin: SM = block_index % num_sms).
-  void set_active_sm(int sm) noexcept { active_sm_ = sm; }
+/// Memory-event sink of one simulated SM. Two wirings exist (see the engine
+/// note above): the DIRECT stream owned by MemorySim routes events through
+/// the shared L2 immediately, while SHARD streams record their L2-bound
+/// lines for the deterministic replay at merge_shards(). A shard stream is
+/// thread-confined: exactly one host thread may use it between begin_pass()
+/// and merge_shards().
+class SmStream {
+ public:
+  /// Mark a scheduling-wave boundary in the recorded L2 stream (no-op in
+  /// direct mode). Shard tasks call this once per wave, BEFORE the wave's
+  /// warps, and every shard must see every wave so the replay stays aligned.
+  void begin_wave();
 
   /// Warp-wide streaming load of `bytes` starting at `addr`.
   void stream_load(std::uint64_t addr, std::size_t bytes);
@@ -95,7 +112,88 @@ class MemorySim {
   /// Contiguous warp-wide store.
   void stream_store(std::uint64_t addr, std::size_t bytes);
 
+  void add_flops(std::uint64_t n) noexcept { counters_->flops += n; }
+
+  /// Streams are inert until wired up by a MemorySim.
+  SmStream() = default;
+
+ private:
+  friend class MemorySim;
+
+  const DeviceSpec* dev_ = nullptr;
+  bool l1_enabled_ = true;
+  CacheModel* l1_ = nullptr;  ///< this SM's L1 (direct mode: the active SM's)
+  CacheModel* l2_ = nullptr;  ///< non-null => direct mode (immediate L2)
+  TrafficCounters* counters_ = nullptr;
+  util::FlatSet64* dirty_ = nullptr;
+
+  // Shard-mode storage (counters_/dirty_ point at these for shards).
+  TrafficCounters own_counters_;
+  util::FlatSet64 own_dirty_;
+  std::vector<std::uint64_t> l2_lines_;   ///< recorded L2-bound line addrs
+  std::vector<std::size_t> wave_start_;   ///< offset of each wave's records
+  // Scratch buffer reused by gather/scatter dedup to avoid allocation.
+  std::vector<std::uint64_t> scratch_;
+};
+
+class MemorySim {
+ public:
+  /// `l1_enabled = false` routes gathers straight to L2 (used by the
+  /// clSpMV comparator model, whose OpenCL kernels did not benefit from the
+  /// L1 configuration the paper tunes in Sec. VII-C).
+  explicit MemorySim(const DeviceSpec& dev, bool l1_enabled = true);
+
+  MemorySim(const MemorySim&) = delete;
+  MemorySim& operator=(const MemorySim&) = delete;
+
+  // --- direct (serial) interface -------------------------------------------
+
+  /// Select the SM whose L1 subsequent direct-mode events hit (blocks are
+  /// assigned round-robin: SM = block_index % num_sms).
+  void set_active_sm(int sm) noexcept {
+    active_sm_ = sm;
+    direct_.l1_ = &l1_[static_cast<std::size_t>(sm)];
+  }
+
+  void stream_load(std::uint64_t addr, std::size_t bytes) {
+    direct_.stream_load(addr, bytes);
+  }
+  void gather(std::span<const std::uint64_t> lane_addrs,
+              std::size_t elem_bytes) {
+    direct_.gather(lane_addrs, elem_bytes);
+  }
+  void scatter_store(std::span<const std::uint64_t> lane_addrs,
+                     std::size_t elem_bytes) {
+    direct_.scatter_store(lane_addrs, elem_bytes);
+  }
+  void stream_store(std::uint64_t addr, std::size_t bytes) {
+    direct_.stream_store(addr, bytes);
+  }
   void add_flops(std::uint64_t n) noexcept { counters_.flops += n; }
+
+  /// The direct-mode stream itself (serial engine view for generic kernel
+  /// bodies written against the SmStream interface).
+  [[nodiscard]] SmStream& direct() noexcept { return direct_; }
+
+  // --- sharded (parallel) interface ----------------------------------------
+
+  [[nodiscard]] int num_sms() const noexcept { return dev_.num_sms; }
+
+  /// Per-SM shard streams for concurrent execution: shard(s) owns L1 of SM
+  /// s. Between begin_pass()/merge_shards(), each shard may be driven by a
+  /// different host thread; direct-mode calls are not allowed while any
+  /// shard holds unreplayed events.
+  [[nodiscard]] SmStream& shard(int sm) noexcept {
+    return shards_[static_cast<std::size_t>(sm)];
+  }
+
+  /// Deterministic barrier: replays every shard's recorded L2-bound lines
+  /// through the shared L2 in (wave, sm, program-order) order — the exact
+  /// serial interleaving — then folds shard counters and write-sets into
+  /// the pass totals and clears the shard recordings.
+  void merge_shards();
+
+  // --- pass bookkeeping ----------------------------------------------------
 
   /// Zero the counters but keep cache contents (steady-state passes).
   void begin_pass();
@@ -118,9 +216,9 @@ class MemorySim {
   CacheModel l2_;
   int active_sm_ = 0;
   TrafficCounters counters_;
-  std::unordered_set<std::uint64_t> dirty_lines_;  ///< lines written this pass
-  // Scratch buffer reused by gather/scatter dedup to avoid allocation.
-  mutable std::vector<std::uint64_t> scratch_;
+  util::FlatSet64 dirty_lines_;  ///< lines written this pass
+  SmStream direct_;              ///< serial-engine event sink
+  std::vector<SmStream> shards_; ///< parallel-engine per-SM sinks
 };
 
 }  // namespace cmesolve::gpusim

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
-#include <unordered_set>
+#include <vector>
 
 #include "sparse/hybrid.hpp"
+#include "util/flat_set.hpp"
+#include "util/parallel.hpp"
 
 namespace cmesolve::gpusim {
 
@@ -56,23 +58,28 @@ MultiGpuReport simulate_multi_gpu_jacobi_sweep(const DeviceSpec& dev,
   const int g = opt.num_gpus;
   const index_t rows_per_gpu = (a.nrows + g - 1) / g;
 
-  std::unordered_set<index_t> halo;
-  for (int p = 0; p < g; ++p) {
-    PartitionStats part;
+  // Each simulated device is independent: it reads the shared x and the
+  // global matrix, and writes a disjoint row range of x_out. Partitions
+  // therefore run as pool tasks (each with its own halo set and block
+  // buffers) and the per-partition stats are folded in partition order
+  // below, so the report is identical to the serial loop's.
+  std::vector<PartitionStats> parts(static_cast<std::size_t>(g));
+  util::parallel_tasks(g, [&](int p) {
+    PartitionStats& part = parts[static_cast<std::size_t>(p)];
     part.row_begin = std::min<index_t>(p * rows_per_gpu, a.nrows);
     part.row_end = std::min<index_t>(part.row_begin + rows_per_gpu, a.nrows);
-    if (part.row_end <= part.row_begin) {
-      report.partitions.push_back(part);
-      continue;
-    }
+    if (part.row_end <= part.row_begin) return;
 
     // Halo: distinct columns outside this device's own row range. (The
     // diagonal-relative layout means the band never leaves the range except
     // at the two partition edges.)
-    halo.clear();
+    util::FlatSet64 halo;
     const sparse::Csr block = row_block(a, part.row_begin, part.row_end);
+    halo.reserve(block.col_idx.size());
     for (index_t c : block.col_idx) {
-      if (c < part.row_begin || c >= part.row_end) halo.insert(c);
+      if (c < part.row_begin || c >= part.row_end) {
+        halo.insert(static_cast<std::uint64_t>(c));
+      }
     }
     part.halo_in = halo.size();
 
@@ -90,7 +97,8 @@ MultiGpuReport simulate_multi_gpu_jacobi_sweep(const DeviceSpec& dev,
     for (index_t r = 0; r < block.nrows; ++r) {
       x_out[part.row_begin + r] = block_out[r];
     }
-
+  });
+  for (PartitionStats& part : parts) {
     report.compute_seconds = std::max(report.compute_seconds, part.sweep.seconds);
     report.partitions.push_back(std::move(part));
   }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "solver/vector_ops.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 #include "util/types.hpp"
 
@@ -106,16 +107,37 @@ JacobiResult jacobi_solve(const Op& op, real_t a_inf_norm,
 
   normalize_l1(x);
   for (std::uint64_t it = 1; it <= opt.max_iterations; ++it) {
-    // One sweep: next = -D^{-1} (L+U) x, optionally damped.
+    // One sweep: next = -D^{-1} (L+U) x, optionally damped. The diagonal
+    // scale and the swap are elementwise, so the parallel split cannot
+    // change the numbers.
     op.multiply(x, next);
-    if (omega == 1.0) {
-      for (index_t i = 0; i < n; ++i) next[i] = -next[i] / d[i];
-    } else {
-      for (index_t i = 0; i < n; ++i) {
-        next[i] = (1.0 - omega) * x[i] - omega * next[i] / d[i];
+    {
+      real_t* pn = next.data();
+      real_t* px = x.data();
+      const real_t* pd = d.data();
+      if (omega == 1.0) {
+        util::parallel_for(static_cast<std::size_t>(n),
+                           [pn, pd](std::size_t b, std::size_t e) {
+                             for (std::size_t i = b; i < e; ++i) {
+                               pn[i] = -pn[i] / pd[i];
+                             }
+                           });
+      } else {
+        util::parallel_for(static_cast<std::size_t>(n),
+                           [pn, px, pd, omega](std::size_t b, std::size_t e) {
+                             for (std::size_t i = b; i < e; ++i) {
+                               pn[i] = (1.0 - omega) * px[i] -
+                                       omega * pn[i] / pd[i];
+                             }
+                           });
       }
+      util::parallel_for(static_cast<std::size_t>(n),
+                         [pn, px](std::size_t b, std::size_t e) {
+                           for (std::size_t i = b; i < e; ++i) {
+                             std::swap(pn[i], px[i]);
+                           }
+                         });
     }
-    std::swap_ranges(next.begin(), next.end(), x.begin());
     out.iterations = it;
     out.flops += flops_per_sweep;
 
@@ -127,7 +149,17 @@ JacobiResult jacobi_solve(const Op& op, real_t a_inf_norm,
       normalize_l1(x);
       // r = A x = (L+U) x + D x
       op.multiply(x, resid);
-      for (index_t i = 0; i < n; ++i) resid[i] += d[i] * x[i];
+      {
+        real_t* pr = resid.data();
+        const real_t* px = x.data();
+        const real_t* pd = d.data();
+        util::parallel_for(static_cast<std::size_t>(n),
+                           [pr, px, pd](std::size_t b, std::size_t e) {
+                             for (std::size_t i = b; i < e; ++i) {
+                               pr[i] += pd[i] * px[i];
+                             }
+                           });
+      }
       const real_t xn = norm_inf(x);
       const real_t rn = norm_inf(resid);
       out.residual = rn / (a_inf_norm * (xn > 0 ? xn : 1.0));

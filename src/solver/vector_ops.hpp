@@ -2,62 +2,111 @@
 //
 // Dense-vector helpers for the iterative solvers.
 //
+// All reductions run as deterministic fixed-chunk parallel reductions: the
+// vector is cut into kReduceChunk-element chunks regardless of the thread
+// count, each chunk is reduced serially in index order, and the per-chunk
+// partials are combined in ascending chunk order. The result is therefore
+// bit-identical for any number of host threads (including the serial
+// fallback build), which the solver's convergence histories rely on — see
+// tests/test_parallel_determinism.cpp.
+//
 #include <cassert>
 #include <cmath>
 #include <span>
 
+#include "util/parallel.hpp"
 #include "util/types.hpp"
 
 namespace cmesolve::solver {
 
-[[nodiscard]] inline real_t norm_inf(std::span<const real_t> v) noexcept {
-  real_t best = 0.0;
-  for (real_t x : v) best = std::max(best, std::abs(x));
-  return best;
+/// Fixed reduction-chunk size (elements). Independent of the thread count by
+/// design — changing it changes the floating-point association, so it is a
+/// single constant rather than a tuning knob.
+inline constexpr std::size_t kReduceChunk = 8192;
+
+[[nodiscard]] inline real_t norm_inf(std::span<const real_t> v) {
+  const real_t* p = v.data();
+  return util::parallel_reduce(
+      v.size(), kReduceChunk, real_t{0.0},
+      [p](std::size_t b, std::size_t e) {
+        real_t best = 0.0;
+        for (std::size_t i = b; i < e; ++i) best = std::max(best, std::abs(p[i]));
+        return best;
+      },
+      [](real_t a, real_t b) { return std::max(a, b); });
 }
 
-[[nodiscard]] inline real_t norm_l1(std::span<const real_t> v) noexcept {
-  real_t sum = 0.0;
-  for (real_t x : v) sum += std::abs(x);
-  return sum;
+[[nodiscard]] inline real_t norm_l1(std::span<const real_t> v) {
+  const real_t* p = v.data();
+  return util::parallel_reduce(
+      v.size(), kReduceChunk, real_t{0.0},
+      [p](std::size_t b, std::size_t e) {
+        real_t sum = 0.0;
+        for (std::size_t i = b; i < e; ++i) sum += std::abs(p[i]);
+        return sum;
+      },
+      [](real_t a, real_t b) { return a + b; });
 }
 
-[[nodiscard]] inline real_t norm_l2(std::span<const real_t> v) noexcept {
-  real_t sum = 0.0;
-  for (real_t x : v) sum += x * x;
+[[nodiscard]] inline real_t norm_l2(std::span<const real_t> v) {
+  const real_t* p = v.data();
+  const real_t sum = util::parallel_reduce(
+      v.size(), kReduceChunk, real_t{0.0},
+      [p](std::size_t b, std::size_t e) {
+        real_t s = 0.0;
+        for (std::size_t i = b; i < e; ++i) s += p[i] * p[i];
+        return s;
+      },
+      [](real_t a, real_t b) { return a + b; });
   return std::sqrt(sum);
 }
 
 [[nodiscard]] inline real_t dot(std::span<const real_t> a,
-                                std::span<const real_t> b) noexcept {
+                                std::span<const real_t> b) {
   assert(a.size() == b.size());
-  real_t sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  const real_t* pa = a.data();
+  const real_t* pb = b.data();
+  return util::parallel_reduce(
+      a.size(), kReduceChunk, real_t{0.0},
+      [pa, pb](std::size_t lo, std::size_t hi) {
+        real_t s = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) s += pa[i] * pb[i];
+        return s;
+      },
+      [](real_t x, real_t y) { return x + y; });
 }
 
 /// y += alpha * x
-inline void axpy(real_t alpha, std::span<const real_t> x,
-                 std::span<real_t> y) noexcept {
+inline void axpy(real_t alpha, std::span<const real_t> x, std::span<real_t> y) {
   assert(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  const real_t* px = x.data();
+  real_t* py = y.data();
+  util::parallel_for(x.size(), [alpha, px, py](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) py[i] += alpha * px[i];
+  });
 }
 
-inline void scale(std::span<real_t> v, real_t alpha) noexcept {
-  for (real_t& x : v) x *= alpha;
+inline void scale(std::span<real_t> v, real_t alpha) {
+  real_t* p = v.data();
+  util::parallel_for(v.size(), [alpha, p](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) p[i] *= alpha;
+  });
 }
 
 /// Rescale so that sum |v_i| = 1 (probability-vector invariant, Sec. IV).
 /// No-op on the zero vector.
-inline void normalize_l1(std::span<real_t> v) noexcept {
+inline void normalize_l1(std::span<real_t> v) {
   const real_t s = norm_l1(v);
   if (s > 0.0) scale(v, 1.0 / s);
 }
 
 /// Uniform probability vector.
-inline void fill_uniform(std::span<real_t> v) noexcept {
+inline void fill_uniform(std::span<real_t> v) {
   const real_t p = 1.0 / static_cast<real_t>(v.size());
-  for (real_t& x : v) x = p;
+  real_t* pv = v.data();
+  util::parallel_for(v.size(), [p, pv](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) pv[i] = p;
+  });
 }
 
 }  // namespace cmesolve::solver

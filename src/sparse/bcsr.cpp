@@ -5,6 +5,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace cmesolve::sparse {
 
 Bcsr bcsr_from_csr(const Csr& m, int block_rows, int block_cols) {
@@ -80,19 +82,27 @@ void spmv(const Bcsr& m, std::span<const real_t> x, std::span<real_t> y) {
   assert(y.size() == static_cast<std::size_t>(m.nrows));
   const std::size_t slots =
       static_cast<std::size_t>(m.block_rows) * static_cast<std::size_t>(m.block_cols);
-#pragma omp parallel for schedule(static)
-  for (index_t br = 0; br < m.nblock_rows; ++br) {
+  // Block-row parallel (one thread per block row of y) — thread-count
+  // independent; acc[] is stack-private to each iteration.
+  const index_t* brp = m.block_row_ptr.data();
+  const index_t* bcol = m.block_col.data();
+  const real_t* pval = m.val.data();
+  const real_t* px = x.data();
+  real_t* py = y.data();
+  const index_t nblock_rows = m.nblock_rows;
+  CMESOLVE_OMP_PARALLEL_FOR
+  for (index_t br = 0; br < nblock_rows; ++br) {
     real_t acc[16] = {};  // supports block_rows up to 16
     assert(m.block_rows <= 16);
-    for (index_t bp = m.block_row_ptr[br]; bp < m.block_row_ptr[br + 1]; ++bp) {
-      const index_t col0 = m.block_col[bp] * m.block_cols;
-      const real_t* data = m.val.data() + static_cast<std::size_t>(bp) * slots;
+    for (index_t bp = brp[br]; bp < brp[br + 1]; ++bp) {
+      const index_t col0 = bcol[bp] * m.block_cols;
+      const real_t* data = pval + static_cast<std::size_t>(bp) * slots;
       for (int lr = 0; lr < m.block_rows; ++lr) {
         real_t sum = 0.0;
         for (int lc = 0; lc < m.block_cols; ++lc) {
           const index_t c = col0 + lc;
           if (c < m.ncols) {
-            sum += data[static_cast<std::size_t>(lr) * m.block_cols + lc] * x[c];
+            sum += data[static_cast<std::size_t>(lr) * m.block_cols + lc] * px[c];
           }
         }
         acc[lr] += sum;
@@ -100,7 +110,7 @@ void spmv(const Bcsr& m, std::span<const real_t> x, std::span<real_t> y) {
     }
     for (int lr = 0; lr < m.block_rows; ++lr) {
       const index_t r = br * m.block_rows + lr;
-      if (r < m.nrows) y[r] = acc[lr];
+      if (r < m.nrows) py[r] = acc[lr];
     }
   }
 }

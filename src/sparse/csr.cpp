@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace cmesolve::sparse {
 
 index_t Csr::max_row_length() const noexcept {
@@ -128,13 +130,23 @@ DiagonalSplit split_diagonal(const Csr& m) {
 void spmv(const Csr& m, std::span<const real_t> x, std::span<real_t> y) {
   assert(x.size() == static_cast<std::size_t>(m.ncols));
   assert(y.size() == static_cast<std::size_t>(m.nrows));
-#pragma omp parallel for schedule(static)
-  for (index_t r = 0; r < m.nrows; ++r) {
+  // Row-parallel: each y[r] is produced by exactly one thread, so the result
+  // is independent of the thread count. index_t is signed (OpenMP 2.x loop
+  // var requirement) and the array bases are hoisted so the inner loop
+  // vectorizes in the CMESOLVE_OPENMP=OFF build too.
+  const index_t* rp = m.row_ptr.data();
+  const index_t* ci = m.col_idx.data();
+  const real_t* va = m.val.data();
+  const real_t* px = x.data();
+  real_t* py = y.data();
+  const index_t nrows = m.nrows;
+  CMESOLVE_OMP_PARALLEL_FOR
+  for (index_t r = 0; r < nrows; ++r) {
     real_t sum = 0.0;
-    for (index_t p = m.row_ptr[r]; p < m.row_ptr[r + 1]; ++p) {
-      sum += m.val[p] * x[m.col_idx[p]];
+    for (index_t p = rp[r]; p < rp[r + 1]; ++p) {
+      sum += va[p] * px[ci[p]];
     }
-    y[r] = sum;
+    py[r] = sum;
   }
 }
 

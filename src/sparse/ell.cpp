@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/parallel.hpp"
+
 namespace cmesolve::sparse {
 
 Ell ell_from_csr(const Csr& m, index_t warp) {
@@ -33,18 +35,26 @@ Ell ell_from_csr(const Csr& m, index_t warp) {
 void spmv(const Ell& m, std::span<const real_t> x, std::span<real_t> y) {
   assert(x.size() == static_cast<std::size_t>(m.ncols));
   assert(y.size() == static_cast<std::size_t>(m.nrows));
-#pragma omp parallel for schedule(static)
-  for (index_t r = 0; r < m.nrows; ++r) {
+  // Row-parallel and thread-count independent (one thread per y[r]).
+  const real_t* va = m.val.data();
+  const index_t* co = m.col.data();
+  const real_t* px = x.data();
+  real_t* py = y.data();
+  const index_t nrows = m.nrows;
+  const index_t k = m.k;
+  const std::size_t stride = static_cast<std::size_t>(m.padded_rows);
+  CMESOLVE_OMP_PARALLEL_FOR
+  for (index_t r = 0; r < nrows; ++r) {
     real_t sum = 0.0;
-    for (index_t j = 0; j < m.k; ++j) {
-      const std::size_t slot =
-          static_cast<std::size_t>(j) * m.padded_rows + static_cast<std::size_t>(r);
-      const index_t c = m.col[slot];
+    for (index_t j = 0; j < k; ++j) {
+      const std::size_t slot = static_cast<std::size_t>(j) * stride +
+                               static_cast<std::size_t>(r);
+      const index_t c = co[slot];
       if (c > kPadColumn) {  // padding-skip conditional (Listing 1)
-        sum += m.val[slot] * x[c];
+        sum += va[slot] * px[c];
       }
     }
-    y[r] = sum;
+    py[r] = sum;
   }
 }
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "util/parallel.hpp"
+
 namespace cmesolve::sparse {
 
 bool SlicedEll::is_identity_perm() const noexcept {
@@ -145,7 +147,14 @@ void spmv(const SlicedEll& m, std::span<const real_t> x, std::span<real_t> y) {
   assert(x.size() == static_cast<std::size_t>(m.ncols));
   assert(y.size() == static_cast<std::size_t>(m.nrows));
   const index_t num_slices = m.num_slices();
-#pragma omp parallel for schedule(static)
+  // Slice-parallel: perm is a bijection, so the scattered y writes of
+  // different slices never alias — thread-count independent.
+  const real_t* va = m.val.data();
+  const index_t* co = m.col.data();
+  const index_t* perm = m.perm.data();
+  const real_t* px = x.data();
+  real_t* py = y.data();
+  CMESOLVE_OMP_PARALLEL_FOR
   for (index_t sl = 0; sl < num_slices; ++sl) {
     const std::size_t base = m.slice_ptr[sl];
     const index_t k = m.slice_k[sl];
@@ -157,12 +166,12 @@ void spmv(const SlicedEll& m, std::span<const real_t> x, std::span<real_t> y) {
         const std::size_t slot = base +
                                  static_cast<std::size_t>(j) * m.slice_size +
                                  static_cast<std::size_t>(lane);
-        const index_t c = m.col[slot];
+        const index_t c = co[slot];
         if (c > kPadColumn) {
-          sum += m.val[slot] * x[c];
+          sum += va[slot] * px[c];
         }
       }
-      y[m.perm[stored]] = sum;
+      py[perm[stored]] = sum;
     }
   }
 }
