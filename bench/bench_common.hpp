@@ -11,6 +11,7 @@
 #include "core/rate_matrix.hpp"
 #include "core/state_space.hpp"
 #include "gpusim/device.hpp"
+#include "obs/report.hpp"
 #include "sparse/csr.hpp"
 #include "util/types.hpp"
 
@@ -43,6 +44,18 @@ inline std::vector<SuiteMatrix> suite_matrices(const std::string& scale) {
 inline std::vector<real_t> uniform_vector(index_t n) {
   return std::vector<real_t>(static_cast<std::size_t>(n),
                              1.0 / static_cast<real_t>(n));
+}
+
+/// Stamp the shared provenance fields of the run report (schema
+/// "cmesolve.run_report/1") for a bench binary. Pass the simulated device
+/// when the bench uses one.
+inline void report_context(const std::string& program, const std::string& scale,
+                           const gpusim::DeviceSpec* dev = nullptr) {
+  obs::set_context("program", program);
+  obs::set_context("scale", scale);
+  if (dev != nullptr) {
+    obs::set_context("device", dev->name);
+  }
 }
 
 }  // namespace cmesolve::bench

@@ -9,17 +9,19 @@
 // measuring wall-clock per repetition and cross-checking that every thread
 // count reproduces the 1-thread counters and iterates bit-exactly.
 //
-// Emits a JSON report to stdout and to sim_scaling.json — honest numbers
-// from THIS host: on a single-core container every speedup is ~1.0 by
-// physics, and the report says so rather than inventing parallel hardware.
+// Emits the unified run-report schema (cmesolve.run_report/1, the same
+// writer every instrumented binary uses) to stdout and to sim_scaling.json —
+// honest numbers from THIS host: on a single-core container every speedup is
+// ~1.0 by physics, and the report says so rather than inventing parallel
+// hardware.
 #include <algorithm>
-#include <fstream>
 #include <iostream>
-#include <sstream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "gpusim/kernels.hpp"
+#include "obs/metrics.hpp"
 #include "solver/jacobi.hpp"
 #include "solver/operators.hpp"
 #include "util/parallel.hpp"
@@ -61,38 +63,28 @@ double time_reps(int reps, Fn&& fn) {
   return t[t.size() / 2];
 }
 
-void emit(std::ostream& os, const std::string& scale, index_t n,
-          std::size_t nnz, const std::vector<Sample>& sim,
-          const std::vector<Sample>& host) {
-  const auto block = [&](const std::vector<Sample>& v) {
-    std::ostringstream s;
-    for (std::size_t i = 0; i < v.size(); ++i) {
-      s << (i ? ",\n" : "\n")
-        << "      {\"threads\": " << v[i].threads
-        << ", \"seconds_per_rep\": " << v[i].seconds_per_rep
-        << ", \"speedup_vs_1t\": " << v[i].speedup
-        << ", \"bit_identical_to_1t\": " << (v[i].deterministic ? "true" : "false")
-        << "}";
-    }
-    return s.str();
-  };
-  os << "{\n"
-     << "  \"bench\": \"sim_scaling\",\n"
-     << "  \"scale\": \"" << scale << "\",\n"
-     << "  \"hardware_threads\": " << util::hardware_threads() << ",\n"
-     << "  \"matrix\": {\"model\": \"toggle-switch\", \"n\": " << n
-     << ", \"nnz\": " << nnz << "},\n"
-     << "  \"simulated_jacobi_sweep\": {\n    \"samples\": ["
-     << block(sim) << "\n    ]\n  },\n"
-     << "  \"host_jacobi_iterations\": {\n    \"samples\": ["
-     << block(host) << "\n    ]\n  }\n"
-     << "}\n";
+/// Publish one sweep's samples into the metric registry under `section`.
+/// Wall-clock derived values are volatile; the determinism cross-check is
+/// the deterministic artifact of this bench.
+void publish_samples(const std::string& section,
+                     const std::vector<Sample>& samples) {
+  for (const Sample& s : samples) {
+    const std::string key =
+        "sim_scaling." + section + ".t" + std::to_string(s.threads);
+    obs::gauge(key + ".seconds_per_rep", s.seconds_per_rep,
+               /*is_volatile=*/true);
+    obs::gauge(key + ".speedup_vs_1t", s.speedup, /*is_volatile=*/true);
+    obs::gauge(key + ".bit_identical_to_1t", s.deterministic ? 1.0 : 0.0);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto scale = bench::scale_name(argc, argv);
+  const auto dev0 = gpusim::DeviceSpec::gtx580();
+  bench::report_context("sim_scaling", scale, &dev0);
+  obs::set_metrics_enabled(true);  // this bench always reports
   core::models::ToggleSwitchParams p;
   p.cap_a = p.cap_b = scale == "tiny" ? 30 : (scale == "medium" ? 110 : 70);
   const auto net = core::models::toggle_switch(p);
@@ -162,9 +154,19 @@ int main(int argc, char** argv) {
   }
   util::set_max_threads(0);
 
-  emit(std::cout, scale, a.nrows, a.nnz(), sim_samples, host_samples);
-  std::ofstream json("sim_scaling.json");
-  emit(json, scale, a.nrows, a.nnz(), sim_samples, host_samples);
-  std::cerr << "wrote sim_scaling.json\n";
+  obs::set_context("model", "toggle-switch");
+  obs::set_context("matrix.n", std::to_string(a.nrows));
+  obs::set_context("matrix.nnz", std::to_string(a.nnz()));
+  obs::set_context("hardware_threads",
+                   std::to_string(util::hardware_threads()));
+  publish_samples("simulated_jacobi_sweep", sim_samples);
+  publish_samples("host_jacobi_iterations", host_samples);
+
+  obs::write_report(std::cout);
+  if (obs::report_path().empty()) {
+    obs::set_report_path("sim_scaling.json");
+  }
+  obs::flush_outputs();
+  std::cerr << "wrote " << obs::report_path() << "\n";
   return 0;
 }

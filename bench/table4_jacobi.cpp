@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "solver/gpu_jacobi.hpp"
 #include "solver/jacobi.hpp"
 #include "solver/operators.hpp"
@@ -20,6 +21,7 @@ using namespace cmesolve;
 int main(int argc, char** argv) {
   const auto scale = bench::scale_name(argc, argv);
   const auto dev = gpusim::DeviceSpec::gtx580();
+  bench::report_context("table4_jacobi", scale, &dev);
   std::cout << "Table IV: Jacobi steady-state solve, eps=1e-8 "
                "(CPU baseline measured on this host; GPU simulated "
             << dev.name << "; scale=" << scale << ")\n\n";
@@ -57,6 +59,15 @@ int main(int argc, char** argv) {
     sum_cpu += cpu.gflops;
     sum_gpu += gpu.sim_gflops;
     ++rows;
+
+    // Per-model run-report rows: simulated numbers are deterministic, the
+    // host baseline is wall-clock and goes to the volatile section.
+    const std::string key = "table4." + m.name;
+    obs::gauge(key + ".iterations",
+               static_cast<real_t>(gpu.result.iterations));
+    obs::gauge(key + ".residual", gpu.result.residual);
+    obs::gauge(key + ".sim_gflops", gpu.sim_gflops);
+    obs::gauge(key + ".cpu_gflops", cpu.gflops, /*is_volatile=*/true);
   }
   table.add_row({"Average", "", "", "", TextTable::num(sum_cpu / rows),
                  TextTable::num(sum_gpu / rows),
@@ -66,5 +77,6 @@ int main(int argc, char** argv) {
                "64-core Opteron vs 14.212 GFLOPS\non the GTX580 (15.67x). "
                "This host's baseline differs (single desktop core), so the "
                "speedup\ncolumn reflects simulated-GPU vs this-host-CPU.\n";
+  obs::flush_outputs();  // writes the run report when CMESOLVE_REPORT is set
   return 0;
 }

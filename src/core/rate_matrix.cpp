@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace cmesolve::core {
@@ -18,6 +20,7 @@ constexpr index_t kAssemblyChunk = 2048;
 }  // namespace
 
 sparse::Csr rate_matrix(const StateSpace& space) {
+  CMESOLVE_TRACE_SPAN("core.rate_matrix");
   if (space.truncated()) {
     throw std::runtime_error(
         "rate_matrix: state space truncated; raise max_states");
@@ -72,7 +75,12 @@ sparse::Csr rate_matrix(const StateSpace& space) {
     coo.val.insert(coo.val.end(), part.val.begin(), part.val.end());
     part = sparse::Coo{};  // release chunk memory eagerly
   }
-  return sparse::csr_from_coo(std::move(coo));
+  sparse::Csr csr = sparse::csr_from_coo(std::move(coo));
+  obs::count("core.rate_matrix.assemblies");
+  obs::observe("core.rate_matrix.nnz", static_cast<real_t>(csr.nnz()));
+  obs::gauge("core.rate_matrix.last.rows", static_cast<real_t>(csr.nrows));
+  obs::gauge("core.rate_matrix.last.nnz", static_cast<real_t>(csr.nnz()));
+  return csr;
 }
 
 real_t max_column_sum(const sparse::Csr& a) {

@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace cmesolve::core {
@@ -65,6 +67,7 @@ index_t StateSpace::find(const State& x) const {
 
 void StateSpace::enumerate(State initial, std::size_t max_states,
                            VisitOrder order, std::uint64_t seed) {
+  CMESOLVE_TRACE_SPAN("core.enumerate");
   const int nr = network_->num_reactions();
 
   // The frontier doubles as stack (DFS: pop back) and queue (BFS: pop
@@ -139,6 +142,11 @@ void StateSpace::enumerate(State initial, std::size_t max_states,
       idx = perm[static_cast<std::size_t>(idx)];
     }
   }
+
+  obs::count("core.enumerations");
+  obs::observe("core.state_space.states", static_cast<real_t>(num_states_));
+  obs::gauge("core.state_space.last.states", static_cast<real_t>(num_states_));
+  obs::gauge("core.state_space.last.truncated", truncated_ ? 1.0 : 0.0);
 }
 
 }  // namespace cmesolve::core

@@ -1,12 +1,15 @@
 #include "gpusim/kernels.hpp"
 
 #include "gpusim/occupancy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 #include <algorithm>
 #include <array>
 #include <cassert>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -218,19 +221,56 @@ void dia_warp_contribution(SmStream& mem, const sparse::Dia& band,
   }
 }
 
-KernelStats run_passes(MemorySim& sim, int block_size,
+/// Drive the simulated kernel for `passes` launches and report the last
+/// (warm-cache) one. `kernel` is a static string naming the launch for the
+/// trace ("sim.spmv.ell", "sim.jacobi_sweep", ...) and prefixing the
+/// published metrics.
+KernelStats run_passes(MemorySim& sim, const char* kernel, int block_size,
                        std::uint64_t useful_flops, int passes,
                        const std::function<void()>& body) {
   KernelStats stats;
   for (int p = 0; p < std::max(1, passes); ++p) {
+    CMESOLVE_TRACE_SPAN(kernel);
     sim.begin_pass();
     body();
     stats = sim.finalize(block_size, useful_flops);
   }
+  publish_kernel_stats(kernel, stats);
   return stats;
 }
 
 }  // namespace
+
+void publish_kernel_stats(const char* kernel, const KernelStats& stats) {
+  if (!obs::metrics_enabled()) return;
+  const std::string k(kernel);
+  // All of these are *simulated* quantities — products of the deterministic
+  // traffic model, not host wall-clock — so none are volatile.
+  obs::count(k + ".launches");
+  obs::observe(k + ".seconds", stats.seconds);
+  obs::observe(k + ".gflops", stats.gflops);
+  obs::gauge(k + ".last.seconds", stats.seconds);
+  obs::gauge(k + ".last.gflops", stats.gflops);
+  obs::gauge(k + ".last.occupancy", stats.occupancy);
+  obs::gauge(k + ".last.useful_flops",
+             static_cast<double>(stats.useful_flops));
+  const TrafficCounters& t = stats.traffic;
+  obs::gauge(k + ".last.dram_bytes", static_cast<double>(t.dram_bytes));
+  obs::gauge(k + ".last.l2_bytes", static_cast<double>(t.l2_bytes));
+  obs::gauge(k + ".last.l1_bytes", static_cast<double>(t.l1_bytes));
+  obs::gauge(k + ".last.transactions", static_cast<double>(t.transactions));
+  obs::gauge(k + ".last.flops", static_cast<double>(t.flops));
+  const std::uint64_t l1_lookups = t.l1_hits + t.l1_misses;
+  const std::uint64_t l2_lookups = t.l2_hits + t.l2_misses;
+  obs::gauge(k + ".last.l1_hit_rate",
+             l1_lookups > 0 ? static_cast<double>(t.l1_hits) /
+                                  static_cast<double>(l1_lookups)
+                            : 0.0);
+  obs::gauge(k + ".last.l2_hit_rate",
+             l2_lookups > 0 ? static_cast<double>(t.l2_hits) /
+                                  static_cast<double>(l2_lookups)
+                            : 0.0);
+}
 
 KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::Ell& m,
                           std::span<const real_t> x, std::span<real_t> y,
@@ -266,7 +306,8 @@ KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::Ell& m,
       };
     });
   };
-  return run_passes(sim, opt.block_size, 2ULL * m.nnz, opt.passes, body);
+  return run_passes(sim, "sim.spmv.ell", opt.block_size, 2ULL * m.nnz,
+                    opt.passes, body);
 }
 
 KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::SlicedEll& m,
@@ -327,7 +368,8 @@ KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::SlicedEll& m,
       };
     });
   };
-  return run_passes(sim, opt.block_size, 2ULL * m.nnz, opt.passes, body);
+  return run_passes(sim, "sim.spmv.sliced_ell", opt.block_size, 2ULL * m.nnz,
+                    opt.passes, body);
 }
 
 KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::EllDia& m,
@@ -402,7 +444,8 @@ KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::EllDia& m,
       sim.add_flops(2ULL * lanes);
     }
   };
-  return run_passes(sim, opt.block_size, flops, opt.passes, body);
+  return run_passes(sim, "sim.spmv.ell_dia", opt.block_size, flops,
+                    opt.passes, body);
 }
 
 KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::SlicedEllDia& m,
@@ -459,7 +502,8 @@ KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::SlicedEllDia& m,
       };
     });
   };
-  return run_passes(sim, opt.block_size, flops, opt.passes, body);
+  return run_passes(sim, "sim.spmv.warped_ell_dia", opt.block_size, flops,
+                    opt.passes, body);
 }
 
 KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::Csr& m,
@@ -522,7 +566,8 @@ KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::Csr& m,
       };
     });
   };
-  return run_passes(sim, opt.block_size, 2ULL * m.nnz(), opt.passes, body);
+  return run_passes(sim, "sim.spmv.csr", opt.block_size, 2ULL * m.nnz(),
+                    opt.passes, body);
 }
 
 KernelStats simulate_spmv_csr_vector(const DeviceSpec& dev,
@@ -579,7 +624,8 @@ KernelStats simulate_spmv_csr_vector(const DeviceSpec& dev,
       };
     });
   };
-  return run_passes(sim, opt.block_size, 2ULL * m.nnz(), opt.passes, body);
+  return run_passes(sim, "sim.spmv.csr_vector", opt.block_size,
+                    2ULL * m.nnz(), opt.passes, body);
 }
 
 KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::Bcsr& m,
@@ -650,7 +696,8 @@ KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::Bcsr& m,
       };
     });
   };
-  return run_passes(sim, opt.block_size, 2ULL * m.nnz, opt.passes, body);
+  return run_passes(sim, "sim.spmv.bcsr", opt.block_size, 2ULL * m.nnz,
+                    opt.passes, body);
 }
 
 KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::Dia& m,
@@ -681,7 +728,8 @@ KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::Dia& m,
       };
     });
   };
-  return run_passes(sim, opt.block_size, 2ULL * m.nnz, opt.passes, body);
+  return run_passes(sim, "sim.spmv.dia", opt.block_size, 2ULL * m.nnz,
+                    opt.passes, body);
 }
 
 KernelStats simulate_jacobi_sweep(const DeviceSpec& dev,
@@ -772,7 +820,8 @@ KernelStats simulate_jacobi_sweep(const DeviceSpec& dev,
       };
     });
   };
-  return run_passes(sim, opt.block_size, flops, opt.passes, body);
+  return run_passes(sim, "sim.jacobi_sweep", opt.block_size, flops,
+                    opt.passes, body);
 }
 
 KernelStats simulate_vector_op(const DeviceSpec& dev, index_t n, int reads,
@@ -794,8 +843,8 @@ KernelStats simulate_vector_op(const DeviceSpec& dev, index_t n, int reads,
     }
     sim.add_flops(static_cast<std::uint64_t>(n));
   };
-  return run_passes(sim, opt.block_size, static_cast<std::uint64_t>(n),
-                    opt.passes, body);
+  return run_passes(sim, "sim.vector_op", opt.block_size,
+                    static_cast<std::uint64_t>(n), opt.passes, body);
 }
 
 }  // namespace cmesolve::gpusim

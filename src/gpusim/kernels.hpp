@@ -98,4 +98,13 @@ KernelStats simulate_jacobi_sweep(const DeviceSpec& dev,
 KernelStats simulate_vector_op(const DeviceSpec& dev, index_t n, int reads,
                                int writes, const SimOptions& opt = {});
 
+/// Publish one launch's KernelStats (simulated time/throughput, occupancy,
+/// traffic counters, derived cache hit rates) into the obs metric registry
+/// under the `kernel` name prefix. Every simulate_* above calls this
+/// automatically; it is public for dispatchers that simulate launches inside
+/// pool tasks (obs::SuppressMetrics) and re-publish the per-launch stats
+/// afterwards in a deterministic order (see multi_gpu.cpp). No-op when
+/// metrics are disabled.
+void publish_kernel_stats(const char* kernel, const KernelStats& stats);
+
 }  // namespace cmesolve::gpusim

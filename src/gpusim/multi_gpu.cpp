@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "gpusim/kernels.hpp"
+#include "obs/metrics.hpp"
 #include "sparse/hybrid.hpp"
 #include "util/flat_set.hpp"
 #include "util/parallel.hpp"
@@ -65,6 +67,10 @@ MultiGpuReport simulate_multi_gpu_jacobi_sweep(const DeviceSpec& dev,
   // below, so the report is identical to the serial loop's.
   std::vector<PartitionStats> parts(static_cast<std::size_t>(g));
   util::parallel_tasks(g, [&](int p) {
+    // Metric publication inside pool tasks would be ordered by the
+    // scheduler; suppress it here and re-publish per partition, in
+    // partition order, after the barrier.
+    obs::SuppressMetrics suppress;
     PartitionStats& part = parts[static_cast<std::size_t>(p)];
     part.row_begin = std::min<index_t>(p * rows_per_gpu, a.nrows);
     part.row_end = std::min<index_t>(part.row_begin + rows_per_gpu, a.nrows);
@@ -99,6 +105,7 @@ MultiGpuReport simulate_multi_gpu_jacobi_sweep(const DeviceSpec& dev,
     }
   });
   for (PartitionStats& part : parts) {
+    publish_kernel_stats("sim.jacobi_sweep", part.sweep);
     report.compute_seconds = std::max(report.compute_seconds, part.sweep.seconds);
     report.partitions.push_back(std::move(part));
   }

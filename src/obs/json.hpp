@@ -1,0 +1,148 @@
+#pragma once
+//
+// Minimal streaming JSON writer shared by the trace exporter, the run-report
+// writer and the bench emitters (replacing their hand-rolled string glue).
+// Emits standards-conforming JSON: strings are escaped, non-finite doubles
+// become null (so every output loads in `python3 -m json.tool`, Perfetto and
+// friends), and commas/indentation are managed by a container stack.
+//
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace cmesolve::obs {
+
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 packs everything onto one line.
+  explicit JsonWriter(std::ostream& os, int indent = 2)
+      : os_(os), indent_(indent) {}
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(std::string_view k) {
+    separate();
+    write_string(k);
+    os_ << ": ";
+    keyed_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    separate();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool b) {
+    separate();
+    os_ << (b ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double d) {
+    separate();
+    if (!std::isfinite(d)) {
+      os_ << "null";  // NaN/inf are not JSON
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      os_ << buf;
+    }
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    separate();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    separate();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& null() {
+    separate();
+    os_ << "null";
+    return *this;
+  }
+
+  template <class V>
+  JsonWriter& kv(std::string_view k, V&& v) {
+    key(k);
+    return value(std::forward<V>(v));
+  }
+
+ private:
+  JsonWriter& open(char c) {
+    separate();
+    os_ << c;
+    stack_.push_back(0);
+    return *this;
+  }
+
+  JsonWriter& close(char c) {
+    const bool had_items = !stack_.empty() && stack_.back() > 0;
+    if (!stack_.empty()) stack_.pop_back();
+    if (had_items) newline();
+    os_ << c;
+    return *this;
+  }
+
+  /// Emit the comma/newline owed before the next item (unless a key was just
+  /// written, in which case the value continues the same line).
+  void separate() {
+    if (keyed_) {
+      keyed_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    if (stack_.back() > 0) os_ << ',';
+    ++stack_.back();
+    newline();
+  }
+
+  void newline() {
+    if (indent_ <= 0) return;
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_);
+         ++i) {
+      os_ << ' ';
+    }
+  }
+
+  void write_string(std::string_view s) {
+    os_ << '"';
+    for (unsigned char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << static_cast<char>(c);
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  int indent_;
+  bool keyed_ = false;
+  std::vector<std::uint32_t> stack_;  ///< items emitted per open container
+};
+
+}  // namespace cmesolve::obs

@@ -1,0 +1,43 @@
+#pragma once
+//
+// Run-report writer: serializes the metric registry plus build/config
+// provenance to a stable JSON schema ("cmesolve.run_report/1"):
+//
+//   {
+//     "schema": "cmesolve.run_report/1",
+//     "provenance": { "version", "git", "threads", "openmp",
+//                     "threads_enabled", ...free-form context kv... },
+//     "metrics":  { "counters": {..}, "gauges": {..},
+//                   "histograms": { name: {count,min,max,mean,stddev} } },
+//     "volatile": { "gauges": {..}, "histograms": {..} }   // wall-clock etc.
+//   }
+//
+// The "metrics" section is deterministic (bit-identical across thread
+// counts); "volatile" holds run-varying values like host wall-clock.
+//
+#include <iosfwd>
+#include <string>
+
+namespace cmesolve::obs {
+
+/// Free-form provenance key/value merged into the "provenance" object
+/// (e.g. "program", "format", "scale", "device.name"). Last set wins.
+void set_context(const std::string& key, const std::string& value);
+
+/// Serialize the current registry + provenance as a run report.
+void write_report(std::ostream& os);
+bool write_report_file(const std::string& path);
+
+/// Output paths. CMESOLVE_TRACE / CMESOLVE_REPORT set these at startup;
+/// programmatic sinks may override. Empty = no file output.
+void set_trace_path(const std::string& path);
+void set_report_path(const std::string& path);
+std::string trace_path();
+std::string report_path();
+
+/// Write the trace and/or report to their configured paths (no-op for unset
+/// paths). Idempotent per path; also registered via atexit when either env
+/// var is present, so instrumented binaries need no explicit call.
+void flush_outputs();
+
+}  // namespace cmesolve::obs

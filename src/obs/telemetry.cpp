@@ -1,0 +1,541 @@
+//
+// Single implementation TU for the observability layer (trace buffer, metric
+// registry, run-report writer, env-var activation). Keeping everything in one
+// TU guarantees that any use of the inline fast paths links the definitions
+// of the enable flags AND the env initializer below — so CMESOLVE_TRACE /
+// CMESOLVE_REPORT work in every binary that touches obs, without each main()
+// having to opt in.
+//
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/parallel.hpp"
+
+#ifndef CMESOLVE_VERSION
+#define CMESOLVE_VERSION "0.0.0"
+#endif
+#ifndef CMESOLVE_GIT_DESCRIBE
+#define CMESOLVE_GIT_DESCRIBE "unknown"
+#endif
+
+namespace cmesolve::obs {
+
+namespace detail {
+// Zero-initialized: constant initialization, valid before any dynamic init.
+std::atomic<bool> g_trace_on{false};
+std::atomic<bool> g_metrics_on{false};
+thread_local int t_suppress_depth = 0;
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Cap the buffer so a 10^6-iteration instrumented solve cannot exhaust
+/// memory; overflow is counted and surfaced in the trace metadata.
+constexpr std::size_t kMaxEvents = 1u << 22;  // ~4M events
+
+struct TracerState {
+  mutable std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  std::map<std::thread::id, std::uint32_t> tids;
+
+  std::uint32_t tid_locked() {
+    const auto id = std::this_thread::get_id();
+    auto it = tids.find(id);
+    if (it != tids.end()) return it->second;
+    const auto dense = static_cast<std::uint32_t>(tids.size());
+    tids.emplace(id, dense);
+    return dense;
+  }
+
+  void push(const char* name, char phase, double value) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (events.size() >= kMaxEvents) {
+      ++dropped;
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    TraceEvent ev;
+    ev.name = name;
+    ev.phase = phase;
+    ev.tid = tid_locked();
+    ev.ts_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch)
+            .count());
+    ev.value = value;
+    events.push_back(std::move(ev));
+  }
+};
+
+TracerState& tracer_state() {
+  static TracerState state;
+  return state;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable() {
+  auto& s = tracer_state();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.events.clear();
+    s.dropped = 0;
+    s.tids.clear();
+    s.epoch = std::chrono::steady_clock::now();
+  }
+  detail::g_trace_on.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() {
+  detail::g_trace_on.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  auto& s = tracer_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.events.clear();
+  s.dropped = 0;
+  s.tids.clear();
+}
+
+void Tracer::begin(const char* name) { tracer_state().push(name, 'B', 0.0); }
+void Tracer::end(const char* name) { tracer_state().push(name, 'E', 0.0); }
+void Tracer::instant(const char* name) { tracer_state().push(name, 'i', 0.0); }
+void Tracer::counter(const char* name, double value) {
+  tracer_state().push(name, 'C', value);
+}
+
+std::size_t Tracer::size() const {
+  auto& s = tracer_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.events.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  auto& s = tracer_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.dropped;
+}
+
+std::int64_t Tracer::open_spans() const {
+  auto& s = tracer_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::int64_t open = 0;
+  for (const auto& ev : s.events) {
+    if (ev.phase == 'B') ++open;
+    if (ev.phase == 'E') --open;
+  }
+  return open;
+}
+
+std::uint64_t Tracer::content_signature() const {
+  auto& s = tracer_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  // Order-independent fold (sum of per-event hashes): concurrent spans from
+  // different threads may interleave differently run-to-run, but the *set*
+  // of events is deterministic.
+  std::uint64_t sig = 0;
+  for (const auto& ev : s.events) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    h = fnv1a(h, ev.name.data(), ev.name.size());
+    h = fnv1a(h, &ev.phase, sizeof(ev.phase));
+    h = fnv1a(h, &ev.value, sizeof(ev.value));
+    sig += h;
+  }
+  return sig;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  auto& s = tracer_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.events;
+}
+
+void Tracer::write_json(std::ostream& os) const {
+  auto& s = tracer_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const auto& ev : s.events) {
+    w.begin_object();
+    w.kv("name", std::string_view(ev.name));
+    w.key("ph").value(std::string_view(&ev.phase, 1));
+    // trace_event timestamps are microseconds (double => sub-us resolution).
+    w.kv("ts", static_cast<double>(ev.ts_ns) / 1000.0);
+    w.kv("pid", std::int64_t{1});
+    w.kv("tid", static_cast<std::int64_t>(ev.tid));
+    if (ev.phase == 'C') {
+      w.key("args").begin_object();
+      w.kv("value", ev.value);
+      w.end_object();
+    } else if (ev.phase == 'i') {
+      w.kv("s", "t");  // instant scope: thread
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ns");
+  w.key("otherData").begin_object();
+  w.kv("tool", "cmesolve");
+  w.kv("dropped_events", s.dropped);
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+bool Tracer::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_json(os);
+  return os.good();
+}
+
+void TraceSpan::emit_begin() { Tracer::instance().begin(name_); }
+void TraceSpan::emit_end() { Tracer::instance().end(name_); }
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct RegistryState {
+  mutable std::mutex mu;
+  std::map<std::string, Metric> metrics;
+};
+
+RegistryState& registry_state() {
+  static RegistryState state;
+  return state;
+}
+
+void format_double(std::ostream& os, double d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  os << buf;
+}
+
+}  // namespace
+
+MetricRegistry& MetricRegistry::instance() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+void set_metrics_enabled(bool on) {
+  detail::g_metrics_on.store(on, std::memory_order_relaxed);
+}
+
+void MetricRegistry::add_counter(const std::string& name, std::uint64_t delta) {
+  auto& s = registry_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto& m = s.metrics[name];
+  m.kind = MetricKind::kCounter;
+  m.count += delta;
+}
+
+void MetricRegistry::set_gauge(const std::string& name, double value,
+                               bool is_volatile) {
+  auto& s = registry_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto& m = s.metrics[name];
+  m.kind = MetricKind::kGauge;
+  m.is_volatile = is_volatile;
+  m.gauge = value;
+}
+
+void MetricRegistry::observe(const std::string& name, double value,
+                             bool is_volatile) {
+  auto& s = registry_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto& m = s.metrics[name];
+  m.kind = MetricKind::kHistogram;
+  m.is_volatile = is_volatile;
+  m.stats.add(value);
+}
+
+void MetricRegistry::clear() {
+  auto& s = registry_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.metrics.clear();
+}
+
+std::size_t MetricRegistry::size() const {
+  auto& s = registry_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.metrics.size();
+}
+
+bool MetricRegistry::empty() const { return size() == 0; }
+
+std::map<std::string, Metric> MetricRegistry::snapshot() const {
+  auto& s = registry_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.metrics;
+}
+
+std::string MetricRegistry::deterministic_fingerprint() const {
+  const auto snap = snapshot();
+  std::ostringstream os;
+  for (const auto& [name, m] : snap) {
+    if (m.is_volatile) continue;
+    os << name << '|';
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        os << "counter|" << m.count;
+        break;
+      case MetricKind::kGauge:
+        os << "gauge|";
+        format_double(os, m.gauge);
+        break;
+      case MetricKind::kHistogram:
+        os << "hist|" << m.stats.count() << '|';
+        format_double(os, m.stats.min());
+        os << '|';
+        format_double(os, m.stats.max());
+        os << '|';
+        format_double(os, m.stats.mean());
+        os << '|';
+        format_double(os, m.stats.variance());
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Run report + context + output paths
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct ObsState {
+  std::mutex mu;
+  std::map<std::string, std::string> context;
+  std::string trace_path;
+  std::string report_path;
+  std::set<std::string> flushed;  ///< paths already written by flush_outputs
+};
+
+ObsState& obs_state() {
+  static ObsState state;
+  return state;
+}
+
+void write_histogram(JsonWriter& w, const Metric& m) {
+  w.begin_object();
+  w.kv("count", m.stats.count());
+  w.kv("min", static_cast<double>(m.stats.min()));
+  w.kv("max", static_cast<double>(m.stats.max()));
+  w.kv("mean", static_cast<double>(m.stats.mean()));
+  w.kv("stddev", static_cast<double>(m.stats.stddev()));
+  w.end_object();
+}
+
+void write_metric_sections(JsonWriter& w,
+                           const std::map<std::string, Metric>& snap,
+                           bool volatile_section) {
+  w.key("counters").begin_object();
+  for (const auto& [name, m] : snap) {
+    if (m.kind == MetricKind::kCounter && m.is_volatile == volatile_section) {
+      w.kv(name, m.count);
+    }
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, m] : snap) {
+    if (m.kind == MetricKind::kGauge && m.is_volatile == volatile_section) {
+      w.kv(name, m.gauge);
+    }
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, m] : snap) {
+    if (m.kind == MetricKind::kHistogram &&
+        m.is_volatile == volatile_section) {
+      w.key(name);
+      write_histogram(w, m);
+    }
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+void set_context(const std::string& key, const std::string& value) {
+  auto& s = obs_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.context[key] = value;
+}
+
+void write_report(std::ostream& os) {
+  std::map<std::string, std::string> context;
+  {
+    auto& s = obs_state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    context = s.context;
+  }
+  const auto snap = MetricRegistry::instance().snapshot();
+
+  JsonWriter w(os, /*indent=*/2);
+  w.begin_object();
+  w.kv("schema", "cmesolve.run_report/1");
+
+  w.key("provenance").begin_object();
+  w.kv("version", CMESOLVE_VERSION);
+  w.kv("git", CMESOLVE_GIT_DESCRIBE);
+  w.kv("threads", static_cast<std::int64_t>(util::max_threads()));
+#ifdef _OPENMP
+  w.kv("openmp", true);
+#else
+  w.kv("openmp", false);
+#endif
+#ifdef CMESOLVE_THREADS_ENABLED
+  w.kv("threads_enabled", true);
+#else
+  w.kv("threads_enabled", false);
+#endif
+  for (const auto& [key, value] : context) {
+    w.kv(key, std::string_view(value));
+  }
+  w.end_object();
+
+  w.key("metrics").begin_object();
+  write_metric_sections(w, snap, /*volatile_section=*/false);
+  w.end_object();
+
+  w.key("volatile").begin_object();
+  write_metric_sections(w, snap, /*volatile_section=*/true);
+  w.end_object();
+
+  w.end_object();
+  os << '\n';
+}
+
+bool write_report_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_report(os);
+  return os.good();
+}
+
+void set_trace_path(const std::string& path) {
+  auto& s = obs_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.trace_path = path;
+  s.flushed.erase(path);
+}
+
+void set_report_path(const std::string& path) {
+  auto& s = obs_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.report_path = path;
+  s.flushed.erase(path);
+}
+
+std::string trace_path() {
+  auto& s = obs_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.trace_path;
+}
+
+std::string report_path() {
+  auto& s = obs_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.report_path;
+}
+
+void flush_outputs() {
+  std::string trace;
+  std::string report;
+  {
+    auto& s = obs_state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.trace_path.empty() && s.flushed.insert(s.trace_path).second) {
+      trace = s.trace_path;
+    }
+    if (!s.report_path.empty() && s.flushed.insert(s.report_path).second) {
+      report = s.report_path;
+    }
+  }
+  if (!trace.empty() && !Tracer::instance().write_file(trace)) {
+    std::fprintf(stderr, "cmesolve: failed to write trace to %s\n",
+                 trace.c_str());
+  }
+  if (!report.empty() && !write_report_file(report)) {
+    std::fprintf(stderr, "cmesolve: failed to write report to %s\n",
+                 report.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Environment activation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Dynamic initializer: reads CMESOLVE_TRACE / CMESOLVE_REPORT once at
+/// program startup (of any binary that links this TU) and arranges an atexit
+/// flush so instrumented programs produce their files without code changes.
+struct EnvInit {
+  EnvInit() {
+    const char* trace = std::getenv("CMESOLVE_TRACE");
+    const char* report = std::getenv("CMESOLVE_REPORT");
+    bool flush_at_exit = false;
+    if (trace != nullptr && trace[0] != '\0') {
+      set_trace_path(trace);
+      Tracer::instance().enable();
+      flush_at_exit = true;
+    }
+    if (report != nullptr && report[0] != '\0') {
+      set_report_path(report);
+      set_metrics_enabled(true);
+      flush_at_exit = true;
+    }
+    if (flush_at_exit) {
+      std::atexit([] { flush_outputs(); });
+    }
+  }
+};
+
+EnvInit g_env_init;
+
+}  // namespace
+
+}  // namespace cmesolve::obs

@@ -1,0 +1,126 @@
+#pragma once
+//
+// Trace-span API: RAII scopes plus instant/counter events, exported as Chrome
+// trace_event JSON (loadable in chrome://tracing and Perfetto).
+//
+// Design constraints (see DESIGN.md §9):
+//  * Near-zero overhead when disabled: every entry point first checks one
+//    relaxed atomic flag; disabled macros cost a load + predictable branch.
+//  * Thread-safe buffering that composes with the PR-1 thread pool: events
+//    append to one mutex-guarded buffer; thread ids are normalized to small
+//    dense ids so traces are readable.
+//  * Deterministic in *content*: the set of (name, phase) events produced by
+//    a deterministic computation is independent of the thread count, because
+//    instrumented code only emits from the calling thread (pool-internal work
+//    is instrumented at the dispatch site, not inside tasks). Timestamps and
+//    thread ids are explicitly excluded from the determinism contract —
+//    content_signature() folds only names/phases/values.
+//
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cmesolve::obs {
+
+namespace detail {
+/// Zero-initialized (constant-init) so checks before dynamic init read
+/// "disabled". Defined in telemetry.cpp, whose dynamic initializer reads
+/// CMESOLVE_TRACE and flips it on.
+extern std::atomic<bool> g_trace_on;
+}  // namespace detail
+
+/// Fast path used by all macros; safe to call at any point of program
+/// startup/shutdown.
+inline bool trace_enabled() {
+  return detail::g_trace_on.load(std::memory_order_relaxed);
+}
+
+/// One buffered trace event. `ts_ns` is relative to the tracer's enable
+/// epoch (converted to microseconds on export, as trace_event wants).
+struct TraceEvent {
+  std::string name;
+  char phase = 'i';       ///< 'B' begin, 'E' end, 'i' instant, 'C' counter
+  std::uint32_t tid = 0;  ///< dense thread id (0 = first thread seen)
+  std::uint64_t ts_ns = 0;
+  double value = 0.0;  ///< counter payload (phase 'C' only)
+};
+
+/// Process-wide trace buffer. Singleton; all methods are thread-safe.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  void enable();   ///< clears the buffer and starts a new epoch
+  void disable();  ///< stops recording (buffer is kept for export)
+  void clear();
+
+  void begin(const char* name);
+  void end(const char* name);
+  void instant(const char* name);
+  void counter(const char* name, double value);
+
+  std::size_t size() const;
+  std::uint64_t dropped() const;  ///< events discarded past the buffer cap
+  /// Open (unmatched) B spans; 0 in any quiescent state.
+  std::int64_t open_spans() const;
+
+  /// Order-independent FNV-1a fold over (name, phase, value) — excludes
+  /// timestamps and thread ids per the determinism contract.
+  std::uint64_t content_signature() const;
+
+  /// Chrome trace_event "JSON Object Format":
+  /// {"traceEvents": [...], "displayTimeUnit": "ns", ...}.
+  void write_json(std::ostream& os) const;
+  bool write_file(const std::string& path) const;
+
+  /// Copy of the buffer, for tests.
+  std::vector<TraceEvent> events() const;
+
+ private:
+  Tracer() = default;
+};
+
+/// RAII span. Captures the enabled flag once at construction so a span that
+/// straddles enable/disable stays balanced.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) : name_(name), active_(trace_enabled()) {
+    if (active_) emit_begin();
+  }
+  ~TraceSpan() {
+    if (active_) emit_end();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void emit_begin();
+  void emit_end();
+  const char* name_;
+  bool active_;
+};
+
+}  // namespace cmesolve::obs
+
+#define CMESOLVE_OBS_CONCAT2(a, b) a##b
+#define CMESOLVE_OBS_CONCAT(a, b) CMESOLVE_OBS_CONCAT2(a, b)
+
+/// RAII scope covering the rest of the enclosing block.
+#define CMESOLVE_TRACE_SPAN(name)                  \
+  ::cmesolve::obs::TraceSpan CMESOLVE_OBS_CONCAT(  \
+      cmesolve_trace_span_, __LINE__)(name)
+
+#define CMESOLVE_TRACE_INSTANT(name)                       \
+  do {                                                     \
+    if (::cmesolve::obs::trace_enabled())                  \
+      ::cmesolve::obs::Tracer::instance().instant(name);   \
+  } while (0)
+
+#define CMESOLVE_TRACE_COUNTER(name, value)                \
+  do {                                                     \
+    if (::cmesolve::obs::trace_enabled())                  \
+      ::cmesolve::obs::Tracer::instance().counter(         \
+          (name), static_cast<double>(value));             \
+  } while (0)

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "solver/vector_ops.hpp"
 
 namespace cmesolve::solver {
@@ -15,11 +17,20 @@ void apply_givens(real_t c, real_t s, real_t& h1, real_t& h2) {
   h1 = t;
 }
 
+/// Outcome metrics, published on every exit path.
+void publish_gmres(const GmresResult& out) {
+  obs::count("gmres.solves");
+  obs::gauge("gmres.iterations", static_cast<real_t>(out.iterations));
+  obs::gauge("gmres.residual.final", out.relative_residual);
+  obs::gauge("gmres.converged", out.converged ? 1.0 : 0.0);
+}
+
 }  // namespace
 
 GmresResult gmres_solve(const LinearOp& apply, index_t n,
                         std::span<const real_t> b, std::span<real_t> x,
                         const GmresOptions& opt) {
+  CMESOLVE_TRACE_SPAN("gmres.solve");
   GmresResult out;
   const int m = opt.restart;
   const std::size_t nn = static_cast<std::size_t>(n);
@@ -28,6 +39,7 @@ GmresResult gmres_solve(const LinearOp& apply, index_t n,
   if (bnorm == 0.0) {
     std::fill(x.begin(), x.end(), 0.0);
     out.converged = true;
+    publish_gmres(out);
     return out;
   }
 
@@ -48,6 +60,7 @@ GmresResult gmres_solve(const LinearOp& apply, index_t n,
     out.relative_residual = beta / bnorm;
     if (out.relative_residual <= opt.tol) {
       out.converged = true;
+      publish_gmres(out);
       return out;
     }
     scale(v[0], 1.0 / beta);
@@ -102,6 +115,8 @@ GmresResult gmres_solve(const LinearOp& apply, index_t n,
 
       out.relative_residual = std::abs(g[static_cast<std::size_t>(j) + 1]) / bnorm;
       out.residual_history.push_back(out.relative_residual);
+      CMESOLVE_TRACE_COUNTER("gmres.residual", out.relative_residual);
+      obs::observe("gmres.residual", out.relative_residual);
       if (out.relative_residual <= opt.tol || hlast == 0.0) {
         ++j;
         break;
@@ -125,9 +140,11 @@ GmresResult gmres_solve(const LinearOp& apply, index_t n,
 
     if (out.relative_residual <= opt.tol) {
       out.converged = true;
+      publish_gmres(out);
       return out;
     }
   }
+  publish_gmres(out);
   return out;
 }
 

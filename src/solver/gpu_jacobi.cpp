@@ -2,12 +2,16 @@
 
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace cmesolve::solver {
 
 GpuJacobiReport gpu_jacobi_solve(const gpusim::DeviceSpec& dev,
                                  const sparse::Csr& a, std::span<real_t> x,
                                  const JacobiOptions& opt,
                                  const gpusim::SimOptions& sim_opt) {
+  CMESOLVE_TRACE_SPAN("gpu_jacobi.solve");
   GpuJacobiReport report;
 
   const WarpedEllDiaOperator op(a);
@@ -45,6 +49,11 @@ GpuJacobiReport gpu_jacobi_solve(const gpusim::DeviceSpec& dev,
       report.sim_seconds > 0
           ? static_cast<real_t>(report.result.flops) / report.sim_seconds / 1e9
           : 0.0;
+  // Simulated end-to-end cost: deterministic (products of the traffic
+  // model), unlike the host wall-clock inside report.result.
+  obs::count("gpu_jacobi.solves");
+  obs::gauge("gpu_jacobi.sim_seconds", report.sim_seconds);
+  obs::gauge("gpu_jacobi.sim_gflops", report.sim_gflops);
   return report;
 }
 

@@ -20,6 +20,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "solver/vector_ops.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
@@ -51,12 +53,25 @@ struct JacobiOptions {
   /// Observer invoked at every residual evaluation with (iteration,
   /// normalized residual) — convergence-history tracing.
   std::function<void(std::uint64_t, real_t)> on_residual;
+  /// When > 0, keep a stride-sampled residual history of at most this many
+  /// samples in JacobiResult::residual_history: every residual check is
+  /// recorded until the buffer fills, then every 2nd surviving sample is
+  /// kept and the sampling stride doubles — bounded memory, full-range
+  /// coverage. 0 (the default) records nothing.
+  std::size_t history_capacity = 0;
 };
 
 enum class StopReason : std::uint8_t {
   kConverged,
   kStagnated,
   kMaxIterations,
+};
+
+/// One point of the convergence history: the normalized residual as
+/// evaluated at iteration `iteration`.
+struct ResidualSample {
+  std::uint64_t iteration = 0;
+  real_t residual = 0.0;
 };
 
 struct JacobiResult {
@@ -66,6 +81,11 @@ struct JacobiResult {
   real_t seconds = 0.0;         ///< host wall-clock
   std::uint64_t flops = 0;      ///< 2*offdiag_nnz + n per sweep, summed
   real_t gflops = 0.0;          ///< measured host throughput
+  /// Stride-sampled convergence history (JacobiOptions::history_capacity).
+  std::vector<ResidualSample> residual_history;
+  /// Final sampling stride, in residual checks: samples are check numbers
+  /// 0, stride, 2*stride, ... (starts at 1, doubles on each compaction).
+  std::uint64_t history_stride = 1;
 };
 
 [[nodiscard]] constexpr const char* to_string(StopReason r) noexcept {
@@ -98,20 +118,27 @@ JacobiResult jacobi_solve(const Op& op, real_t a_inf_norm,
   std::vector<real_t> resid(static_cast<std::size_t>(n));
   const real_t omega = opt.damping;
 
+  CMESOLVE_TRACE_SPAN("jacobi.solve");
   WallTimer timer;
   JacobiResult out;
   const std::uint64_t flops_per_sweep =
       2ULL * op.offdiag_nnz() + static_cast<std::uint64_t>(n);
   real_t prev_residual = -1.0;
   std::uint32_t flat_checks = 0;
+  std::uint64_t check_number = 0;  // residual checks done (history sampling)
+  // Stride-doubling compaction needs room for at least 2 survivors.
+  const std::size_t history_cap =
+      opt.history_capacity > 0 ? std::max<std::size_t>(opt.history_capacity, 2)
+                               : 0;
 
   normalize_l1(x);
   for (std::uint64_t it = 1; it <= opt.max_iterations; ++it) {
     // One sweep: next = -D^{-1} (L+U) x, optionally damped. The diagonal
     // scale and the swap are elementwise, so the parallel split cannot
     // change the numbers.
-    op.multiply(x, next);
     {
+      CMESOLVE_TRACE_SPAN("jacobi.sweep");
+      op.multiply(x, next);
       real_t* pn = next.data();
       real_t* px = x.data();
       const real_t* pd = d.data();
@@ -142,10 +169,13 @@ JacobiResult jacobi_solve(const Op& op, real_t a_inf_norm,
     out.flops += flops_per_sweep;
 
     if (opt.normalize_every > 0 && it % opt.normalize_every == 0) {
+      CMESOLVE_TRACE_INSTANT("jacobi.renormalize");
+      obs::count("jacobi.renormalizations");
       normalize_l1(x);
     }
 
     if (it % opt.check_every == 0 || it == opt.max_iterations) {
+      CMESOLVE_TRACE_SPAN("jacobi.residual_check");
       normalize_l1(x);
       // r = A x = (L+U) x + D x
       op.multiply(x, resid);
@@ -164,7 +194,27 @@ JacobiResult jacobi_solve(const Op& op, real_t a_inf_norm,
       const real_t rn = norm_inf(resid);
       out.residual = rn / (a_inf_norm * (xn > 0 ? xn : 1.0));
       out.flops += flops_per_sweep;  // the residual costs one extra sweep
+      CMESOLVE_TRACE_COUNTER("jacobi.residual", out.residual);
+      obs::observe("jacobi.residual", out.residual);
       if (opt.on_residual) opt.on_residual(it, out.residual);
+      if (history_cap > 0) {
+        if (check_number % out.history_stride == 0) {
+          if (out.residual_history.size() >= history_cap) {
+            // Full: keep every 2nd surviving sample and double the stride —
+            // the buffer stays bounded while spanning the whole solve.
+            std::size_t w = 0;
+            for (std::size_t r = 0; r < out.residual_history.size(); r += 2) {
+              out.residual_history[w++] = out.residual_history[r];
+            }
+            out.residual_history.resize(w);
+            out.history_stride *= 2;
+          }
+          if (check_number % out.history_stride == 0) {
+            out.residual_history.push_back({it, out.residual});
+          }
+        }
+        ++check_number;
+      }
 
       if (out.residual <= opt.eps) {
         out.reason = StopReason::kConverged;
@@ -189,6 +239,16 @@ JacobiResult jacobi_solve(const Op& op, real_t a_inf_norm,
   out.gflops = out.seconds > 0
                    ? static_cast<real_t>(out.flops) / out.seconds / 1.0e9
                    : 0.0;
+  // Deterministic outcome metrics; host wall-clock goes to the volatile
+  // section of the run report (it cannot be bit-identical run-to-run).
+  obs::count("jacobi.solves");
+  obs::gauge("jacobi.iterations", static_cast<real_t>(out.iterations));
+  obs::gauge("jacobi.residual.final", out.residual);
+  obs::gauge("jacobi.converged",
+             out.reason == StopReason::kConverged ? 1.0 : 0.0);
+  obs::gauge("jacobi.flops", static_cast<real_t>(out.flops));
+  obs::gauge("jacobi.seconds", out.seconds, /*is_volatile=*/true);
+  obs::gauge("jacobi.gflops", out.gflops, /*is_volatile=*/true);
   return out;
 }
 

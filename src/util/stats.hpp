@@ -41,10 +41,23 @@ class RunningStats {
   }
   [[nodiscard]] real_t stddev() const noexcept { return std::sqrt(variance()); }
 
-  /// sigma / mu: the row-length variability factor of Table I.
-  [[nodiscard]] real_t variability() const noexcept { return stddev() / mean(); }
-  /// (max - mu) / mu: the row-length skew factor of Table I.
-  [[nodiscard]] real_t skew() const noexcept { return (max() - mean()) / mean(); }
+  /// sigma / mu: the row-length variability factor of Table I. NaN (not the
+  /// IEEE inf of a literal division) when empty or the mean is exactly zero,
+  /// so downstream JSON serialization treats both undefined cases uniformly.
+  [[nodiscard]] real_t variability() const noexcept {
+    if (count_ == 0 || mean() == 0.0) {
+      return std::numeric_limits<real_t>::quiet_NaN();
+    }
+    return stddev() / mean();
+  }
+  /// (max - mu) / mu: the row-length skew factor of Table I. NaN when empty
+  /// or the mean is exactly zero, for the same reason as variability().
+  [[nodiscard]] real_t skew() const noexcept {
+    if (count_ == 0 || mean() == 0.0) {
+      return std::numeric_limits<real_t>::quiet_NaN();
+    }
+    return (max() - mean()) / mean();
+  }
 
  private:
   std::uint64_t count_ = 0;

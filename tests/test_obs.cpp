@@ -1,0 +1,384 @@
+// Contract tests for the observability layer (src/obs/):
+//   * disabled mode records nothing,
+//   * trace JSON is well-formed and span-balanced,
+//   * the metric registry produced by the reference pipeline is bit-identical
+//     across thread budgets 1/2/8 (the PR-1 determinism contract extended to
+//     telemetry),
+//   * the run report carries the required schema keys.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/models.hpp"
+#include "core/rate_matrix.hpp"
+#include "core/state_space.hpp"
+#include "gpusim/device.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "solver/gpu_jacobi.hpp"
+#include "solver/jacobi.hpp"
+#include "solver/operators.hpp"
+#include "solver/vector_ops.hpp"
+#include "util/parallel.hpp"
+
+namespace cmesolve {
+namespace {
+
+/// RAII thread-budget override; restores auto-detection on scope exit.
+class ThreadBudget {
+ public:
+  explicit ThreadBudget(int n) { util::set_max_threads(n); }
+  ~ThreadBudget() { util::set_max_threads(0); }
+  ThreadBudget(const ThreadBudget&) = delete;
+  ThreadBudget& operator=(const ThreadBudget&) = delete;
+};
+
+/// Reset every telemetry sink to the disabled, empty state.
+void reset_telemetry() {
+  obs::Tracer::instance().disable();
+  obs::Tracer::instance().clear();
+  obs::set_metrics_enabled(false);
+  obs::MetricRegistry::instance().clear();
+}
+
+/// The determinism reference pipeline: enumerate a small toggle switch,
+/// assemble its rate matrix and solve on the simulated GPU — touching every
+/// instrumented layer (core, solver, gpusim).
+void reference_solve() {
+  core::models::ToggleSwitchParams params;
+  params.cap_a = params.cap_b = 12;
+  const auto network = core::models::toggle_switch(params);
+  const core::StateSpace space(
+      network, core::models::toggle_switch_initial(params), 100'000);
+  const auto a = core::rate_matrix(space);
+
+  std::vector<real_t> p(static_cast<std::size_t>(a.nrows));
+  solver::fill_uniform(p);
+  solver::JacobiOptions opt;
+  opt.eps = 1e-8;
+  opt.max_iterations = 2'000;
+  (void)solver::gpu_jacobi_solve(gpusim::DeviceSpec::gtx580(), a, p, opt);
+}
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator (no dependency allowed in-tree;
+// accepting exactly the grammar of RFC 8259 is enough to catch unbalanced
+// braces, stray commas and non-finite number leaks).
+// ---------------------------------------------------------------------------
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!parse_value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool parse_value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': return parse_literal("true");
+      case 'f': return parse_literal("false");
+      case 'n': return parse_literal("null");
+      default: return parse_number();
+    }
+  }
+
+  bool parse_object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!parse_string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!parse_value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool parse_array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!parse_value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool parse_string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool parse_literal(const char* lit) {
+    const std::string l(lit);
+    if (s_.compare(pos_, l.size(), l) != 0) return false;
+    pos_ += l.size();
+    return true;
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_telemetry(); }
+  void TearDown() override { reset_telemetry(); }
+};
+
+// ---------------------------------------------------------------------------
+// Disabled mode
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, DisabledModeEmitsNothing) {
+  EXPECT_FALSE(obs::trace_enabled());
+  EXPECT_FALSE(obs::metrics_enabled());
+
+  reference_solve();
+
+  EXPECT_EQ(obs::Tracer::instance().size(), 0u);
+  EXPECT_TRUE(obs::MetricRegistry::instance().empty());
+  EXPECT_EQ(obs::MetricRegistry::instance().deterministic_fingerprint(), "");
+}
+
+TEST_F(ObsTest, SpanGuardCapturesDisabledStateAtConstruction) {
+  obs::Tracer::instance().enable();
+  {
+    CMESOLVE_TRACE_SPAN("balanced.even.if.disabled.midway");
+    obs::Tracer::instance().disable();
+  }  // the span was active at construction, so its E event still lands
+  EXPECT_EQ(obs::Tracer::instance().open_spans(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Trace well-formedness
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, TraceJsonWellFormedAndSpanBalanced) {
+  obs::Tracer::instance().enable();
+  reference_solve();
+  obs::Tracer::instance().disable();
+
+  ASSERT_GT(obs::Tracer::instance().size(), 0u);
+  EXPECT_EQ(obs::Tracer::instance().open_spans(), 0);
+  EXPECT_EQ(obs::Tracer::instance().dropped(), 0u);
+
+  std::ostringstream os;
+  obs::Tracer::instance().write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonParser(json).valid()) << json.substr(0, 400);
+
+  // The reference pipeline must cover every instrumented layer.
+  for (const char* name :
+       {"core.enumerate", "core.rate_matrix", "jacobi.solve", "jacobi.sweep",
+        "gpu_jacobi.solve", "sim.jacobi_sweep", "sim.vector_op"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << "missing span " << name;
+  }
+}
+
+TEST_F(ObsTest, TraceEventsCarryMatchedBeginEndPairs) {
+  obs::Tracer::instance().enable();
+  {
+    CMESOLVE_TRACE_SPAN("outer");
+    CMESOLVE_TRACE_SPAN("inner");
+    CMESOLVE_TRACE_INSTANT("tick");
+    CMESOLVE_TRACE_COUNTER("gauge", 42.0);
+  }
+  obs::Tracer::instance().disable();
+
+  const auto events = obs::Tracer::instance().events();
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].phase, 'B');
+  EXPECT_EQ(events[2].phase, 'i');
+  EXPECT_EQ(events[3].phase, 'C');
+  EXPECT_EQ(events[3].value, 42.0);
+  // RAII order: inner closes before outer.
+  EXPECT_EQ(events[4].name, "inner");
+  EXPECT_EQ(events[4].phase, 'E');
+  EXPECT_EQ(events[5].name, "outer");
+  EXPECT_EQ(events[5].phase, 'E');
+}
+
+// ---------------------------------------------------------------------------
+// Registry semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, RegistryCountersGaugesHistograms) {
+  obs::set_metrics_enabled(true);
+  obs::count("c");
+  obs::count("c", 4);
+  obs::gauge("g", 2.5);
+  obs::gauge("g", 3.5);
+  obs::observe("h", 1.0);
+  obs::observe("h", 3.0);
+
+  const auto snap = obs::MetricRegistry::instance().snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap.at("c").count, 5u);
+  EXPECT_EQ(snap.at("g").gauge, 3.5);
+  EXPECT_EQ(snap.at("h").stats.count(), 2u);
+  EXPECT_EQ(snap.at("h").stats.mean(), 2.0);
+}
+
+TEST_F(ObsTest, VolatileMetricsExcludedFromFingerprint) {
+  obs::set_metrics_enabled(true);
+  obs::gauge("det", 1.0);
+  obs::gauge("wallclock", 0.123, /*is_volatile=*/true);
+
+  const auto fp = obs::MetricRegistry::instance().deterministic_fingerprint();
+  EXPECT_NE(fp.find("det"), std::string::npos);
+  EXPECT_EQ(fp.find("wallclock"), std::string::npos);
+}
+
+TEST_F(ObsTest, SuppressMetricsBlocksPublication) {
+  obs::set_metrics_enabled(true);
+  {
+    obs::SuppressMetrics guard;
+    EXPECT_FALSE(obs::metrics_enabled());
+    obs::count("suppressed");
+  }
+  EXPECT_TRUE(obs::metrics_enabled());
+  EXPECT_TRUE(obs::MetricRegistry::instance().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across thread budgets (the headline contract)
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, RegistryBitIdenticalAcrossThreadCounts) {
+  // Reference at 1 thread (the serial engines).
+  std::string ref_fingerprint;
+  std::uint64_t ref_trace_signature = 0;
+  {
+    ThreadBudget budget(1);
+    obs::set_metrics_enabled(true);
+    obs::Tracer::instance().enable();
+    reference_solve();
+    obs::Tracer::instance().disable();
+    obs::set_metrics_enabled(false);
+    ref_fingerprint =
+        obs::MetricRegistry::instance().deterministic_fingerprint();
+    ref_trace_signature = obs::Tracer::instance().content_signature();
+  }
+  ASSERT_FALSE(ref_fingerprint.empty());
+
+  for (int threads : {2, 8}) {
+    reset_telemetry();
+    ThreadBudget budget(threads);
+    obs::set_metrics_enabled(true);
+    obs::Tracer::instance().enable();
+    reference_solve();
+    obs::Tracer::instance().disable();
+    obs::set_metrics_enabled(false);
+
+    EXPECT_EQ(obs::MetricRegistry::instance().deterministic_fingerprint(),
+              ref_fingerprint)
+        << "metric registry diverged at " << threads << " threads";
+    EXPECT_EQ(obs::Tracer::instance().content_signature(), ref_trace_signature)
+        << "trace content diverged at " << threads << " threads";
+    EXPECT_EQ(obs::Tracer::instance().open_spans(), 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run report
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, ReportCarriesSchemaProvenanceAndMetrics) {
+  obs::set_metrics_enabled(true);
+  obs::set_context("program", "test_obs");
+  reference_solve();
+
+  std::ostringstream os;
+  obs::write_report(os);
+  const std::string json = os.str();
+
+  EXPECT_TRUE(JsonParser(json).valid()) << json.substr(0, 400);
+  for (const char* key :
+       {"cmesolve.run_report/1", "provenance", "version", "git", "threads",
+        "metrics", "counters", "gauges", "histograms", "volatile",
+        "jacobi.iterations", "jacobi.residual.final", "sim.jacobi_sweep",
+        "test_obs"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing key " << key;
+  }
+}
+
+TEST_F(ObsTest, ReportSerializesNonFiniteAsNull) {
+  obs::set_metrics_enabled(true);
+  obs::gauge("bad", std::numeric_limits<double>::quiet_NaN());
+
+  std::ostringstream os;
+  obs::write_report(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonParser(json).valid());
+  EXPECT_NE(json.find("\"bad\": null"), std::string::npos);
+  // Bare non-finite tokens would break strict JSON parsers. (Note: a plain
+  // find("nan") would false-positive on the word "provenance".)
+  EXPECT_EQ(json.find(": nan"), std::string::npos);
+  EXPECT_EQ(json.find(": inf"), std::string::npos);
+  EXPECT_EQ(json.find(": -inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cmesolve

@@ -160,6 +160,26 @@ TEST(RunningStats, EmptyIsNaN) {
   EXPECT_TRUE(std::isnan(s.min()));
 }
 
+TEST(RunningStats, EmptyDerivedRatiosAreNaN) {
+  RunningStats s;
+  EXPECT_TRUE(std::isnan(s.variability()));
+  EXPECT_TRUE(std::isnan(s.skew()));
+}
+
+TEST(RunningStats, ZeroMeanRatiosAreNaNNotInf) {
+  // sigma/mu and (max-mu)/mu are undefined at mu == 0; the explicit NaN
+  // (instead of IEEE +/-inf from the literal division) keeps the JSON
+  // serialization path uniform for both undefined cases.
+  RunningStats s;
+  s.add(-1.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_TRUE(std::isnan(s.variability()));
+  EXPECT_FALSE(std::isinf(s.variability()));
+  EXPECT_TRUE(std::isnan(s.skew()));
+  EXPECT_FALSE(std::isinf(s.skew()));
+}
+
 // --- TextTable ----------------------------------------------------------------
 
 TEST(TextTable, RendersAlignedColumns) {
