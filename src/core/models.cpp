@@ -162,6 +162,42 @@ State enzyme_kinetics_initial(const EnzymeKineticsParams& p) {
 }
 
 // ---------------------------------------------------------------------------
+// Enzymatic futile cycle
+// ---------------------------------------------------------------------------
+ReactionNetwork futile_cycle(const FutileCycleParams& p) {
+  ReactionNetwork net;
+  // Substrate/product capacities equal the conserved substrate pool; the
+  // slab never touches the box walls, so the fixed-buffer and FSP pipelines
+  // see the same reachable physics.
+  const int s = net.add_species("S", p.substrate_total);
+  const int prod = net.add_species("P", p.substrate_total);
+  const int e1 = net.add_species("E1", p.enzyme1_total);
+  const int c1 = net.add_species("C1", p.enzyme1_total);
+  const int e2 = net.add_species("E2", p.enzyme2_total);
+  const int c2 = net.add_species("C2", p.enzyme2_total);
+
+  // Reversible binding pairs first: DFS chains them into the diagonal band.
+  net.add_reaction("bind1", p.bind1, {{s, 1}, {e1, 1}},
+                   {{s, -1}, {e1, -1}, {c1, +1}});
+  net.add_reaction("unbind1", p.unbind1, {{c1, 1}},
+                   {{s, +1}, {e1, +1}, {c1, -1}});
+  net.add_reaction("catalyze1", p.catalyze1, {{c1, 1}},
+                   {{prod, +1}, {e1, +1}, {c1, -1}});
+  net.add_reaction("bind2", p.bind2, {{prod, 1}, {e2, 1}},
+                   {{prod, -1}, {e2, -1}, {c2, +1}});
+  net.add_reaction("unbind2", p.unbind2, {{c2, 1}},
+                   {{prod, +1}, {e2, +1}, {c2, -1}});
+  net.add_reaction("catalyze2", p.catalyze2, {{c2, 1}},
+                   {{s, +1}, {e2, +1}, {c2, -1}});
+  return net;
+}
+
+State futile_cycle_initial(const FutileCycleParams& p) {
+  //           S                  P  E1              C1 E2              C2
+  return State{p.substrate_total, 0, p.enzyme1_total, 0, p.enzyme2_total, 0};
+}
+
+// ---------------------------------------------------------------------------
 // SIR with demography
 // ---------------------------------------------------------------------------
 ReactionNetwork sir(const SirParams& p) {

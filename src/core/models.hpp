@@ -111,6 +111,29 @@ struct EnzymeKineticsParams {
 [[nodiscard]] State enzyme_kinetics_initial(const EnzymeKineticsParams& p = {});
 
 // ---------------------------------------------------------------------------
+// Enzymatic futile cycle: substrate S and product P interconverted by two
+// opposing enzymes through Michaelis-Menten complexes.
+//   S + E1 <-> C1 -> P + E1,   P + E2 <-> C2 -> S + E2
+// Substrate (S + P + C1 + C2) and both enzyme totals (E1 + C1, E2 + C2) are
+// conserved, so the reachable space is a bounded slab with the stationary
+// mass concentrated along the conversion equilibrium — the standard
+// adaptive-FSP stress model (Gupta et al., arXiv:1704.07259).
+// ---------------------------------------------------------------------------
+struct FutileCycleParams {
+  std::int32_t substrate_total = 40;  ///< S + P + C1 + C2 at t = 0
+  std::int32_t enzyme1_total = 3;     ///< E1 + C1 (conserved)
+  std::int32_t enzyme2_total = 3;     ///< E2 + C2 (conserved)
+  real_t bind1 = 0.4;       ///< S + E1 -> C1
+  real_t unbind1 = 1.0;     ///< C1 -> S + E1
+  real_t catalyze1 = 2.0;   ///< C1 -> P + E1
+  real_t bind2 = 0.3;       ///< P + E2 -> C2
+  real_t unbind2 = 1.0;     ///< C2 -> P + E2
+  real_t catalyze2 = 1.5;   ///< C2 -> S + E2
+};
+[[nodiscard]] ReactionNetwork futile_cycle(const FutileCycleParams& p = {});
+[[nodiscard]] State futile_cycle_initial(const FutileCycleParams& p = {});
+
+// ---------------------------------------------------------------------------
 // Stochastic SIR with demography: endemic fluctuations instead of eventual
 // extinction, so a non-trivial stationary landscape exists.
 //   0 -> S (birth),  S + I -> 2I,  I -> R,  S/I/R -> 0 (death)

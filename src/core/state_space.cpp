@@ -9,14 +9,11 @@
 
 namespace cmesolve::core {
 
-StateSpace::StateSpace(const ReactionNetwork& network, State initial,
-                       std::size_t max_states, VisitOrder order,
-                       std::uint64_t seed)
-    : network_(&network), num_species_(network.num_species()) {
-  if (!network.valid_state(initial)) {
-    throw std::invalid_argument("initial state outside capacity box");
-  }
-
+// ---------------------------------------------------------------------------
+// StatePacker
+// ---------------------------------------------------------------------------
+StatePacker::StatePacker(const ReactionNetwork& network)
+    : num_species_(network.num_species()) {
   bit_width_.resize(static_cast<std::size_t>(num_species_));
   int total_bits = 0;
   for (int s = 0; s < num_species_; ++s) {
@@ -29,11 +26,9 @@ StateSpace::StateSpace(const ReactionNetwork& network, State initial,
     throw std::invalid_argument(
         "state space key exceeds 128 bits; reduce species or capacities");
   }
-
-  enumerate(std::move(initial), max_states, order, seed);
 }
 
-StateKey StateSpace::pack(const State& x) const {
+StateKey StatePacker::pack(const State& x) const {
   StateKey key{0, 0};
   int bit = 0;
   for (int s = 0; s < num_species_; ++s) {
@@ -49,6 +44,21 @@ StateKey StateSpace::pack(const State& x) const {
     bit += w;
   }
   return key;
+}
+
+// ---------------------------------------------------------------------------
+// StateSpace
+// ---------------------------------------------------------------------------
+StateSpace::StateSpace(const ReactionNetwork& network, State initial,
+                       std::size_t max_states, VisitOrder order,
+                       std::uint64_t seed)
+    : network_(&network),
+      num_species_(network.num_species()),
+      packer_(network) {
+  if (!network.valid_state(initial)) {
+    throw std::invalid_argument("initial state outside capacity box");
+  }
+  enumerate(std::move(initial), max_states, order, seed);
 }
 
 State StateSpace::state(index_t i) const {
@@ -147,6 +157,114 @@ void StateSpace::enumerate(State initial, std::size_t max_states,
   obs::observe("core.state_space.states", static_cast<real_t>(num_states_));
   obs::gauge("core.state_space.last.states", static_cast<real_t>(num_states_));
   obs::gauge("core.state_space.last.truncated", truncated_ ? 1.0 : 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// DynamicStateSpace
+// ---------------------------------------------------------------------------
+DynamicStateSpace::DynamicStateSpace(const ReactionNetwork& network,
+                                     const State& initial)
+    : network_(&network),
+      num_species_(network.num_species()),
+      packer_(network) {
+  if (!network.valid_state(initial)) {
+    throw std::invalid_argument("initial state outside capacity box");
+  }
+  add(initial);
+}
+
+State DynamicStateSpace::state(index_t i) const {
+  State x(static_cast<std::size_t>(num_species_));
+  for (int s = 0; s < num_species_; ++s) {
+    x[static_cast<std::size_t>(s)] = count(i, s);
+  }
+  return x;
+}
+
+index_t DynamicStateSpace::find(const State& x) const {
+  if (!network_->valid_state(x)) return -1;
+  const auto it = index_.find(packer_.pack(x));
+  return it == index_.end() ? index_t{-1} : it->second;
+}
+
+index_t DynamicStateSpace::add(const State& x) {
+  if (!network_->valid_state(x)) {
+    throw std::invalid_argument(
+        "DynamicStateSpace::add: state outside capacity box");
+  }
+  const auto [it, inserted] =
+      index_.try_emplace(packer_.pack(x), static_cast<index_t>(num_states_));
+  if (inserted) {
+    states_.insert(states_.end(), x.begin(), x.end());
+    ++num_states_;
+  }
+  return it->second;
+}
+
+void DynamicStateSpace::grow_bfs(std::size_t target) {
+  const int nr = network_->num_reactions();
+  // The member list itself is the queue: every successor we add is appended
+  // behind `head`, so the walk is a plain breadth-first visit seeded by all
+  // current members in index order.
+  for (index_t head = 0; static_cast<std::size_t>(head) < num_states_ &&
+                         num_states_ < target;
+       ++head) {
+    const State x = state(head);
+    for (int k = 0; k < nr && num_states_ < target; ++k) {
+      if (!network_->applicable(k, x)) continue;
+      add(network_->apply(k, x));
+    }
+  }
+}
+
+std::vector<index_t> DynamicStateSpace::compact(const std::vector<char>& keep) {
+  if (keep.size() != num_states_) {
+    throw std::invalid_argument("DynamicStateSpace::compact: mask size");
+  }
+  std::vector<index_t> remap(num_states_, index_t{-1});
+  const auto ns = static_cast<std::size_t>(num_species_);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < num_states_; ++i) {
+    if (!keep[i]) continue;
+    remap[i] = static_cast<index_t>(kept);
+    if (kept != i) {
+      for (std::size_t sp = 0; sp < ns; ++sp) {
+        states_[kept * ns + sp] = states_[i * ns + sp];
+      }
+    }
+    ++kept;
+  }
+  states_.resize(kept * ns);
+  num_states_ = kept;
+  // Rebuild the key index from the surviving members (erase-and-update of
+  // the old map would touch every entry anyway).
+  index_.clear();
+  index_.reserve(kept);
+  for (std::size_t i = 0; i < kept; ++i) {
+    index_.emplace(packer_.pack(state(static_cast<index_t>(i))),
+                   static_cast<index_t>(i));
+  }
+  return remap;
+}
+
+bool DynamicStateSpace::is_boundary(index_t i) const {
+  const int nr = network_->num_reactions();
+  const State x = state(i);
+  for (int k = 0; k < nr; ++k) {
+    if (!network_->applicable(k, x)) continue;
+    const State next = network_->apply(k, x);
+    if (next == x) continue;
+    if (index_.find(packer_.pack(next)) == index_.end()) return true;
+  }
+  return false;
+}
+
+std::vector<index_t> DynamicStateSpace::boundary_states() const {
+  std::vector<index_t> out;
+  for (index_t i = 0; i < size(); ++i) {
+    if (is_boundary(i)) out.push_back(i);
+  }
+  return out;
 }
 
 }  // namespace cmesolve::core

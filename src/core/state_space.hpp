@@ -10,6 +10,13 @@
 // reversible synthesis/degradation pair first in the network maximizes the
 // band density.
 //
+// Two containers share the packing/hashing machinery (StatePacker):
+//  * StateSpace — one-shot enumeration of the full reachable box (the
+//    paper's fixed-buffer pipeline).
+//  * DynamicStateSpace — growable/prunable member set for the adaptive
+//    finite-state-projection pipeline (src/fsp/), which sizes the space
+//    round by round instead of enumerating the box up front.
+//
 #include <array>
 #include <cstdint>
 #include <unordered_map>
@@ -31,6 +38,22 @@ struct StateKeyHash {
     h ^= (k[1] + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
     return static_cast<std::size_t>(h);
   }
+};
+
+/// Packs microstates into 128-bit hash keys. Bit widths derive from the
+/// network's per-species capacities; construction throws when the packed
+/// representation exceeds 128 bits.
+class StatePacker {
+ public:
+  StatePacker() = default;
+  explicit StatePacker(const ReactionNetwork& network);
+
+  [[nodiscard]] int num_species() const noexcept { return num_species_; }
+  [[nodiscard]] StateKey pack(const State& x) const;
+
+ private:
+  int num_species_ = 0;
+  std::vector<int> bit_width_;  ///< bits per species in the packed key
 };
 
 /// Visit order of the enumeration. DFS is the paper's (and the default:
@@ -72,7 +95,7 @@ class StateSpace {
 
   /// Pack a state into the 128-bit hash key (throws when capacities do not
   /// fit 128 bits).
-  [[nodiscard]] StateKey pack(const State& x) const;
+  [[nodiscard]] StateKey pack(const State& x) const { return packer_.pack(x); }
 
  private:
   void enumerate(State initial, std::size_t max_states, VisitOrder order,
@@ -80,11 +103,75 @@ class StateSpace {
 
   const ReactionNetwork* network_;
   int num_species_;
-  std::vector<int> bit_width_;   ///< bits per species in the packed key
+  StatePacker packer_;
   std::vector<std::int32_t> states_;  ///< flattened, size * num_species
   std::size_t num_states_ = 0;
   std::unordered_map<StateKey, index_t, StateKeyHash> index_;
   bool truncated_ = false;
+};
+
+/// Growable, prunable microstate set for the adaptive FSP pipeline.
+///
+/// Unlike StateSpace — which enumerates the whole reachable finite-buffer
+/// box once and is then immutable — this set starts from one seed state and
+/// is extended (boundary expansion) and compacted (quantile pruning) round
+/// by round. Indices are dense and insertion-ordered; compact() renumbers
+/// survivors while preserving relative order, returning the old->new map so
+/// warm-start vectors and cached matrix stencils can follow the renumbering.
+class DynamicStateSpace {
+ public:
+  DynamicStateSpace(const ReactionNetwork& network, const State& initial);
+
+  [[nodiscard]] index_t size() const noexcept {
+    return static_cast<index_t>(num_states_);
+  }
+  [[nodiscard]] const ReactionNetwork& network() const noexcept {
+    return *network_;
+  }
+  [[nodiscard]] int num_species() const noexcept { return num_species_; }
+
+  /// Copy number of species s in member i.
+  [[nodiscard]] std::int32_t count(index_t i, int s) const noexcept {
+    return states_[static_cast<std::size_t>(i) *
+                       static_cast<std::size_t>(num_species_) +
+                   static_cast<std::size_t>(s)];
+  }
+
+  /// Full microstate i as a State vector.
+  [[nodiscard]] State state(index_t i) const;
+
+  /// Index of a microstate, or -1 when not a member.
+  [[nodiscard]] index_t find(const State& x) const;
+
+  /// Insert x (must lie inside the capacity box; throws otherwise).
+  /// Returns its index — the existing one when x is already a member.
+  index_t add(const State& x);
+
+  /// BFS-extend from the current members (in index order) until `target`
+  /// members exist or the reachable space closes. Deterministic: the visit
+  /// order depends only on the member list and the reaction order.
+  void grow_bfs(std::size_t target);
+
+  /// Drop every member i with keep[i] == 0, renumbering survivors in
+  /// insertion order. Returns the old->new index map (-1 = dropped).
+  std::vector<index_t> compact(const std::vector<char>& keep);
+
+  /// True when member i has at least one applicable reaction whose
+  /// successor is NOT a member — i.e. i sits on the projection boundary.
+  [[nodiscard]] bool is_boundary(index_t i) const;
+
+  /// All boundary members, ascending. O(size * reactions); intended for
+  /// per-round diagnostics, not inner loops (the FSP driver tracks boundary
+  /// flux through its cached stencils instead).
+  [[nodiscard]] std::vector<index_t> boundary_states() const;
+
+ private:
+  const ReactionNetwork* network_;
+  int num_species_;
+  StatePacker packer_;
+  std::vector<std::int32_t> states_;  ///< flattened, size * num_species
+  std::size_t num_states_ = 0;
+  std::unordered_map<StateKey, index_t, StateKeyHash> index_;
 };
 
 }  // namespace cmesolve::core

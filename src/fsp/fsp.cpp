@@ -1,0 +1,359 @@
+#include "fsp/fsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "solver/operators.hpp"
+#include "solver/vector_ops.hpp"
+
+namespace cmesolve::fsp {
+
+namespace {
+
+/// Inner solve of one round's truncated system A p = 0. `p` carries the
+/// warm start in and the (L1-normalized, non-negative) landscape out.
+std::pair<std::uint64_t, solver::StopReason> solve_round(
+    const sparse::Csr& a, std::vector<real_t>& p, const FspOptions& opt,
+    index_t return_state) {
+  if (opt.solver == InnerSolver::kGmres) {
+    // Nonsingular-ized form: one balance row replaced by Σ p_i = 1.
+    const auto apply = solver::steady_state_operator(a, return_state);
+    const auto b = solver::steady_state_rhs(a.nrows, return_state);
+    const auto r = solver::gmres_solve(apply, a.nrows, b, p, opt.gmres);
+    // GMRES does not preserve positivity; clamp the (tolerance-sized)
+    // negative excursions before renormalizing.
+    for (real_t& v : p) v = std::max(v, 0.0);
+    solver::normalize_l1(p);
+    return {r.iterations, r.converged ? solver::StopReason::kConverged
+                                      : solver::StopReason::kMaxIterations};
+  }
+  const solver::CsrDiaOperator op(a);
+  const auto r = solver::jacobi_solve(op, a.inf_norm(), p, opt.jacobi);
+  return {r.iterations, r.reason};
+}
+
+}  // namespace
+
+FspResult solve_adaptive(const core::ReactionNetwork& network,
+                         const core::State& initial, const FspOptions& opt) {
+  CMESOLVE_TRACE_SPAN("fsp.solve_adaptive");
+  if (opt.seed_states == 0 || opt.max_states == 0 || opt.max_rounds <= 0) {
+    throw std::invalid_argument("solve_adaptive: empty budget");
+  }
+
+  core::DynamicStateSpace space(network, initial);
+  space.grow_bfs(std::min(opt.seed_states, opt.max_states));
+  core::ProjectedRateMatrix matrix(network);
+
+  std::vector<real_t> p;
+  std::vector<FspRound> rounds;
+  std::uint64_t total_iters = 0;
+  real_t bound = std::numeric_limits<real_t>::infinity();
+  bool converged = false;
+
+  for (int round = 1; round <= opt.max_rounds; ++round) {
+    CMESOLVE_TRACE_SPAN("fsp.round");
+    const index_t n = space.size();
+    const index_t ret = space.find(initial);
+
+    matrix.extend(space);
+    auto assembly = matrix.assemble(space, ret);
+
+    if (p.empty()) {
+      p.assign(static_cast<std::size_t>(n), 0.0);
+      solver::fill_uniform(p);
+    }
+
+    const auto [iters, stop] = solve_round(assembly.a, p, opt, ret);
+    total_iters += iters;
+
+    // Stationary embedded-chain sink mass: the probability that the next
+    // jump leaves the projection. Serial sums keep the value bit-identical
+    // at any thread count.
+    real_t sink_flux = 0.0;
+    real_t total_flux = 0.0;
+    index_t boundary = 0;
+    for (index_t j = 0; j < n; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      sink_flux += p[ju] * assembly.outflow[ju];
+      total_flux += p[ju] * matrix.total_rate(j);
+      if (assembly.outflow[ju] > 0.0) ++boundary;
+    }
+    bound = total_flux > 0.0 ? sink_flux / total_flux : 0.0;
+
+    FspRound r;
+    r.round = round;
+    r.states = n;
+    r.boundary = boundary;
+    r.outflow_bound = bound;
+    r.solver_iterations = iters;
+    r.stop = stop;
+
+    if (opt.device != nullptr) {
+      // Extend the Table IV economics to this round's matrix: one simulated
+      // GPU Jacobi sweep on the warped ELL+DIA layout.
+      const solver::WarpedEllDiaOperator wop(assembly.a);
+      std::vector<real_t> xin(p.begin(), p.end());
+      std::vector<real_t> xout(p.size());
+      const auto sweep = gpusim::simulate_jacobi_sweep(
+          *opt.device, wop.gpu_hybrid(), xin, xout, opt.sim);
+      r.sim_sweep_seconds = sweep.seconds;
+      r.sim_sweep_gflops = sweep.gflops;
+    }
+
+    CMESOLVE_TRACE_COUNTER("fsp.outflow_bound", bound);
+    CMESOLVE_TRACE_COUNTER("fsp.states", static_cast<real_t>(n));
+    obs::observe("fsp.round.outflow_bound", bound);
+    obs::observe("fsp.round.states", static_cast<real_t>(n));
+    obs::observe("fsp.round.solver_iterations", static_cast<real_t>(iters));
+
+    if (bound <= opt.tol) {
+      converged = true;
+      rounds.push_back(r);
+      break;
+    }
+    if (round == opt.max_rounds ||
+        static_cast<std::size_t>(n) >= opt.max_states) {
+      rounds.push_back(r);
+      break;
+    }
+
+    // --- expansion selection (pre-compaction indices) ----------------------
+    // Boundary states carrying the top expansion_quantile share of the
+    // stationary outflow flux; ties and ordering are broken by index so the
+    // adapted set is deterministic.
+    struct Flux {
+      index_t j;
+      real_t flux;
+    };
+    std::vector<Flux> flux;
+    for (index_t j = 0; j < n; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      if (assembly.outflow[ju] > 0.0) {
+        flux.push_back({j, p[ju] * assembly.outflow[ju]});
+      }
+    }
+    std::sort(flux.begin(), flux.end(), [](const Flux& a, const Flux& b) {
+      if (a.flux != b.flux) return a.flux > b.flux;
+      return a.j < b.j;
+    });
+    std::vector<char> expand_src(static_cast<std::size_t>(n), 0);
+    {
+      const real_t target = opt.expansion_quantile * sink_flux;
+      real_t cum = 0.0;
+      for (const Flux& f : flux) {
+        expand_src[static_cast<std::size_t>(f.j)] = 1;
+        cum += f.flux;
+        if (cum >= target && f.flux > 0.0) break;
+      }
+      // Zero-flux boundary (warm-started zeros that never lifted): expand
+      // the whole boundary rather than stalling.
+      if (sink_flux <= 0.0) {
+        for (const Flux& f : flux) expand_src[static_cast<std::size_t>(f.j)] = 1;
+      }
+    }
+
+    // Successor collection must precede compaction: stencil indices and the
+    // membership view are both pre-compaction here. Members about to be
+    // pruned do NOT reappear as successors (they are still members now) —
+    // which is exactly the anti-oscillation behaviour we want.
+    std::vector<core::State> additions;
+    for (index_t j = 0; j < n; ++j) {
+      if (expand_src[static_cast<std::size_t>(j)]) {
+        matrix.out_of_set_successors(space, j, additions);
+      }
+    }
+
+    // --- quantile pruning --------------------------------------------------
+    std::vector<char> keep(static_cast<std::size_t>(n), 1);
+    index_t pruned = 0;
+    if (opt.prune_quantile > 0.0 &&
+        static_cast<std::size_t>(n) >= opt.min_states_to_prune) {
+      std::vector<index_t> order(static_cast<std::size_t>(n));
+      std::iota(order.begin(), order.end(), index_t{0});
+      std::sort(order.begin(), order.end(), [&p](index_t a, index_t b) {
+        const real_t pa = p[static_cast<std::size_t>(a)];
+        const real_t pb = p[static_cast<std::size_t>(b)];
+        if (pa != pb) return pa < pb;
+        return a < b;
+      });
+      real_t cum = 0.0;
+      for (const index_t j : order) {
+        const auto ju = static_cast<std::size_t>(j);
+        if (j == ret || expand_src[ju]) continue;  // never prune these
+        if (cum + p[ju] > opt.prune_quantile) break;
+        keep[ju] = 0;
+        cum += p[ju];
+        ++pruned;
+      }
+    }
+
+    std::vector<index_t> remap;
+    if (pruned > 0) {
+      remap = space.compact(keep);
+      matrix.compact(remap);
+    } else {
+      remap.resize(static_cast<std::size_t>(n));
+      std::iota(remap.begin(), remap.end(), index_t{0});
+    }
+
+    // --- apply expansion ---------------------------------------------------
+    const index_t before_add = space.size();
+    for (const core::State& s : additions) {
+      if (static_cast<std::size_t>(space.size()) >= opt.max_states) break;
+      space.add(s);
+    }
+
+    // Layered growth: when the flux-selected layer falls short of the
+    // round's growth floor (thin boundaries — quasi-1D lattices add a
+    // handful of states per layer), keep expanding the successors of the
+    // just-added states. Each layer continues along the probability
+    // gradient because only descendants of flux-selected states are in it.
+    if (opt.min_growth > 0.0) {
+      const std::size_t target = std::min(
+          opt.max_states,
+          static_cast<std::size_t>(before_add) +
+              static_cast<std::size_t>(
+                  std::ceil(opt.min_growth * static_cast<real_t>(n))));
+      index_t layer_begin = before_add;
+      index_t layer_end = space.size();
+      while (static_cast<std::size_t>(space.size()) < target &&
+             layer_end > layer_begin) {
+        for (index_t j = layer_begin;
+             j < layer_end && static_cast<std::size_t>(space.size()) < target;
+             ++j) {
+          const core::State s = space.state(j);
+          for (int k = 0; k < network.num_reactions(); ++k) {
+            if (static_cast<std::size_t>(space.size()) >= target) break;
+            if (network.applicable(k, s)) space.add(network.apply(k, s));
+          }
+        }
+        layer_begin = layer_end;
+        layer_end = space.size();
+      }
+    }
+    const index_t added = space.size() - before_add;
+    r.added = added;
+    r.pruned = pruned;
+    rounds.push_back(r);
+    obs::observe("fsp.round.states_added", static_cast<real_t>(added));
+    obs::observe("fsp.round.states_pruned", static_cast<real_t>(pruned));
+
+    if (added == 0 && pruned == 0) {
+      // Nothing left to adapt (cap reached or boundary closed): the bound
+      // cannot improve, stop unconverged.
+      break;
+    }
+
+    // Warm start for the next round: previous landscape through the
+    // renumbering, appended states seeded with a small uniform mass so the
+    // boundary flux is never spuriously zero.
+    std::vector<real_t> next(static_cast<std::size_t>(space.size()));
+    const real_t fill =
+        1.0e-3 / static_cast<real_t>(space.size());
+    solver::warm_restart(p, remap, next, fill);
+    p = std::move(next);
+  }
+
+  // Post-convergence trim: growth overshoots (layered expansion is
+  // reachability-driven, not mass-driven), so the converged set usually
+  // carries a tail of negligible-mass states. Drop the prune_quantile
+  // cumulative-mass tail, re-solve once, and keep the trimmed projection
+  // when its bound still meets the tolerance.
+  if (converged && opt.prune_quantile > 0.0 &&
+      static_cast<std::size_t>(space.size()) >= opt.min_states_to_prune) {
+    const index_t n = space.size();
+    const index_t ret0 = space.find(initial);
+    std::vector<index_t> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), index_t{0});
+    std::sort(order.begin(), order.end(), [&p](index_t a, index_t b) {
+      const real_t pa = p[static_cast<std::size_t>(a)];
+      const real_t pb = p[static_cast<std::size_t>(b)];
+      if (pa != pb) return pa < pb;
+      return a < b;
+    });
+    std::vector<char> keep(static_cast<std::size_t>(n), 1);
+    index_t pruned = 0;
+    real_t cum = 0.0;
+    for (const index_t j : order) {
+      const auto ju = static_cast<std::size_t>(j);
+      if (j == ret0) continue;
+      if (cum + p[ju] > opt.prune_quantile) break;
+      keep[ju] = 0;
+      cum += p[ju];
+      ++pruned;
+    }
+    if (pruned > 0) {
+      CMESOLVE_TRACE_SPAN("fsp.trim");
+      const auto remap = space.compact(keep);
+      matrix.compact(remap);
+      std::vector<real_t> next(static_cast<std::size_t>(space.size()));
+      solver::warm_restart(p, remap, next, 0.0);
+      p = std::move(next);
+      const index_t ret = space.find(initial);
+      auto assembly = matrix.assemble(space, ret);
+      const auto [iters, stop] = solve_round(assembly.a, p, opt, ret);
+      total_iters += iters;
+      real_t sink_flux = 0.0;
+      real_t total_flux = 0.0;
+      index_t boundary = 0;
+      for (index_t j = 0; j < space.size(); ++j) {
+        const auto ju = static_cast<std::size_t>(j);
+        sink_flux += p[ju] * assembly.outflow[ju];
+        total_flux += p[ju] * matrix.total_rate(j);
+        if (assembly.outflow[ju] > 0.0) ++boundary;
+      }
+      bound = total_flux > 0.0 ? sink_flux / total_flux : 0.0;
+      converged = bound <= opt.tol;
+      FspRound r;
+      r.round = static_cast<int>(rounds.size()) + 1;
+      r.states = space.size();
+      r.pruned = pruned;
+      r.boundary = boundary;
+      r.outflow_bound = bound;
+      r.solver_iterations = iters;
+      r.stop = stop;
+      rounds.push_back(r);
+      obs::observe("fsp.round.states_pruned", static_cast<real_t>(pruned));
+    }
+  }
+
+  obs::count("fsp.solves");
+  obs::gauge("fsp.rounds", static_cast<real_t>(rounds.size()));
+  obs::gauge("fsp.states.final", static_cast<real_t>(space.size()));
+  obs::gauge("fsp.outflow_bound", bound);
+  obs::gauge("fsp.converged", converged ? 1.0 : 0.0);
+  obs::gauge("fsp.solver.iterations.total", static_cast<real_t>(total_iters));
+
+  return FspResult{std::move(space), std::move(p),     bound,
+                   converged,        std::move(rounds), total_iters};
+}
+
+real_t l1_distance_to_reference(const FspResult& fsp,
+                                const core::StateSpace& reference,
+                                std::span<const real_t> p_ref) {
+  if (p_ref.size() != static_cast<std::size_t>(reference.size())) {
+    throw std::invalid_argument("l1_distance_to_reference: p_ref size");
+  }
+  real_t l1 = 0.0;
+  for (index_t i = 0; i < reference.size(); ++i) {
+    const index_t j = fsp.space.find(reference.state(i));
+    const real_t pf = j >= 0 ? fsp.p[static_cast<std::size_t>(j)] : 0.0;
+    l1 += std::abs(p_ref[static_cast<std::size_t>(i)] - pf);
+  }
+  // FSP members outside the reference enumeration (possible only when the
+  // reference itself was truncated) carry their whole mass as error.
+  for (index_t j = 0; j < fsp.space.size(); ++j) {
+    if (reference.find(fsp.space.state(j)) < 0) {
+      l1 += fsp.p[static_cast<std::size_t>(j)];
+    }
+  }
+  return l1;
+}
+
+}  // namespace cmesolve::fsp

@@ -1,0 +1,44 @@
+#include "gpusim/format_sweep.hpp"
+
+#include <stdexcept>
+
+#include "sparse/ell.hpp"
+#include "sparse/hybrid.hpp"
+#include "sparse/sliced_ell.hpp"
+
+namespace cmesolve::gpusim {
+
+FormatSweepResult format_sweep(const DeviceSpec& dev, const sparse::Csr& a,
+                               std::span<const real_t> x, std::span<real_t> y,
+                               const SimOptions& opt) {
+  if (x.size() != static_cast<std::size_t>(a.ncols) ||
+      y.size() != static_cast<std::size_t>(a.nrows)) {
+    throw std::invalid_argument("format_sweep: vector size mismatch");
+  }
+
+  FormatSweepResult out;
+  const auto record = [&](const char* name, const KernelStats& stats) {
+    out.entries.push_back({name, stats});
+    if (stats.gflops > out.best_gflops) {
+      out.best_gflops = stats.gflops;
+      out.best_format = name;
+    }
+  };
+
+  record("csr-scalar", simulate_spmv(dev, a, x, y, opt));
+  record("ell", simulate_spmv(dev, sparse::ell_from_csr(a), x, y, opt));
+  record("sliced-ell",
+         simulate_spmv(dev, sparse::sliced_ell_from_csr(a, /*slice_size=*/256),
+                       x, y, opt));
+  record("warped-ell",
+         simulate_spmv(dev, sparse::warped_ell_from_csr(a), x, y, opt));
+  const auto offsets = sparse::select_band_offsets(a);
+  record("ell-dia",
+         simulate_spmv(dev, sparse::ell_dia_from_csr(a, offsets), x, y, opt));
+  record("warped-ell-dia",
+         simulate_spmv(dev, sparse::sliced_ell_dia_from_csr(a, offsets), x, y,
+                       opt));
+  return out;
+}
+
+}  // namespace cmesolve::gpusim

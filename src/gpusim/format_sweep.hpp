@@ -1,0 +1,45 @@
+#pragma once
+//
+// Table-III-style format comparison packaged as a reusable helper.
+//
+// The paper compares SpMV throughput across storage formats on the fixed
+// Table I matrices; the adaptive-FSP pipeline (src/fsp/) produces a fresh
+// truncated matrix every expansion round, and extending the comparison to
+// that workload means re-running the same sweep per round. This helper runs
+// the simulated kernels of the standard format set on one CSR matrix and
+// reports per-format KernelStats plus the winner.
+//
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/kernels.hpp"
+#include "sparse/csr.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::gpusim {
+
+struct FormatSweepEntry {
+  std::string format;  ///< "csr-scalar", "ell", "sliced-ell", "warped-ell",
+                       ///< "ell-dia", "warped-ell-dia"
+  KernelStats stats;
+};
+
+struct FormatSweepResult {
+  std::vector<FormatSweepEntry> entries;  ///< fixed format order
+  std::string best_format;                ///< highest simulated GFLOPS
+  real_t best_gflops = 0.0;
+};
+
+/// Simulate y = A x across the standard format set on `dev`. The functional
+/// result is identical for every format (same double-precision numerics);
+/// only the simulated traffic — and therefore GFLOPS — differs. `y` is
+/// scratch output space of a.nrows elements.
+[[nodiscard]] FormatSweepResult format_sweep(const DeviceSpec& dev,
+                                             const sparse::Csr& a,
+                                             std::span<const real_t> x,
+                                             std::span<real_t> y,
+                                             const SimOptions& opt = {});
+
+}  // namespace cmesolve::gpusim

@@ -49,14 +49,24 @@ JacobiResult gauss_seidel_solve(const sparse::Csr& a, real_t a_inf_norm,
       normalize_l1(x);
       sparse::spmv(a, x, resid);
       const real_t xn = norm_inf(x);
-      out.residual = norm_inf(resid) / (a_inf_norm * (xn > 0 ? xn : 1.0));
+      const real_t rn = norm_inf(resid);
       out.flops += flops_per_sweep;
+      // Exactly-converged iterate: report kConverged without touching the
+      // relative-change test (whose quotient is 0/0 once a residual hits
+      // zero). Same guard as jacobi_solve.
+      if (rn == 0.0) {
+        out.residual = 0.0;
+        if (opt.on_residual) opt.on_residual(it, out.residual);
+        out.reason = StopReason::kConverged;
+        break;
+      }
+      out.residual = rn / (a_inf_norm * (xn > 0 ? xn : 1.0));
       if (opt.on_residual) opt.on_residual(it, out.residual);
       if (out.residual <= opt.eps) {
         out.reason = StopReason::kConverged;
         break;
       }
-      if (prev_residual >= 0.0 &&
+      if (prev_residual > 0.0 &&
           std::abs(out.residual - prev_residual) / prev_residual <=
               opt.stagnation_eps) {
         out.reason = StopReason::kStagnated;

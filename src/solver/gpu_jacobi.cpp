@@ -18,6 +18,9 @@ GpuJacobiReport gpu_jacobi_solve(const gpusim::DeviceSpec& dev,
   const real_t a_inf = a.inf_norm();
 
   // --- numerics (bit-identical to what the GPU kernel computes) -----------
+  // jacobi_solve carries the exact-zero-residual guard: an iterate with
+  // ||r||_inf == 0 reports kConverged, never a 0/0-poisoned stagnation
+  // verdict, so the simulated iteration counts below stay meaningful.
   report.result = jacobi_solve(op, a_inf, x, opt);
 
   // --- cost model -----------------------------------------------------------

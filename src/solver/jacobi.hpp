@@ -192,6 +192,19 @@ JacobiResult jacobi_solve(const Op& op, real_t a_inf_norm,
       }
       const real_t xn = norm_inf(x);
       const real_t rn = norm_inf(resid);
+      // An exactly-zero residual means the iterate solves A x = 0 to the
+      // last bit. It must short-circuit to kConverged here: letting it fall
+      // through would divide by a (possibly zero) a_inf_norm * xn product,
+      // and a zero prev_residual would turn the relative-change stagnation
+      // test below into 0/0.
+      if (rn == 0.0) {
+        out.residual = 0.0;
+        CMESOLVE_TRACE_COUNTER("jacobi.residual", out.residual);
+        obs::observe("jacobi.residual", out.residual);
+        if (opt.on_residual) opt.on_residual(it, out.residual);
+        out.reason = StopReason::kConverged;
+        break;
+      }
       out.residual = rn / (a_inf_norm * (xn > 0 ? xn : 1.0));
       out.flops += flops_per_sweep;  // the residual costs one extra sweep
       CMESOLVE_TRACE_COUNTER("jacobi.residual", out.residual);
@@ -220,7 +233,10 @@ JacobiResult jacobi_solve(const Op& op, real_t a_inf_norm,
         out.reason = StopReason::kConverged;
         break;
       }
-      if (prev_residual >= 0.0 &&
+      // prev_residual > 0 (not >= 0): the relative-change quotient is
+      // undefined at zero, and a zero previous residual would have stopped
+      // the solve as converged already.
+      if (prev_residual > 0.0 &&
           std::abs(out.residual - prev_residual) / prev_residual <=
               opt.stagnation_eps) {
         if (++flat_checks >= opt.stagnation_patience) {

@@ -100,6 +100,30 @@ inline void normalize_l1(std::span<real_t> v) {
   if (s > 0.0) scale(v, 1.0 / s);
 }
 
+/// Warm-start vector for a re-solve on a renumbered/extended index set (the
+/// FSP expansion/prune loop, src/fsp/): every new-index entry starts at
+/// `fill`, surviving entries copy the previous solution through `remap`
+/// (old index -> new index, -1 = dropped), and the result is L1-normalized
+/// back to a probability vector. With remap[i] == i this degenerates to
+/// "pad the old landscape with `fill` for appended states" — the warm-start
+/// contract of the adaptive pipeline.
+inline void warm_restart(std::span<const real_t> prev,
+                         std::span<const index_t> remap, std::span<real_t> out,
+                         real_t fill = 0.0) {
+  assert(prev.size() == remap.size());
+  real_t* po = out.data();
+  util::parallel_for(out.size(), [fill, po](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) po[i] = fill;
+  });
+  // Scatter serially: targets are unique but the mapping is gather-unsafe
+  // to chunk without inverting it, and this runs once per FSP round.
+  for (std::size_t i = 0; i < prev.size(); ++i) {
+    const index_t j = remap[i];
+    if (j >= 0) out[static_cast<std::size_t>(j)] = prev[i];
+  }
+  normalize_l1(out);
+}
+
 /// Uniform probability vector.
 inline void fill_uniform(std::span<real_t> v) {
   const real_t p = 1.0 / static_cast<real_t>(v.size());

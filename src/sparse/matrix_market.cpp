@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -14,6 +15,32 @@ std::string lower(std::string s) {
   return s;
 }
 
+/// Strip a trailing '\r' so CRLF (Windows) files parse exactly like LF
+/// files — tokens like "general\r" otherwise fail the symmetry check and a
+/// lone "\r" line is not "empty".
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+/// True for lines carrying no entry data: empty/whitespace-only or '%'
+/// comments. The format allows them anywhere between header and entries.
+bool is_blank_or_comment(const std::string& line) {
+  for (char c : line) {
+    if (c == '%') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Next content line (CR-stripped, comments/blanks skipped); false at EOF.
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    strip_cr(line);
+    if (!is_blank_or_comment(line)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 Csr read_matrix_market(std::istream& in) {
@@ -21,6 +48,7 @@ Csr read_matrix_market(std::istream& in) {
   if (!std::getline(in, line)) {
     throw std::runtime_error("matrix market: empty stream");
   }
+  strip_cr(line);
 
   std::istringstream banner(line);
   std::string tag, object, format, field, symmetry;
@@ -41,9 +69,8 @@ Csr read_matrix_market(std::istream& in) {
     throw std::runtime_error("matrix market: unsupported symmetry: " + symmetry);
   }
 
-  // Skip comments, read the size line.
-  while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+  if (!next_content_line(in, line)) {
+    throw std::runtime_error("matrix market: missing size line");
   }
   std::istringstream size_line(line);
   long long rows = 0;
@@ -52,6 +79,13 @@ Csr read_matrix_market(std::istream& in) {
   if (!(size_line >> rows >> cols >> entries) || rows <= 0 || cols <= 0 ||
       entries < 0) {
     throw std::runtime_error("matrix market: bad size line: " + line);
+  }
+  // The declared dims must round-trip through index_t: a silent narrowing
+  // cast would wrap the row count and corrupt CSR assembly downstream.
+  constexpr long long kMaxIndex = std::numeric_limits<index_t>::max();
+  if (rows > kMaxIndex || cols > kMaxIndex) {
+    throw std::runtime_error("matrix market: dimensions exceed index range: " +
+                             line);
   }
 
   Coo coo;
@@ -62,19 +96,25 @@ Csr read_matrix_market(std::istream& in) {
   const bool pattern = field == "pattern";
   const bool symmetric = symmetry == "symmetric";
   for (long long i = 0; i < entries; ++i) {
+    if (!next_content_line(in, line)) {
+      throw std::runtime_error("matrix market: truncated entry list");
+    }
+    std::istringstream entry(line);
     long long r = 0;
     long long c = 0;
     real_t v = 1.0;
-    if (!(in >> r >> c)) {
-      throw std::runtime_error("matrix market: truncated entry list");
+    if (!(entry >> r >> c) || (!pattern && !(entry >> v))) {
+      throw std::runtime_error("matrix market: bad entry: " + line);
     }
-    if (!pattern && !(in >> v)) {
-      throw std::runtime_error("matrix market: truncated entry list");
-    }
+    // Validate the 1-based indices against the declared dims before any
+    // index arithmetic: out-of-range entries would index outside the CSR
+    // row-pointer array during assembly.
     if (r < 1 || r > rows || c < 1 || c > cols) {
-      throw std::runtime_error("matrix market: entry out of bounds");
+      throw std::runtime_error("matrix market: entry out of bounds: " + line);
     }
     coo.add(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1), v);
+    // Mirror strictly off-diagonal entries only: duplicating the diagonal
+    // of a symmetric file would double it after COO duplicate-summing.
     if (symmetric && r != c) {
       coo.add(static_cast<index_t>(c - 1), static_cast<index_t>(r - 1), v);
     }

@@ -8,4 +8,9 @@ static_assert(binomial(0, 0) == 1.0);
 static_assert(binomial(5, 2) == 10.0);
 static_assert(binomial(4, 5) == 0.0);
 static_assert(falling_factorial(5, 2) == 20.0);
+// Overflow-boundary regression: C(1024, 512) ~ 4.48e306 is representable,
+// but the multiply-before-divide order used to push an intermediate product
+// past DBL_MAX and return inf. The guarded order keeps it finite.
+static_assert(binomial(1024, 512) > 4.4e306);
+static_assert(binomial(1024, 512) < 4.6e306);
 }  // namespace cmesolve

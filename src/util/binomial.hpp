@@ -23,10 +23,24 @@ namespace cmesolve {
   if (k < 0 || n < 0 || k > n) return 0.0;
   if (k > n - k) k = n - k;
   real_t result = 1.0;
+  // Threshold above which `result * factor` may not be representable: the
+  // largest per-step factor is n, so products stay finite as long as
+  // result <= DBL_MAX / n. 1.7e308 / n is a slightly conservative stand-in
+  // (DBL_MAX = 1.7976...e308) that keeps the comparison cheap.
+  const real_t overflow_guard = 1.7e308 / static_cast<real_t>(n > 0 ? n : 1);
   // Multiply incrementally: result stays an exact integer at every step
-  // because C(n, j) divides evenly.
+  // because C(n, j) divides evenly. Once result approaches the overflow
+  // guard, divide BEFORE multiplying — that order can round (the quotient
+  // is no longer integral) but keeps representable coefficients finite:
+  // the old multiply-first order drove e.g. C(1024, 512) ~ 4.5e306 through
+  // an intermediate product of ~2.3e309 = inf.
   for (std::int64_t j = 1; j <= k; ++j) {
-    result = result * static_cast<real_t>(n - k + j) / static_cast<real_t>(j);
+    const real_t factor = static_cast<real_t>(n - k + j);
+    if (result > overflow_guard) {
+      result = result / static_cast<real_t>(j) * factor;
+    } else {
+      result = result * factor / static_cast<real_t>(j);
+    }
   }
   // Round away the tiny drift the division can leave behind for larger k.
   // Coefficients beyond 2^63 cannot round-trip through an integer; return

@@ -1,0 +1,414 @@
+// Adaptive-FSP pipeline tests plus the numerical edge-case regressions that
+// shipped with it:
+//
+//   * golden comparison: the adaptive projection on the genetic toggle
+//     switch must land within 1e-6 (L1) of the full fixed-buffer solve while
+//     enumerating strictly fewer states and honoring its outflow bound;
+//   * bit-identical results at 1 and 8 host threads;
+//   * ProjectedRateMatrix consistency against the fixed-buffer assembly;
+//   * regressions: exact-zero-residual handling in the Jacobi/Gauss-Seidel
+//     stagnation logic, Matrix Market robustness (CRLF, interleaved
+//     blank/comment lines, index validation, symmetric diagonals), and the
+//     binomial overflow guard at large capacities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "core/models.hpp"
+#include "core/rate_matrix.hpp"
+#include "core/state_space.hpp"
+#include "fsp/fsp.hpp"
+#include "gpusim/device.hpp"
+#include "solver/gauss_seidel.hpp"
+#include "solver/gmres.hpp"
+#include "solver/gpu_jacobi.hpp"
+#include "solver/jacobi.hpp"
+#include "solver/operators.hpp"
+#include "solver/vector_ops.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/matrix_market.hpp"
+#include "util/binomial.hpp"
+#include "util/parallel.hpp"
+
+namespace cmesolve {
+namespace {
+
+/// RAII thread-budget override; restores auto-detection on scope exit.
+class ThreadBudget {
+ public:
+  explicit ThreadBudget(int n) { util::set_max_threads(n); }
+  ~ThreadBudget() { util::set_max_threads(0); }
+  ThreadBudget(const ThreadBudget&) = delete;
+  ThreadBudget& operator=(const ThreadBudget&) = delete;
+};
+
+fsp::FspOptions adaptive_options() {
+  fsp::FspOptions opt;
+  opt.tol = 1e-9;
+  opt.seed_states = 128;
+  opt.expansion_quantile = 0.999;
+  opt.min_growth = 0.25;
+  opt.prune_quantile = 1e-13;
+  opt.min_states_to_prune = 512;
+  opt.solver = fsp::InnerSolver::kGmres;
+  opt.gmres.restart = 80;
+  opt.gmres.max_iterations = 30'000;
+  opt.gmres.tol = 1e-12;
+  return opt;
+}
+
+/// Reference landscape on the full finite-buffer enumeration, solved the
+/// same way the adaptive rounds are solved (GMRES on the nonsingular-ized
+/// system) so the golden comparison is not limited by solver error.
+std::vector<real_t> reference_landscape(const core::StateSpace& space) {
+  const auto a = core::rate_matrix(space);
+  std::vector<real_t> p(static_cast<std::size_t>(space.size()));
+  solver::fill_uniform(p);
+  solver::GmresOptions gopt;
+  gopt.restart = 80;
+  gopt.max_iterations = 30'000;
+  gopt.tol = 1e-12;
+  const auto apply = solver::steady_state_operator(a, 0);
+  const auto b = solver::steady_state_rhs(a.nrows, 0);
+  (void)solver::gmres_solve(apply, a.nrows, b, p, gopt);
+  for (real_t& v : p) v = std::max(v, 0.0);
+  solver::normalize_l1(p);
+  return p;
+}
+
+// --- adaptive pipeline -----------------------------------------------------
+
+TEST(FspAdaptive, GoldenToggleMatchesFixedBufferReference) {
+  core::models::ToggleSwitchParams tp;
+  tp.cap_a = tp.cap_b = 30;
+  const auto network = core::models::toggle_switch(tp);
+  const auto initial = core::models::toggle_switch_initial(tp);
+
+  const core::StateSpace ref(network, initial, 1'000'000);
+  const auto p_ref = reference_landscape(ref);
+
+  const auto opt = adaptive_options();
+  const auto res = fsp::solve_adaptive(network, initial, opt);
+
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.outflow_bound, opt.tol);
+  EXPECT_LT(res.space.size(), ref.size());  // strictly fewer states
+  EXPECT_LE(fsp::l1_distance_to_reference(res, ref, p_ref), 1e-6);
+
+  // The landscape itself is a probability vector.
+  real_t sum = 0.0;
+  for (const real_t v : res.p) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+
+  // Rounds were recorded in order, with the member count actually solved.
+  ASSERT_FALSE(res.rounds.empty());
+  EXPECT_EQ(res.rounds.front().round, 1);
+  EXPECT_EQ(res.rounds.front().states,
+            static_cast<index_t>(opt.seed_states));
+  EXPECT_LE(res.rounds.back().outflow_bound, opt.tol);
+}
+
+TEST(FspAdaptive, DeterministicAcrossThreadCounts) {
+  core::models::FutileCycleParams fp;
+  fp.substrate_total = 60;
+  fp.enzyme1_total = fp.enzyme2_total = 2;
+  const auto network = core::models::futile_cycle(fp);
+  const auto initial = core::models::futile_cycle_initial(fp);
+  const auto opt = adaptive_options();
+
+  const auto solve_at = [&](int threads) {
+    ThreadBudget budget(threads);
+    return fsp::solve_adaptive(network, initial, opt);
+  };
+  const auto base = solve_at(1);
+  const auto pool = solve_at(8);
+
+  ASSERT_EQ(base.space.size(), pool.space.size());
+  ASSERT_EQ(base.rounds.size(), pool.rounds.size());
+  EXPECT_EQ(base.converged, pool.converged);
+  EXPECT_EQ(base.outflow_bound, pool.outflow_bound);  // bitwise
+  for (std::size_t r = 0; r < base.rounds.size(); ++r) {
+    EXPECT_EQ(base.rounds[r].states, pool.rounds[r].states);
+    EXPECT_EQ(base.rounds[r].added, pool.rounds[r].added);
+    EXPECT_EQ(base.rounds[r].pruned, pool.rounds[r].pruned);
+    EXPECT_EQ(base.rounds[r].outflow_bound, pool.rounds[r].outflow_bound);
+  }
+  for (index_t i = 0; i < base.space.size(); ++i) {
+    EXPECT_EQ(base.space.state(i), pool.space.state(i));
+    EXPECT_EQ(base.p[static_cast<std::size_t>(i)],
+              pool.p[static_cast<std::size_t>(i)]);  // bitwise
+  }
+}
+
+TEST(FspAdaptive, HonorsStateBudget) {
+  core::models::ToggleSwitchParams tp;
+  tp.cap_a = tp.cap_b = 30;
+  auto opt = adaptive_options();
+  opt.tol = 1e-15;  // unreachable within the budget below
+  opt.max_states = 300;
+  const auto res = fsp::solve_adaptive(core::models::toggle_switch(tp),
+                                       core::models::toggle_switch_initial(tp),
+                                       opt);
+  EXPECT_FALSE(res.converged);
+  EXPECT_LE(static_cast<std::size_t>(res.space.size()), opt.max_states);
+}
+
+TEST(FspAdaptive, ClosedSpaceConvergesWithJacobiInner) {
+  // Seed larger than the reachable space: the set closes, the bound is
+  // exactly zero and the Jacobi inner solver is exercised.
+  core::models::FutileCycleParams fp;
+  fp.substrate_total = 12;
+  fp.enzyme1_total = fp.enzyme2_total = 1;
+  auto opt = adaptive_options();
+  opt.solver = fsp::InnerSolver::kJacobi;
+  opt.jacobi.eps = 1e-10;
+  opt.jacobi.max_iterations = 500'000;
+  opt.prune_quantile = 0.0;  // keep the closed set intact
+  opt.seed_states = 100'000;
+  const auto res = fsp::solve_adaptive(core::models::futile_cycle(fp),
+                                       core::models::futile_cycle_initial(fp),
+                                       opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.outflow_bound, 0.0);
+  EXPECT_EQ(res.rounds.size(), 1u);
+
+  const core::StateSpace ref(core::models::futile_cycle(fp),
+                             core::models::futile_cycle_initial(fp),
+                             1'000'000);
+  EXPECT_EQ(res.space.size(), ref.size());
+}
+
+// --- projected rate matrix -------------------------------------------------
+
+TEST(ProjectedRateMatrix, MatchesFixedAssemblyOnClosedSpace) {
+  core::models::FutileCycleParams fp;
+  fp.substrate_total = 20;
+  fp.enzyme1_total = fp.enzyme2_total = 1;
+  const auto network = core::models::futile_cycle(fp);
+  const auto initial = core::models::futile_cycle_initial(fp);
+
+  const core::StateSpace ref(network, initial, 1'000'000);
+  const auto a_ref = core::rate_matrix(ref);
+
+  core::DynamicStateSpace space(network, initial);
+  space.grow_bfs(1'000'000);  // closes
+  ASSERT_EQ(space.size(), ref.size());
+  core::ProjectedRateMatrix matrix(network);
+  matrix.extend(space);
+  const auto assembly = matrix.assemble(space, 0);
+
+  // Closed set: nothing leaks.
+  for (const real_t g : assembly.outflow) EXPECT_EQ(g, 0.0);
+
+  // Same generator up to the state orderings: compare the action on a
+  // deterministic positive vector through the index mapping.
+  std::vector<real_t> x_ref(static_cast<std::size_t>(ref.size()));
+  std::vector<real_t> x_dyn(static_cast<std::size_t>(ref.size()));
+  for (index_t i = 0; i < ref.size(); ++i) {
+    const index_t j = space.find(ref.state(i));
+    ASSERT_GE(j, 0);
+    const real_t v = 1.0 + 0.5 * std::sin(static_cast<real_t>(i));
+    x_ref[static_cast<std::size_t>(i)] = v;
+    x_dyn[static_cast<std::size_t>(j)] = v;
+  }
+  std::vector<real_t> y_ref(x_ref.size());
+  std::vector<real_t> y_dyn(x_dyn.size());
+  sparse::spmv(a_ref, x_ref, y_ref);
+  sparse::spmv(assembly.a, x_dyn, y_dyn);
+  for (index_t i = 0; i < ref.size(); ++i) {
+    const index_t j = space.find(ref.state(i));
+    EXPECT_NEAR(y_ref[static_cast<std::size_t>(i)],
+                y_dyn[static_cast<std::size_t>(j)], 1e-12);
+  }
+}
+
+TEST(ProjectedRateMatrix, RedirectedColumnsSumToZero) {
+  core::models::ToggleSwitchParams tp;
+  tp.cap_a = tp.cap_b = 30;
+  const auto network = core::models::toggle_switch(tp);
+  const auto initial = core::models::toggle_switch_initial(tp);
+
+  core::DynamicStateSpace space(network, initial);
+  space.grow_bfs(200);  // open boundary
+  core::ProjectedRateMatrix matrix(network);
+  matrix.extend(space);
+  const auto assembly = matrix.assemble(space, 0);
+
+  real_t leaked = 0.0;
+  for (const real_t g : assembly.outflow) {
+    EXPECT_GE(g, 0.0);
+    leaked += g;
+  }
+  EXPECT_GT(leaked, 0.0);  // the truncation really cuts flux
+
+  // The redirected generator is a proper CTMC: every column sums to zero.
+  std::vector<real_t> colsum(static_cast<std::size_t>(assembly.a.ncols));
+  for (index_t r = 0; r < assembly.a.nrows; ++r) {
+    for (index_t p = assembly.a.row_ptr[r]; p < assembly.a.row_ptr[r + 1];
+         ++p) {
+      colsum[static_cast<std::size_t>(assembly.a.col_idx[p])] +=
+          assembly.a.val[static_cast<std::size_t>(p)];
+    }
+  }
+  for (const real_t s : colsum) EXPECT_NEAR(s, 0.0, 1e-12);
+}
+
+// --- regression: exact-zero residual in the stagnation logic ---------------
+
+sparse::Csr two_state_exchange() {
+  sparse::Coo c;
+  c.nrows = c.ncols = 2;
+  c.add(0, 0, -1.0);
+  c.add(1, 0, 1.0);
+  c.add(0, 1, 1.0);
+  c.add(1, 1, -1.0);
+  return sparse::csr_from_coo(c);
+}
+
+TEST(SolverZeroResidualRegression, JacobiStopsAsConvergedNotMaxIterations) {
+  // Start from the exact steady state so ||r||_inf == 0 at the first check.
+  // eps < 0 disables the threshold test (stagnation-only stopping): before
+  // the guard, the zero residual turned the relative-change quotient into
+  // 0/0 = NaN, no stop ever fired, and the solve burned max_iterations.
+  const auto a = two_state_exchange();
+  const solver::CsrDiaOperator op(a);
+  std::vector<real_t> x = {0.5, 0.5};
+  solver::JacobiOptions opt;
+  opt.eps = -1.0;
+  opt.check_every = 1;
+  opt.normalize_every = 0;
+  opt.max_iterations = 1000;
+  const auto r = solver::jacobi_solve(op, a.inf_norm(), x, opt);
+  EXPECT_EQ(r.reason, solver::StopReason::kConverged);
+  EXPECT_EQ(r.residual, 0.0);
+  EXPECT_EQ(r.iterations, 1u);
+  EXPECT_TRUE(std::isfinite(r.residual));
+  EXPECT_DOUBLE_EQ(x[0], 0.5);
+  EXPECT_DOUBLE_EQ(x[1], 0.5);
+}
+
+TEST(SolverZeroResidualRegression, GaussSeidelCarriesTheSameGuard) {
+  const auto a = two_state_exchange();
+  std::vector<real_t> x = {0.5, 0.5};
+  solver::JacobiOptions opt;
+  opt.eps = -1.0;
+  opt.check_every = 1;
+  opt.normalize_every = 0;
+  opt.max_iterations = 1000;
+  const auto r = solver::gauss_seidel_solve(a, a.inf_norm(), x, opt);
+  EXPECT_EQ(r.reason, solver::StopReason::kConverged);
+  EXPECT_EQ(r.residual, 0.0);
+  EXPECT_EQ(r.iterations, 1u);
+}
+
+TEST(SolverZeroResidualRegression, GpuJacobiInheritsTheGuard) {
+  const auto a = two_state_exchange();
+  const auto dev = gpusim::DeviceSpec::gtx580();
+  std::vector<real_t> x = {0.5, 0.5};
+  solver::JacobiOptions opt;
+  opt.eps = -1.0;
+  opt.check_every = 1;
+  opt.normalize_every = 0;
+  opt.max_iterations = 1000;
+  const auto r = solver::gpu_jacobi_solve(dev, a, x, opt);
+  EXPECT_EQ(r.result.reason, solver::StopReason::kConverged);
+  EXPECT_EQ(r.result.residual, 0.0);
+  EXPECT_EQ(r.result.iterations, 1u);
+  EXPECT_GT(r.sim_seconds, 0.0);
+}
+
+// --- regression: Matrix Market robustness ----------------------------------
+
+TEST(MatrixMarketRegression, CrlfLineEndingsParse) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\r\n"
+      "2 2 2\r\n"
+      "1 1 1.5\r\n"
+      "2 2 -2.5\r\n");
+  const auto m = sparse::read_matrix_market(in);
+  EXPECT_EQ(m.nrows, 2);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), -2.5);
+}
+
+TEST(MatrixMarketRegression, BlankAndCommentLinesAnywhere) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "\n"
+      "% size next\n"
+      "3 3 3\n"
+      "\n"
+      "1 1 1.0\n"
+      "% interleaved comment\n"
+      "2 2 2.0\n"
+      "\n"
+      "3 3 3.0\n");
+  const auto m = sparse::read_matrix_market(in);
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), 3.0);
+}
+
+TEST(MatrixMarketRegression, IndexValidationAgainstDeclaredDims) {
+  const auto expect_throw = [](const char* text) {
+    std::istringstream in(text);
+    EXPECT_THROW((void)sparse::read_matrix_market(in), std::runtime_error)
+        << text;
+  };
+  // 0 is invalid in a 1-based format; entries past the declared dims too.
+  expect_throw(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n");
+  expect_throw(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 0 1.0\n");
+  expect_throw(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 3 1.0\n");
+  expect_throw(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+}
+
+TEST(MatrixMarketRegression, SymmetricDiagonalNotDuplicated) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 2\n"
+      "1 1 4.0\n"
+      "2 1 -1.0\n");
+  const auto m = sparse::read_matrix_market(in);
+  EXPECT_EQ(m.nnz(), 3u);  // (1,1), (2,1) and its mirror — not 4
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 4.0);  // not 8.0
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+}
+
+// --- regression: binomial overflow guard -----------------------------------
+
+TEST(BinomialRegression, LargeCapacityStaysFinite) {
+  // C(1024, 512) ~ 4.48e306 is representable, but the multiply-first
+  // recurrence overflowed its intermediate (result * factor ~ 2.3e309)
+  // to inf. The guard reorders to divide-first exactly at the boundary.
+  const real_t v = binomial(1024, 512);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 4.4e306);
+  EXPECT_LT(v, 4.6e306);
+
+  // Cross-check against lgamma within floating tolerance.
+  const real_t lg = std::lgamma(1025.0) - 2.0 * std::lgamma(513.0);
+  EXPECT_NEAR(std::log(v), lg, 1e-9);
+}
+
+TEST(BinomialRegression, SmallValuesStayExact) {
+  EXPECT_DOUBLE_EQ(binomial(52, 5), 2598960.0);
+  EXPECT_DOUBLE_EQ(binomial(10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 7), 0.0);
+}
+
+}  // namespace
+}  // namespace cmesolve
