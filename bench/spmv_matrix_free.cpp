@@ -1,0 +1,272 @@
+// Matrix-free stencil operator vs stored formats (no paper table: this is
+// the matrix-free extension, see DESIGN.md "Matrix-free operator").
+//
+// For every Table I model plus the enzymatic futile cycle:
+//   * measured: host wall-clock throughput of one off-diagonal sweep
+//     y = (L+U)x for the CSR-backed Jacobi operator vs the stencil operator
+//     in recompute and propensity-cache modes (GFLOP/s and effective GB/s,
+//     where "effective" divides the bytes the format has to touch by the
+//     measured time);
+//   * modeled: the simulated-GPU format sweep (CSR, ELL, sliced/warped ELL,
+//     ELL+DIA hybrids) with the matrix-free stencil kernel appended, and the
+//     DRAM bytes each format moves per sweep.
+//
+// Acceptance gates, evaluated on the largest paper-suite model (the bench
+// exits non-zero when one fails, so the CI smoke run doubles as a
+// regression gate):
+//   * correctness: stencil sweeps match the CSR operator to 1e-12 on every
+//     model (always enforced, every scale);
+//   * measured: best stencil mode >= 2x the CSR operator's sweep throughput.
+//     Only enforced when the CSR working set exceeds the last-level cache
+//     (>= 8 MB): the stencil's advantage is eliminating memory traffic, and
+//     at tiny scale the CSR matrix is cache-resident so there is no traffic
+//     to eliminate — the number is printed as advisory there;
+//   * modeled: stencil DRAM bytes <= 0.5x the ELL+DIA hybrid's.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/stencil.hpp"
+#include "gpusim/format_sweep.hpp"
+#include "obs/metrics.hpp"
+#include "solver/operators.hpp"
+#include "solver/stencil_operator.hpp"
+#include "solver/vector_ops.hpp"
+#include "util/table.hpp"
+
+using namespace cmesolve;
+
+namespace {
+
+struct Case {
+  std::string name;
+  core::ReactionNetwork network;
+  core::State initial;
+  bool paper = true;  ///< gates run on the largest paper model only
+};
+
+std::vector<Case> cases(core::models::SuiteScale scale) {
+  std::vector<Case> out;
+  for (auto& m : core::models::paper_suite(scale)) {
+    out.push_back({m.name, std::move(m.network), std::move(m.initial), true});
+  }
+  core::models::FutileCycleParams fp;
+  switch (scale) {
+    case core::models::SuiteScale::kTiny:
+      fp.substrate_total = 60;
+      fp.enzyme1_total = fp.enzyme2_total = 2;
+      break;
+    case core::models::SuiteScale::kSmall:
+      fp.substrate_total = 120;
+      fp.enzyme1_total = fp.enzyme2_total = 3;
+      break;
+    case core::models::SuiteScale::kMedium:
+      fp.substrate_total = 240;
+      fp.enzyme1_total = fp.enzyme2_total = 4;
+      break;
+  }
+  out.push_back({"futile-cycle", core::models::futile_cycle(fp),
+                 core::models::futile_cycle_initial(fp), false});
+  return out;
+}
+
+struct Measured {
+  real_t seconds = 0.0;  ///< per sweep
+  real_t gflops = 0.0;
+  real_t gbps = 0.0;  ///< effective: format bytes / measured time
+};
+
+/// Time repeated y = (L+U)x sweeps: one calibration sweep sizes the
+/// repetition count (~120 ms per trial), then the best of three trials is
+/// reported so scheduling noise biases high, not low.
+template <class Op>
+Measured measure_sweeps(const Op& op, std::span<const real_t> x,
+                        std::span<real_t> y, std::uint64_t bytes_per_sweep) {
+  using clock = std::chrono::steady_clock;
+  const auto sweep_seconds = [&](int reps) {
+    const auto t0 = clock::now();
+    for (int i = 0; i < reps; ++i) op.multiply(x, y);
+    return std::chrono::duration<real_t>(clock::now() - t0).count() / reps;
+  };
+  const real_t t1 = std::max(sweep_seconds(1), 1e-9);
+  const int reps =
+      static_cast<int>(std::clamp(0.12 / t1, 3.0, 100'000.0));
+  real_t best = std::numeric_limits<real_t>::infinity();
+  for (int trial = 0; trial < 3; ++trial) {
+    best = std::min(best, sweep_seconds(reps));
+  }
+  Measured m;
+  m.seconds = best;
+  m.gflops = 2.0 * static_cast<real_t>(op.offdiag_nnz()) / best / 1e9;
+  m.gbps = static_cast<real_t>(bytes_per_sweep) / best / 1e9;
+  return m;
+}
+
+real_t max_rel_diff(std::span<const real_t> a, std::span<const real_t> b) {
+  real_t worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const real_t scale = std::max({std::abs(a[i]), std::abs(b[i]), 1.0});
+    worst = std::max(worst, std::abs(a[i] - b[i]) / scale);
+  }
+  return worst;
+}
+
+std::string mb(std::uint64_t bytes) {
+  return TextTable::num(static_cast<real_t>(bytes) / 1e6, 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto scale = bench::scale_name(argc, argv);
+  const auto dev = gpusim::DeviceSpec::gtx580();
+  bench::report_context("spmv_matrix_free", scale, &dev);
+  std::cout << "Matrix-free stencil SpMV vs stored formats (scale=" << scale
+            << ", sim device " << dev.name << ")\n\n";
+
+  constexpr real_t kParityGate = 1e-12;   // stencil vs CSR sweep agreement
+  constexpr real_t kSpeedupGate = 2.0;    // measured host throughput
+  constexpr real_t kBytesGate = 0.5;      // modeled DRAM bytes vs ELL+DIA
+  // The measured gate targets the memory-bound regime: below this working
+  // set the CSR baseline runs from cache and the comparison is meaningless.
+  constexpr std::uint64_t kMemoryBoundBytes = 8u << 20;
+
+  TextTable table({"network", "rows", "box", "nnz/row", "CSR GF/s",
+                   "recomp GF/s", "cache GF/s", "speedup", "DRAM st/hyb"});
+  bool parity_ok = true;
+  real_t gate_speedup = 0.0;
+  real_t gate_bytes_ratio = std::numeric_limits<real_t>::infinity();
+  std::string gate_model;
+  index_t gate_rows = 0;
+  std::uint64_t gate_working_set = 0;
+
+  for (auto& c : cases(core::models::parse_scale(scale))) {
+    const core::StateSpace space(c.network, c.initial, 20'000'000);
+    const auto a = core::rate_matrix(space);
+    // Measured baseline is the plain CSR Jacobi operator (the acceptance
+    // gate's reference); the stored-format GPU comparison below still
+    // covers the ELL/DIA hybrids.
+    const solver::CsrOperator csr_op(a);
+    const solver::StencilOperator recompute(c.network, c.initial);
+    const solver::StencilOperator cached(recompute.table(),
+                                         solver::StencilMode::kPropensityCache);
+    const index_t n = space.size();
+    const index_t box = recompute.nrows();
+    const auto nr = static_cast<std::size_t>(c.network.num_reactions());
+
+    // Same probability-vector input everywhere; the stencil sweeps run on
+    // the conservation-reduced box through scatter/gather.
+    const auto x = bench::uniform_vector(n);
+    std::vector<real_t> y_csr(static_cast<std::size_t>(n));
+    std::vector<real_t> x_box(static_cast<std::size_t>(box));
+    std::vector<real_t> y_box(static_cast<std::size_t>(box));
+    std::vector<real_t> y_stencil(static_cast<std::size_t>(n));
+    recompute.scatter_from(space, x, x_box);
+
+    // Correctness gate: both stencil modes match the CSR operator.
+    csr_op.multiply(x, y_csr);
+    real_t parity = 0.0;
+    for (const auto* op : {&recompute, &cached}) {
+      op->multiply(x_box, y_box);
+      op->gather_to(space, y_box, y_stencil);
+      parity = std::max(parity, max_rel_diff(y_csr, y_stencil));
+    }
+    parity_ok = parity_ok && parity <= kParityGate;
+
+    // Measured host sweeps. Effective bytes per sweep: CSR streams values,
+    // column indices, and row pointers on top of x and y; recompute touches
+    // only the box vectors; cache mode adds one real_t per (reaction, row).
+    const std::uint64_t csr_bytes =
+        static_cast<std::uint64_t>(csr_op.offdiag_nnz()) * 12u +
+        static_cast<std::uint64_t>(n + 1) * 4u +
+        static_cast<std::uint64_t>(n) * 16u;
+    const std::uint64_t box_vec_bytes = static_cast<std::uint64_t>(box) * 16u;
+    const std::uint64_t cache_bytes =
+        box_vec_bytes + static_cast<std::uint64_t>(box) * 8u * nr;
+    const auto m_csr = measure_sweeps(csr_op, x, y_csr, csr_bytes);
+    const auto m_rec = measure_sweeps(recompute, x_box, y_box, box_vec_bytes);
+    const auto m_cache = measure_sweeps(cached, x_box, y_box, cache_bytes);
+    const real_t speedup = m_csr.seconds / std::min(m_rec.seconds,
+                                                    m_cache.seconds);
+
+    // Modeled GPU sweep: stored formats on the enumerated-space matrix,
+    // stencil kernel on the box.
+    std::vector<real_t> y_model(static_cast<std::size_t>(n));
+    const auto sweep =
+        gpusim::format_sweep(dev, a, x, y_model, recompute.table(), x_box,
+                             y_box);
+    std::uint64_t hybrid_bytes = 0;
+    std::uint64_t stencil_bytes = 0;
+    for (const auto& e : sweep.entries) {
+      if (e.format == "ell-dia") hybrid_bytes = e.stats.traffic.dram_bytes;
+      if (e.format == "stencil") stencil_bytes = e.stats.traffic.dram_bytes;
+    }
+    const real_t bytes_ratio =
+        hybrid_bytes > 0 ? static_cast<real_t>(stencil_bytes) /
+                               static_cast<real_t>(hybrid_bytes)
+                         : std::numeric_limits<real_t>::infinity();
+
+    if (c.paper && n > gate_rows) {
+      gate_rows = n;
+      gate_model = c.name;
+      gate_speedup = speedup;
+      gate_bytes_ratio = bytes_ratio;
+      gate_working_set = csr_bytes;
+    }
+
+    table.add_row({c.name, TextTable::count(n), TextTable::count(box),
+                   TextTable::num(static_cast<real_t>(a.nnz()) /
+                                      static_cast<real_t>(n),
+                                  1),
+                   TextTable::num(m_csr.gflops), TextTable::num(m_rec.gflops),
+                   TextTable::num(m_cache.gflops),
+                   TextTable::num(speedup, 2) + "x",
+                   mb(stencil_bytes) + "/" + mb(hybrid_bytes) + " MB"});
+
+    const std::string key = "spmv_mf." + c.name;
+    obs::gauge(key + ".parity", parity);
+    obs::gauge(key + ".csr_gflops", m_csr.gflops);
+    obs::gauge(key + ".recompute_gflops", m_rec.gflops);
+    obs::gauge(key + ".cache_gflops", m_cache.gflops);
+    obs::gauge(key + ".csr_gbps", m_csr.gbps);
+    obs::gauge(key + ".recompute_gbps", m_rec.gbps);
+    obs::gauge(key + ".cache_gbps", m_cache.gbps);
+    obs::gauge(key + ".speedup", speedup);
+    obs::gauge(key + ".modeled_stencil_dram_bytes",
+               static_cast<real_t>(stencil_bytes));
+    obs::gauge(key + ".modeled_hybrid_dram_bytes",
+               static_cast<real_t>(hybrid_bytes));
+  }
+
+  std::cout << table.render() << "\n";
+
+  const bool memory_bound = gate_working_set >= kMemoryBoundBytes;
+  const bool speedup_ok = !memory_bound || gate_speedup >= kSpeedupGate;
+  const bool bytes_ok = gate_bytes_ratio <= kBytesGate;
+  std::printf(
+      "gates on %s (%d rows, CSR working set %.1f MB):\n"
+      "  parity <= %.0e everywhere          %s\n"
+      "  measured speedup %.2fx >= %.1fx      %s\n"
+      "  modeled DRAM ratio %.3f <= %.2f     %s\n",
+      gate_model.c_str(), gate_rows,
+      static_cast<real_t>(gate_working_set) / 1e6, kParityGate,
+      parity_ok ? "PASS" : "FAIL", gate_speedup, kSpeedupGate,
+      !memory_bound ? "advisory (cache-resident)"
+      : gate_speedup >= kSpeedupGate ? "PASS"
+                                     : "FAIL",
+      gate_bytes_ratio, kBytesGate, bytes_ok ? "PASS" : "FAIL");
+
+  obs::gauge("spmv_mf.gate.speedup", gate_speedup);
+  obs::gauge("spmv_mf.gate.dram_ratio", gate_bytes_ratio);
+
+  const bool ok = parity_ok && speedup_ok && bytes_ok;
+  std::cout << (ok ? "spmv_matrix_free: PASS" : "spmv_matrix_free: FAIL")
+            << "\n";
+  obs::flush_outputs();  // writes the run report when CMESOLVE_REPORT is set
+  return ok ? 0 : 1;
+}

@@ -42,8 +42,11 @@ sparse::Csr rate_matrix(const StateSpace& space) {
     const index_t j0 = static_cast<index_t>(c) * kAssemblyChunk;
     const index_t j1 = std::min<index_t>(j0 + kAssemblyChunk, n);
     sparse::Coo& part = parts[static_cast<std::size_t>(c)];
+    // Every state emits at most one triplet per reaction plus its diagonal,
+    // so this reserve is an exact upper bound: the fill pass below never
+    // reallocates, whatever the network density.
     part.reserve(static_cast<std::size_t>(j1 - j0) *
-                 static_cast<std::size_t>(nr / 2 + 2));
+                 static_cast<std::size_t>(nr + 1));
     for (index_t j = j0; j < j1; ++j) {
       const State x = space.state(j);
       real_t out_rate = 0.0;
@@ -211,6 +214,11 @@ ProjectedRateMatrix::Assembly ProjectedRateMatrix::assemble(
     const index_t j0 = static_cast<index_t>(c) * kAssemblyChunk;
     const index_t j1 = std::min<index_t>(j0 + kAssemblyChunk, n);
     sparse::Coo& part = parts[static_cast<std::size_t>(c)];
+    // Exact capacity from the stencil cache: each row emits its cached
+    // successors plus at most a leak redirect and the diagonal.
+    part.reserve(stencil_ptr_[static_cast<std::size_t>(j1)] -
+                 stencil_ptr_[static_cast<std::size_t>(j0)] +
+                 2 * static_cast<std::size_t>(j1 - j0));
     State next(ns);
     for (index_t j = j0; j < j1; ++j) {
       const std::size_t b = stencil_ptr_[static_cast<std::size_t>(j)];

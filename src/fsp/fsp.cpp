@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 #include <utility>
 
+#include "core/stencil.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "solver/operators.hpp"
+#include "solver/stencil_operator.hpp"
 #include "solver/vector_ops.hpp"
 
 namespace cmesolve::fsp {
@@ -37,6 +40,119 @@ std::pair<std::uint64_t, solver::StopReason> solve_round(
   return {r.iterations, r.reason};
 }
 
+/// Outcome of one round's inner solve, with the per-member outflow the
+/// flux bookkeeping needs regardless of which path produced it.
+struct RoundSolve {
+  std::uint64_t iterations = 0;
+  solver::StopReason stop = solver::StopReason::kMaxIterations;
+  std::vector<real_t> outflow;  ///< per-member out-of-set rate γ_j
+  bool matrix_free = false;
+};
+
+/// Picks the matrix-free masked-stencil path for eligible kJacobi rounds
+/// and the assembled-CSR path otherwise. The stencil table is compiled
+/// lazily on the first eligible round; any compile/mapping failure (a
+/// network the stencil machinery cannot express, or a member outside the
+/// anchor's conservation box) disables the matrix-free path permanently —
+/// the assembled path is always a correct fallback.
+class RoundSolver {
+ public:
+  RoundSolver(const core::ReactionNetwork& network, const core::State& anchor,
+              const FspOptions& opt)
+      : network_(network),
+        anchor_(anchor),
+        opt_(opt),
+        enabled_(opt.matrix_free && opt.solver == InnerSolver::kJacobi) {}
+
+  RoundSolve solve(const core::ProjectedRateMatrix& matrix,
+                   const core::DynamicStateSpace& space, index_t ret,
+                   std::vector<real_t>& p, FspRound& round) {
+    const index_t n = space.size();
+    RoundSolve out;
+    if (enabled_) {
+      if (std::unique_ptr<solver::MaskedStencilOperator> op =
+              make_operator(space, ret)) {
+        std::vector<real_t> pbox(static_cast<std::size_t>(op->nrows()));
+        op->scatter_from_members(p, pbox);
+        const auto r =
+            solver::jacobi_solve(*op, op->inf_norm(), pbox, opt_.jacobi);
+        op->gather_to_members(pbox, p);
+        solver::normalize_l1(p);
+        out.iterations = r.iterations;
+        out.stop = r.reason;
+        out.outflow.resize(static_cast<std::size_t>(n));
+        for (index_t j = 0; j < n; ++j) {
+          out.outflow[static_cast<std::size_t>(j)] = op->outflow(j);
+        }
+        out.matrix_free = true;
+        obs::count("fsp.round.matrix_free");
+        if (opt_.device != nullptr) {
+          // The Table IV economics of this round: one simulated stencil
+          // SpMV over the box (the kernel a matrix-free GPU sweep runs).
+          std::vector<real_t> xin(pbox.begin(), pbox.end());
+          std::vector<real_t> xout(pbox.size());
+          const auto sweep = gpusim::simulate_spmv_stencil(
+              *opt_.device, *stencil_, xin, xout, opt_.sim);
+          round.sim_sweep_seconds = sweep.seconds;
+          round.sim_sweep_gflops = sweep.gflops;
+        }
+        return out;
+      }
+    }
+    auto assembly = matrix.assemble(space, ret);
+    const auto [iters, stop] = solve_round(assembly.a, p, opt_, ret);
+    out.iterations = iters;
+    out.stop = stop;
+    out.outflow = std::move(assembly.outflow);
+    if (opt_.device != nullptr) {
+      // One simulated GPU Jacobi sweep on the warped ELL+DIA layout.
+      const solver::WarpedEllDiaOperator wop(assembly.a);
+      std::vector<real_t> xin(p.begin(), p.end());
+      std::vector<real_t> xout(p.size());
+      const auto sweep = gpusim::simulate_jacobi_sweep(
+          *opt_.device, wop.gpu_hybrid(), xin, xout, opt_.sim);
+      round.sim_sweep_seconds = sweep.seconds;
+      round.sim_sweep_gflops = sweep.gflops;
+    }
+    return out;
+  }
+
+ private:
+  /// nullptr when this round must use the assembled path.
+  std::unique_ptr<solver::MaskedStencilOperator> make_operator(
+      const core::DynamicStateSpace& space, index_t ret) {
+    if (stencil_ == nullptr && !failed_) {
+      try {
+        stencil_ = std::make_unique<core::StencilTable>(network_, anchor_);
+      } catch (const std::exception&) {
+        failed_ = true;
+      }
+    }
+    if (stencil_ == nullptr) return nullptr;
+    // A sparse member set inside a huge box would sweep mostly masked
+    // rows; keep the assembled path until the set fills the box enough.
+    if (static_cast<real_t>(stencil_->box_rows()) >
+        opt_.matrix_free_box_ratio * static_cast<real_t>(space.size())) {
+      return nullptr;
+    }
+    try {
+      return std::make_unique<solver::MaskedStencilOperator>(*stencil_, space,
+                                                             ret);
+    } catch (const std::logic_error&) {
+      failed_ = true;
+      stencil_.reset();
+      return nullptr;
+    }
+  }
+
+  const core::ReactionNetwork& network_;
+  const core::State& anchor_;
+  const FspOptions& opt_;
+  bool enabled_;
+  bool failed_ = false;
+  std::unique_ptr<core::StencilTable> stencil_;
+};
+
 }  // namespace
 
 FspResult solve_adaptive(const core::ReactionNetwork& network,
@@ -49,6 +165,7 @@ FspResult solve_adaptive(const core::ReactionNetwork& network,
   core::DynamicStateSpace space(network, initial);
   space.grow_bfs(std::min(opt.seed_states, opt.max_states));
   core::ProjectedRateMatrix matrix(network);
+  RoundSolver round_solver(network, initial, opt);
 
   std::vector<real_t> p;
   std::vector<FspRound> rounds;
@@ -62,15 +179,18 @@ FspResult solve_adaptive(const core::ReactionNetwork& network,
     const index_t ret = space.find(initial);
 
     matrix.extend(space);
-    auto assembly = matrix.assemble(space, ret);
 
     if (p.empty()) {
       p.assign(static_cast<std::size_t>(n), 0.0);
       solver::fill_uniform(p);
     }
 
-    const auto [iters, stop] = solve_round(assembly.a, p, opt, ret);
-    total_iters += iters;
+    FspRound r;
+    r.round = round;
+    r.states = n;
+
+    const RoundSolve rs = round_solver.solve(matrix, space, ret, p, r);
+    total_iters += rs.iterations;
 
     // Stationary embedded-chain sink mass: the probability that the next
     // jump leaves the projection. Serial sums keep the value bit-identical
@@ -80,37 +200,24 @@ FspResult solve_adaptive(const core::ReactionNetwork& network,
     index_t boundary = 0;
     for (index_t j = 0; j < n; ++j) {
       const auto ju = static_cast<std::size_t>(j);
-      sink_flux += p[ju] * assembly.outflow[ju];
+      sink_flux += p[ju] * rs.outflow[ju];
       total_flux += p[ju] * matrix.total_rate(j);
-      if (assembly.outflow[ju] > 0.0) ++boundary;
+      if (rs.outflow[ju] > 0.0) ++boundary;
     }
     bound = total_flux > 0.0 ? sink_flux / total_flux : 0.0;
 
-    FspRound r;
-    r.round = round;
-    r.states = n;
     r.boundary = boundary;
     r.outflow_bound = bound;
-    r.solver_iterations = iters;
-    r.stop = stop;
-
-    if (opt.device != nullptr) {
-      // Extend the Table IV economics to this round's matrix: one simulated
-      // GPU Jacobi sweep on the warped ELL+DIA layout.
-      const solver::WarpedEllDiaOperator wop(assembly.a);
-      std::vector<real_t> xin(p.begin(), p.end());
-      std::vector<real_t> xout(p.size());
-      const auto sweep = gpusim::simulate_jacobi_sweep(
-          *opt.device, wop.gpu_hybrid(), xin, xout, opt.sim);
-      r.sim_sweep_seconds = sweep.seconds;
-      r.sim_sweep_gflops = sweep.gflops;
-    }
+    r.solver_iterations = rs.iterations;
+    r.stop = rs.stop;
+    r.matrix_free = rs.matrix_free;
 
     CMESOLVE_TRACE_COUNTER("fsp.outflow_bound", bound);
     CMESOLVE_TRACE_COUNTER("fsp.states", static_cast<real_t>(n));
     obs::observe("fsp.round.outflow_bound", bound);
     obs::observe("fsp.round.states", static_cast<real_t>(n));
-    obs::observe("fsp.round.solver_iterations", static_cast<real_t>(iters));
+    obs::observe("fsp.round.solver_iterations",
+                 static_cast<real_t>(rs.iterations));
 
     if (bound <= opt.tol) {
       converged = true;
@@ -134,8 +241,8 @@ FspResult solve_adaptive(const core::ReactionNetwork& network,
     std::vector<Flux> flux;
     for (index_t j = 0; j < n; ++j) {
       const auto ju = static_cast<std::size_t>(j);
-      if (assembly.outflow[ju] > 0.0) {
-        flux.push_back({j, p[ju] * assembly.outflow[ju]});
+      if (rs.outflow[ju] > 0.0) {
+        flux.push_back({j, p[ju] * rs.outflow[ju]});
       }
     }
     std::sort(flux.begin(), flux.end(), [](const Flux& a, const Flux& b) {
@@ -296,28 +403,28 @@ FspResult solve_adaptive(const core::ReactionNetwork& network,
       solver::warm_restart(p, remap, next, 0.0);
       p = std::move(next);
       const index_t ret = space.find(initial);
-      auto assembly = matrix.assemble(space, ret);
-      const auto [iters, stop] = solve_round(assembly.a, p, opt, ret);
-      total_iters += iters;
+      FspRound r;
+      r.round = static_cast<int>(rounds.size()) + 1;
+      r.states = space.size();
+      r.pruned = pruned;
+      const RoundSolve rs = round_solver.solve(matrix, space, ret, p, r);
+      total_iters += rs.iterations;
       real_t sink_flux = 0.0;
       real_t total_flux = 0.0;
       index_t boundary = 0;
       for (index_t j = 0; j < space.size(); ++j) {
         const auto ju = static_cast<std::size_t>(j);
-        sink_flux += p[ju] * assembly.outflow[ju];
+        sink_flux += p[ju] * rs.outflow[ju];
         total_flux += p[ju] * matrix.total_rate(j);
-        if (assembly.outflow[ju] > 0.0) ++boundary;
+        if (rs.outflow[ju] > 0.0) ++boundary;
       }
       bound = total_flux > 0.0 ? sink_flux / total_flux : 0.0;
       converged = bound <= opt.tol;
-      FspRound r;
-      r.round = static_cast<int>(rounds.size()) + 1;
-      r.states = space.size();
-      r.pruned = pruned;
       r.boundary = boundary;
       r.outflow_bound = bound;
-      r.solver_iterations = iters;
-      r.stop = stop;
+      r.solver_iterations = rs.iterations;
+      r.stop = rs.stop;
+      r.matrix_free = rs.matrix_free;
       rounds.push_back(r);
       obs::observe("fsp.round.states_pruned", static_cast<real_t>(pruned));
     }

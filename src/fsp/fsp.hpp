@@ -77,6 +77,16 @@ struct FspOptions {
   InnerSolver solver = InnerSolver::kJacobi;
   solver::JacobiOptions jacobi;  ///< inner Jacobi configuration
   solver::GmresOptions gmres;    ///< inner GMRES configuration
+  /// Run eligible kJacobi inner solves matrix-free through a
+  /// solver::MaskedStencilOperator instead of assembling the projected CSR
+  /// matrix (the kGmres path always assembles). A round is eligible when the
+  /// conservation-reduced capacity box is at most `matrix_free_box_ratio`
+  /// times the member count — the masked operator sweeps the whole box, so a
+  /// sparse member set inside a huge box would waste the bandwidth the
+  /// format exists to save. Networks whose stencil cannot be compiled
+  /// (non-constant strides) fall back to the assembled path permanently.
+  bool matrix_free = false;
+  real_t matrix_free_box_ratio = 8.0;
   /// When non-null, each round's matrix also runs through the simulated
   /// GPU Jacobi-sweep kernel (warped ELL+DIA) on this device, so the
   /// Table-III/IV format economics extend to the FSP workload.
@@ -94,8 +104,13 @@ struct FspRound {
   real_t outflow_bound = 0.0;
   std::uint64_t solver_iterations = 0;
   solver::StopReason stop = solver::StopReason::kMaxIterations;
-  /// Simulated cost of one GPU Jacobi sweep on this round's matrix
-  /// (0 when FspOptions::device is null).
+  /// This round's inner solve ran matrix-free (masked stencil sweep over
+  /// the conservation-reduced box; no assembled CSR).
+  bool matrix_free = false;
+  /// Simulated cost of one GPU sweep on this round's system: a Jacobi
+  /// sweep on the warped ELL+DIA matrix for assembled rounds, the
+  /// matrix-free stencil SpMV for matrix-free rounds (0 when
+  /// FspOptions::device is null).
   real_t sim_sweep_seconds = 0.0;
   real_t sim_sweep_gflops = 0.0;
 };

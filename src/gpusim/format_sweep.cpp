@@ -41,4 +41,20 @@ FormatSweepResult format_sweep(const DeviceSpec& dev, const sparse::Csr& a,
   return out;
 }
 
+FormatSweepResult format_sweep(const DeviceSpec& dev, const sparse::Csr& a,
+                               std::span<const real_t> x, std::span<real_t> y,
+                               const core::StencilTable& table,
+                               std::span<const real_t> x_box,
+                               std::span<real_t> y_box,
+                               const SimOptions& opt) {
+  FormatSweepResult out = format_sweep(dev, a, x, y, opt);
+  const KernelStats stats = simulate_spmv_stencil(dev, table, x_box, y_box, opt);
+  out.entries.push_back({"stencil", stats});
+  if (stats.gflops > out.best_gflops) {
+    out.best_gflops = stats.gflops;
+    out.best_format = "stencil";
+  }
+  return out;
+}
+
 }  // namespace cmesolve::gpusim

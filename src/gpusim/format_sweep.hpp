@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/stencil.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/kernels.hpp"
 #include "sparse/csr.hpp"
@@ -22,7 +23,7 @@ namespace cmesolve::gpusim {
 
 struct FormatSweepEntry {
   std::string format;  ///< "csr-scalar", "ell", "sliced-ell", "warped-ell",
-                       ///< "ell-dia", "warped-ell-dia"
+                       ///< "ell-dia", "warped-ell-dia", "stencil"
   KernelStats stats;
 };
 
@@ -40,6 +41,20 @@ struct FormatSweepResult {
                                              const sparse::Csr& a,
                                              std::span<const real_t> x,
                                              std::span<real_t> y,
+                                             const SimOptions& opt = {});
+
+/// Same sweep with the matrix-free stencil kernel appended as a "stencil"
+/// entry (the simulated Table IV comparison including the format that
+/// stores nothing). The stored-format kernels run on the enumerated-space
+/// matrix `a`; the stencil kernel runs over the conservation-reduced box,
+/// so it takes its own box-length vectors `x_box` / `y_box`.
+[[nodiscard]] FormatSweepResult format_sweep(const DeviceSpec& dev,
+                                             const sparse::Csr& a,
+                                             std::span<const real_t> x,
+                                             std::span<real_t> y,
+                                             const core::StencilTable& table,
+                                             std::span<const real_t> x_box,
+                                             std::span<real_t> y_box,
                                              const SimOptions& opt = {});
 
 }  // namespace cmesolve::gpusim

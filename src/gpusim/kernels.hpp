@@ -14,6 +14,7 @@
 //
 #include <span>
 
+#include "core/stencil.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/memory_sim.hpp"
 #include "sparse/bcsr.hpp"
@@ -80,6 +81,20 @@ KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::Bcsr& m,
 KernelStats simulate_spmv(const DeviceSpec& dev, const sparse::Dia& m,
                           std::span<const real_t> x, std::span<real_t> y,
                           const SimOptions& opt = {});
+
+/// Matrix-free stencil kernel: thread = box row; every off-diagonal value
+/// is recomputed from the decoded copy numbers, so the only memory traffic
+/// is the x-gather at row - stride per valid transition plus the y stream
+/// store — no value, column-index, or row-pointer arrays exist. The state
+/// decode, window checks, and propensity factors are charged as extra
+/// (non-useful) flops, which is exactly the compute-for-bandwidth trade of
+/// the format. `x` and `y` are box-length vectors (see
+/// core::StencilTable::box_rows).
+KernelStats simulate_spmv_stencil(const DeviceSpec& dev,
+                                  const core::StencilTable& table,
+                                  std::span<const real_t> x,
+                                  std::span<real_t> y,
+                                  const SimOptions& opt = {});
 
 /// One Jacobi sweep x_out = -D^{-1} (L+U) x on the Table IV hybrid format:
 /// off-band sliced-ELL walk + off-diagonal band lanes + dense-diagonal

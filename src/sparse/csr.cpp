@@ -42,10 +42,11 @@ Csr csr_from_coo(Coo coo) {
   m.nrows = coo.nrows;
   m.ncols = coo.ncols;
   m.row_ptr.assign(static_cast<std::size_t>(coo.nrows) + 1, 0);
-  m.col_idx.resize(coo.nnz());
-  m.val.resize(coo.nnz());
+  const std::size_t nnz = coo.nnz();  // hoisted: nnz() re-derives the size
+  m.col_idx.resize(nnz);
+  m.val.resize(nnz);
 
-  for (std::size_t i = 0; i < coo.nnz(); ++i) {
+  for (std::size_t i = 0; i < nnz; ++i) {
     if (coo.row[i] < 0 || coo.row[i] >= coo.nrows || coo.col[i] < 0 ||
         coo.col[i] >= coo.ncols) {
       throw std::out_of_range("csr_from_coo: entry outside matrix bounds");
@@ -56,10 +57,21 @@ Csr csr_from_coo(Coo coo) {
     m.row_ptr[r + 1] += m.row_ptr[r];
   }
   // Entries are already sorted row-major, so a single pass fills in order.
-  for (std::size_t i = 0; i < coo.nnz(); ++i) {
+  for (std::size_t i = 0; i < nnz; ++i) {
     m.col_idx[i] = coo.col[i];
     m.val[i] = coo.val[i];
   }
+#ifndef NDEBUG
+  // Single-pass fill invariant: sort_and_combine left each row's columns
+  // strictly increasing, so every CSR row must come out sorted and
+  // duplicate-free.
+  for (index_t r = 0; r < m.nrows; ++r) {
+    const index_t pe = m.row_ptr[r + 1];
+    for (index_t p = m.row_ptr[r] + 1; p < pe; ++p) {
+      assert(m.col_idx[p - 1] < m.col_idx[p]);
+    }
+  }
+#endif
   return m;
 }
 
@@ -81,10 +93,11 @@ Csr transpose(const Csr& m) {
   t.nrows = m.ncols;
   t.ncols = m.nrows;
   t.row_ptr.assign(static_cast<std::size_t>(m.ncols) + 1, 0);
-  t.col_idx.resize(m.nnz());
-  t.val.resize(m.nnz());
+  const std::size_t nnz = m.nnz();  // hoisted: nnz() re-derives the size
+  t.col_idx.resize(nnz);
+  t.val.resize(nnz);
 
-  for (std::size_t i = 0; i < m.nnz(); ++i) {
+  for (std::size_t i = 0; i < nnz; ++i) {
     ++t.row_ptr[m.col_idx[i] + 1];
   }
   for (index_t c = 0; c < t.nrows; ++c) {
@@ -92,13 +105,25 @@ Csr transpose(const Csr& m) {
   }
   std::vector<index_t> cursor(t.row_ptr.begin(), t.row_ptr.end() - 1);
   for (index_t r = 0; r < m.nrows; ++r) {
-    for (index_t p = m.row_ptr[r]; p < m.row_ptr[r + 1]; ++p) {
+    const index_t pe = m.row_ptr[r + 1];  // cached: row end is loop-invariant
+    for (index_t p = m.row_ptr[r]; p < pe; ++p) {
       const index_t c = m.col_idx[p];
       const index_t slot = cursor[c]++;
       t.col_idx[slot] = r;
       t.val[slot] = m.val[p];
     }
   }
+#ifndef NDEBUG
+  // Scatter invariant: source rows are visited in increasing order, so each
+  // transposed row's columns must come out strictly increasing (sorted,
+  // duplicate-free input rows stay that way through the cursor scatter).
+  for (index_t r = 0; r < t.nrows; ++r) {
+    const index_t pe = t.row_ptr[r + 1];
+    for (index_t p = t.row_ptr[r] + 1; p < pe; ++p) {
+      assert(t.col_idx[p - 1] < t.col_idx[p]);
+    }
+  }
+#endif
   return t;
 }
 

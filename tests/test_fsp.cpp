@@ -184,6 +184,75 @@ TEST(FspAdaptive, ClosedSpaceConvergesWithJacobiInner) {
   EXPECT_EQ(res.space.size(), ref.size());
 }
 
+// --- matrix-free inner solves ----------------------------------------------
+
+fsp::FspOptions matrix_free_options() {
+  fsp::FspOptions opt;
+  opt.tol = 1e-9;
+  opt.seed_states = 64;
+  opt.min_growth = 0.25;
+  opt.prune_quantile = 0.0;
+  opt.solver = fsp::InnerSolver::kJacobi;
+  opt.jacobi.eps = 1e-11;
+  opt.jacobi.damping = 0.9;  // plain Jacobi oscillates on the futile cycle
+  opt.jacobi.max_iterations = 500'000;
+  opt.matrix_free = true;
+  return opt;
+}
+
+TEST(FspAdaptive, MatrixFreeInnerSolveMatchesAssembled) {
+  core::models::FutileCycleParams fp;
+  fp.substrate_total = 20;
+  fp.enzyme1_total = fp.enzyme2_total = 1;
+  const auto network = core::models::futile_cycle(fp);
+  const auto initial = core::models::futile_cycle_initial(fp);
+
+  auto opt = matrix_free_options();
+  const auto mf = fsp::solve_adaptive(network, initial, opt);
+  opt.matrix_free = false;
+  const auto assembled = fsp::solve_adaptive(network, initial, opt);
+
+  EXPECT_TRUE(mf.converged);
+  EXPECT_TRUE(assembled.converged);
+
+  // The conservation-reduced box of the futile cycle is barely larger than
+  // the reachable space, so every round should have gone matrix-free.
+  ASSERT_FALSE(mf.rounds.empty());
+  for (const auto& r : mf.rounds) EXPECT_TRUE(r.matrix_free);
+  for (const auto& r : assembled.rounds) EXPECT_FALSE(r.matrix_free);
+
+  // Both land on the fixed-buffer reference to solver tolerance.
+  const core::StateSpace ref(network, initial, 1'000'000);
+  const auto p_ref = reference_landscape(ref);
+  EXPECT_LE(fsp::l1_distance_to_reference(mf, ref, p_ref), 1e-6);
+  EXPECT_LE(fsp::l1_distance_to_reference(assembled, ref, p_ref), 1e-6);
+}
+
+TEST(FspAdaptive, MatrixFreeDeterministicAcrossThreadCounts) {
+  core::models::FutileCycleParams fp;
+  fp.substrate_total = 20;
+  fp.enzyme1_total = fp.enzyme2_total = 1;
+  const auto network = core::models::futile_cycle(fp);
+  const auto initial = core::models::futile_cycle_initial(fp);
+  const auto opt = matrix_free_options();
+
+  const auto solve_at = [&](int threads) {
+    ThreadBudget budget(threads);
+    return fsp::solve_adaptive(network, initial, opt);
+  };
+  const auto base = solve_at(1);
+  const auto pool = solve_at(8);
+
+  ASSERT_EQ(base.space.size(), pool.space.size());
+  ASSERT_EQ(base.rounds.size(), pool.rounds.size());
+  EXPECT_EQ(base.outflow_bound, pool.outflow_bound);  // bitwise
+  for (index_t i = 0; i < base.space.size(); ++i) {
+    EXPECT_EQ(base.space.state(i), pool.space.state(i));
+    EXPECT_EQ(base.p[static_cast<std::size_t>(i)],
+              pool.p[static_cast<std::size_t>(i)]);  // bitwise
+  }
+}
+
 // --- projected rate matrix -------------------------------------------------
 
 TEST(ProjectedRateMatrix, MatchesFixedAssemblyOnClosedSpace) {

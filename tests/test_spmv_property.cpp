@@ -1,17 +1,26 @@
 // Property-based SpMV equivalence: every format must agree with the dense
-// oracle on randomized matrices across a (size x density x seed) sweep.
+// oracle on randomized matrices across a (size x density x seed) sweep, and
+// the matrix-free stencil operator must agree with the assembled CSR
+// operator on randomized reaction networks.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <limits>
 #include <span>
 #include <tuple>
 
+#include "core/rate_matrix.hpp"
+#include "core/reaction_network.hpp"
+#include "core/state_space.hpp"
+#include "solver/operators.hpp"
+#include "solver/stencil_operator.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/dia.hpp"
 #include "sparse/ell.hpp"
 #include "sparse/hybrid.hpp"
 #include "sparse/sliced_ell.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace cmesolve::sparse {
@@ -103,6 +112,112 @@ INSTANTIATE_TEST_SUITE_P(
              (param_info.param.banded ? "_banded" : "_scattered") + "_s" +
              std::to_string(param_info.param.seed);
     });
+
+// --- Matrix-free stencil vs assembled CSR on random networks ----------------
+
+namespace stencil_property {
+
+struct RandomModel {
+  core::ReactionNetwork network;
+  core::State initial;
+};
+
+/// Random mass-action network with deliberately tiny capacities so a large
+/// fraction of the enumerated states sit on buffer boundaries — the regime
+/// where the stencil's masking/windowing logic has to earn its keep.
+RandomModel random_model(std::uint64_t seed) {
+  Xoshiro256 rng(seed * 1000003 + 17);
+  RandomModel m;
+  const int ns = 2 + static_cast<int>(rng.bounded(3));
+  for (int s = 0; s < ns; ++s) {
+    m.network.add_species("S" + std::to_string(s),
+                          3 + static_cast<std::int32_t>(rng.bounded(6)));
+  }
+  const int nr = 3 + static_cast<int>(rng.bounded(6));
+  for (int k = 0; k < nr; ++k) {
+    core::Reaction r;
+    r.name = "R" + std::to_string(k);
+    r.rate = rng.uniform(0.1, 4.0);
+    const auto nreact = rng.bounded(3);  // 0..2 reactant terms
+    for (std::uint64_t i = 0; i < nreact; ++i) {
+      r.reactants.push_back(
+          {static_cast<int>(rng.bounded(static_cast<std::uint64_t>(ns))),
+           1 + static_cast<std::int32_t>(rng.bounded(2))});
+    }
+    // 1..2 net changes on distinct species, never zero so the reaction is
+    // a real transition (delta in {-2,-1,1,2} walks states onto and past
+    // the capacity boundaries).
+    const int nchg = 1 + static_cast<int>(rng.bounded(2));
+    for (int i = 0; i < nchg; ++i) {
+      const int sp = (static_cast<int>(rng.bounded(
+                         static_cast<std::uint64_t>(ns))) + i) % ns;
+      bool dup = false;
+      for (const auto& c : r.changes) dup = dup || c.species == sp;
+      if (dup) continue;
+      const std::int32_t mag = 1 + static_cast<std::int32_t>(rng.bounded(2));
+      r.changes.push_back({sp, rng.bounded(2) ? mag : -mag});
+    }
+    m.network.add_reaction(std::move(r));
+  }
+  m.initial.resize(static_cast<std::size_t>(ns));
+  for (int s = 0; s < ns; ++s) {
+    m.initial[static_cast<std::size_t>(s)] = static_cast<std::int32_t>(
+        rng.bounded(static_cast<std::uint64_t>(m.network.capacity(s)) + 1));
+  }
+  return m;
+}
+
+struct ThreadGuard {
+  explicit ThreadGuard(int n) { util::set_max_threads(n); }
+  ~ThreadGuard() { util::set_max_threads(0); }
+};
+
+TEST(StencilVsCsrProperty, MultiplyMatchesTo1em13At1And8Threads) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const RandomModel m = random_model(seed);
+    const core::StateSpace space(m.network, m.initial, 1'000'000);
+    ASSERT_FALSE(space.truncated());
+    const auto a = core::rate_matrix(space);
+    const solver::CsrOperator csr_op(a);
+    const solver::StencilOperator stencil(m.network, m.initial);
+
+    const auto n = static_cast<std::size_t>(space.size());
+    const auto box = static_cast<std::size_t>(stencil.nrows());
+    Xoshiro256 rng(seed ^ 0xFEEDFACE);
+    std::vector<real_t> x(n);
+    for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+
+    std::vector<real_t> y_csr(n);
+    csr_op.multiply(x, y_csr);
+
+    std::vector<real_t> x_box(box), y_box(box), y_full(n);
+    stencil.scatter_from(space, x, x_box);
+
+    std::vector<real_t> y_1thread;
+    for (const int threads : {1, 8}) {
+      ThreadGuard guard(threads);
+      stencil.multiply(x_box, y_box);
+      stencil.gather_to(space, y_box, y_full);
+      for (std::size_t i = 0; i < n; ++i) {
+        const real_t scale =
+            std::max({std::abs(y_csr[i]), std::abs(y_full[i]), real_t{1.0}});
+        ASSERT_LE(std::abs(y_csr[i] - y_full[i]) / scale, 1e-13)
+            << "threads=" << threads << " row " << i;
+      }
+      if (threads == 1) {
+        y_1thread = y_box;
+      } else {
+        ASSERT_EQ(std::memcmp(y_1thread.data(), y_box.data(),
+                              y_box.size() * sizeof(real_t)),
+                  0)
+            << "sweep not bit-identical between 1 and 8 threads";
+      }
+    }
+  }
+}
+
+}  // namespace stencil_property
 
 }  // namespace
 }  // namespace cmesolve::sparse
