@@ -432,6 +432,12 @@ void write_report(std::ostream& os) {
   w.kv("threads_enabled", false);
 #endif
   for (const auto& [key, value] : context) {
+    // The fixed provenance fields above own these names; a context entry
+    // reusing one would emit a duplicate JSON key and break strict parsers.
+    if (key == "version" || key == "git" || key == "threads" ||
+        key == "openmp" || key == "threads_enabled") {
+      continue;
+    }
     w.kv(key, std::string_view(value));
   }
   w.end_object();

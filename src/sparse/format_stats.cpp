@@ -5,6 +5,7 @@
 
 #include "sparse/dia.hpp"
 #include "sparse/ell.hpp"
+#include "sparse/matrix_market.hpp"
 #include "sparse/sliced_ell.hpp"
 #include "util/stats.hpp"
 
@@ -74,13 +75,14 @@ std::size_t matrix_market_size_bytes(const Csr& m) {
   std::size_t bytes = std::string("%%MatrixMarket matrix coordinate real general\n").size();
   bytes += digits(m.nrows) + 1 + digits(m.ncols) + 1 +
            std::to_string(m.nnz()).size() + 1;
-  // One "row col %.6e\n" line per entry: %.6e prints 12 characters plus a
-  // leading minus for negative values; indices are 1-based.
+  // One "row col value\n" line per entry: the value width is whatever the
+  // writer's shortest round-trip rendering produces; indices are 1-based.
+  char buf[40];
   for (index_t r = 0; r < m.nrows; ++r) {
     const std::size_t row_digits = digits(r + 1);
     for (index_t p = m.row_ptr[r]; p < m.row_ptr[r + 1]; ++p) {
-      bytes += row_digits + 1 + digits(m.col_idx[p] + 1) + 1 + 12 +
-               (m.val[p] < 0 ? 1 : 0) + 1;
+      bytes += row_digits + 1 + digits(m.col_idx[p] + 1) + 1 +
+               format_matrix_market_value(m.val[p], buf, sizeof(buf)) + 1;
     }
   }
   return bytes;

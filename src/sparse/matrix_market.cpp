@@ -1,6 +1,8 @@
 #include "sparse/matrix_market.hpp"
 
 #include <cctype>
+#include <charconv>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -130,14 +132,32 @@ Csr read_matrix_market_file(const std::string& path) {
   return read_matrix_market(in);
 }
 
+std::size_t format_matrix_market_value(real_t v, char* buf, std::size_t size) {
+  // Shortest round-trip form: every written value reads back bit-identical
+  // (operator>> parses the full shortest representation exactly), which is
+  // what makes the write -> read -> write cycle byte-stable.
+  const auto res = std::to_chars(buf, buf + size, v);
+  if (res.ec != std::errc{}) {
+    // Unreachable for finite doubles with a sane buffer; keep a defined
+    // fallback anyway.
+    const int n = std::snprintf(buf, size, "%.17g", v);
+    return n > 0 ? static_cast<std::size_t>(n) : 0;
+  }
+  return static_cast<std::size_t>(res.ptr - buf);
+}
+
 void write_matrix_market(std::ostream& out, const Csr& m) {
   out << "%%MatrixMarket matrix coordinate real general\n";
   out << m.nrows << ' ' << m.ncols << ' ' << m.nnz() << '\n';
-  char buf[64];
+  char buf[80];
+  char num[40];
   for (index_t r = 0; r < m.nrows; ++r) {
     for (index_t p = m.row_ptr[r]; p < m.row_ptr[r + 1]; ++p) {
-      std::snprintf(buf, sizeof(buf), "%d %d %.6e\n", r + 1, m.col_idx[p] + 1,
-                    m.val[p]);
+      const std::size_t len =
+          format_matrix_market_value(m.val[p], num, sizeof(num));
+      num[len] = '\0';
+      std::snprintf(buf, sizeof(buf), "%d %d %s\n", r + 1, m.col_idx[p] + 1,
+                    num);
       out << buf;
     }
   }

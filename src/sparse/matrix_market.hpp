@@ -17,8 +17,15 @@ namespace cmesolve::sparse {
 [[nodiscard]] Csr read_matrix_market(std::istream& in);
 [[nodiscard]] Csr read_matrix_market_file(const std::string& path);
 
-/// Write `coordinate real general` with 1-based indices and %.6e values.
+/// Write `coordinate real general` with 1-based indices. Values are printed
+/// in their shortest decimal form that parses back to the identical double
+/// (std::to_chars), so write -> read -> write is byte-stable and value-exact.
 void write_matrix_market(std::ostream& out, const Csr& m);
 void write_matrix_market_file(const std::string& path, const Csr& m);
+
+/// Render one value exactly as write_matrix_market does; returns the number
+/// of characters written into `buf`. Exposed so the disk-size model in
+/// format_stats stays byte-exact against the writer.
+std::size_t format_matrix_market_value(real_t v, char* buf, std::size_t size);
 
 }  // namespace cmesolve::sparse

@@ -1,0 +1,57 @@
+#pragma once
+//
+// Minimal JSON reader for the verification subsystem.
+//
+// Two consumers need to *parse* JSON the library itself produced: the
+// .repro.json scenario loader (repro_io) and the run-report schema oracle
+// (report_check). obs/json.hpp is a writer only, so this header carries the
+// matching reader: a strict recursive-descent parser over the JSON subset
+// the writers emit (objects, arrays, strings with the writer's escape set,
+// doubles, bools, null). Object members keep their source order and
+// duplicates are preserved — the schema oracle uses that to detect
+// duplicate-key drift that std::map-based parsers would silently swallow.
+//
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace cmesolve::verify {
+
+class JsonValue;
+using JsonMember = std::pair<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;       ///< kArray
+  std::vector<JsonMember> members;    ///< kObject, source order, dups kept
+
+  [[nodiscard]] bool is_object() const noexcept { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const noexcept { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return kind == Kind::kString; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind == Kind::kBool; }
+  [[nodiscard]] bool is_null() const noexcept { return kind == Kind::kNull; }
+
+  /// First member with this key; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Number of members carrying this key (duplicate-key detection).
+  [[nodiscard]] std::size_t count(std::string_view key) const;
+};
+
+/// Parse a complete JSON document. Throws std::runtime_error (with an
+/// offset-bearing message) on malformed input or trailing garbage.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace cmesolve::verify

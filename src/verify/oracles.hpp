@@ -1,0 +1,81 @@
+#pragma once
+//
+// Differential-verification oracles.
+//
+// verify_scenario runs one scenario through the full claim chain — DFS
+// enumeration, generator assembly, every sparse format, every solver, the
+// matrix-free stencil paths, the simulated GPU kernels, Matrix Market I/O —
+// and cross-checks the redundant implementations against each other:
+//
+//   invariants        generator columns sum to zero, off-diagonals >= 0,
+//                     diagonal <= 0, stationary vector nonnegative and
+//                     normalized, residual consistency between operators
+//   cross-format      every stored format and both stencil operators
+//                     reproduce the CSR SpMV to tight tolerance
+//   cross-solver      Jacobi / Gauss-Seidel / power iteration / GMRES /
+//                     warped-hybrid Jacobi agree pairwise in L1, and match
+//                     a dense Gaussian-elimination null-space reference on
+//                     small spaces
+//   ssa               long-run SSA occupancy matches the solved landscape
+//                     through a chi-square gate
+//   gpusim            simulated GPU kernels agree bitwise with the host
+//                     kernels walking the same storage
+//   matrix-market     write -> read -> write is byte-stable and value-exact
+//   thread-determinism the solve is bit-identical at 1 and 8 threads
+//   fsp-parity        adaptive FSP, assembled vs masked-stencil inner
+//                     solves, both land on the full-space answer
+//
+// Directed expectations (Expectation::kAbsorbing / kStagnation /
+// kZeroResidual) replace the cross-solver battery with the corresponding
+// edge-path assertion.
+//
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+#include "verify/scenario.hpp"
+
+namespace cmesolve::verify {
+
+struct OracleOptions {
+  /// Cross-format SpMV agreement, relative to ||A||_inf * ||x||_inf.
+  real_t spmv_rel_tol = 1e-12;
+  /// Pairwise L1 agreement between converged solvers.
+  real_t solver_l1_tol = 5e-5;
+  /// Largest space the dense Gaussian-elimination reference runs on.
+  index_t dense_max = 400;
+  /// Largest space (and iteration budget) the SSA oracle accepts.
+  index_t ssa_max = 160;
+  /// Largest space the FSP-parity oracle accepts.
+  index_t fsp_max = 3000;
+  bool with_ssa = false;      ///< expensive; the fuzz driver samples it
+  bool with_fsp = true;
+  bool with_gpusim = true;
+  bool with_matrix_market = true;
+  /// Re-solve at 1 and 8 threads and require bit-identity. Leave off when
+  /// the caller already pins util::set_max_threads (corpus replay).
+  bool with_threads = false;
+};
+
+struct OracleFailure {
+  std::string oracle;   ///< which oracle tripped ("invariants", ...)
+  std::string message;  ///< human-readable cause
+};
+
+struct VerifyResult {
+  bool passed = true;
+  std::vector<OracleFailure> failures;
+  std::vector<std::string> oracles_run;
+  std::size_t states = 0;  ///< enumerated space size
+
+  /// Name of the first failing oracle ("" when passed) — the shrinking
+  /// predicate keys on this so a shrink cannot drift to a different bug.
+  [[nodiscard]] std::string primary() const {
+    return failures.empty() ? std::string() : failures.front().oracle;
+  }
+};
+
+[[nodiscard]] VerifyResult verify_scenario(const Scenario& sc,
+                                           const OracleOptions& opt = {});
+
+}  // namespace cmesolve::verify

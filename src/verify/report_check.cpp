@@ -1,0 +1,132 @@
+#include "verify/report_check.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "verify/json_reader.hpp"
+
+namespace cmesolve::verify {
+
+namespace {
+
+struct Violation : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void fail(const std::string& what) { throw Violation(what); }
+
+void check_unique_keys(const JsonValue& obj, const std::string& where) {
+  for (const auto& [key, value] : obj.members) {
+    (void)value;
+    if (obj.count(key) > 1) {
+      fail(where + ": duplicate key \"" + key + "\"");
+    }
+  }
+}
+
+const JsonValue& member(const JsonValue& obj, const char* key,
+                        const std::string& where) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) fail(where + ": missing \"" + key + "\"");
+  return *v;
+}
+
+const JsonValue& object_member(const JsonValue& obj, const char* key,
+                               const std::string& where) {
+  const JsonValue& v = member(obj, key, where);
+  if (!v.is_object()) fail(where + ": \"" + key + "\" must be an object");
+  check_unique_keys(v, where + "." + key);
+  return v;
+}
+
+void check_counters(const JsonValue& counters, const std::string& where) {
+  for (const auto& [name, v] : counters.members) {
+    if (!v.is_number() || v.number < 0.0 || v.number != std::floor(v.number)) {
+      fail(where + "." + name + ": counters must be nonnegative integers");
+    }
+  }
+}
+
+void check_gauges(const JsonValue& gauges, const std::string& where) {
+  for (const auto& [name, v] : gauges.members) {
+    // %.17g emits finite doubles; NaN/inf are written as null by contract.
+    if (!v.is_number() && !v.is_null()) {
+      fail(where + "." + name + ": gauges must be numbers or null");
+    }
+  }
+}
+
+void check_histograms(const JsonValue& histograms, const std::string& where) {
+  for (const auto& [name, v] : histograms.members) {
+    const std::string here = where + "." + name;
+    if (!v.is_object()) fail(here + ": histograms must be objects");
+    check_unique_keys(v, here);
+    for (const char* field : {"count", "min", "max", "mean", "stddev"}) {
+      const JsonValue& f = member(v, field, here);
+      if (!f.is_number() && !f.is_null()) {
+        fail(here + "." + field + ": must be a number or null");
+      }
+    }
+    const JsonValue& count = member(v, "count", here);
+    if (!count.is_number() || count.number < 0.0 ||
+        count.number != std::floor(count.number)) {
+      fail(here + ".count: must be a nonnegative integer");
+    }
+  }
+}
+
+void check_metric_block(const JsonValue& block, const std::string& where,
+                        bool counters_required) {
+  if (counters_required || block.find("counters") != nullptr) {
+    check_counters(object_member(block, "counters", where), where + ".counters");
+  }
+  check_gauges(object_member(block, "gauges", where), where + ".gauges");
+  check_histograms(object_member(block, "histograms", where),
+                   where + ".histograms");
+}
+
+void validate(const JsonValue& doc) {
+  if (!doc.is_object()) fail("document must be an object");
+  check_unique_keys(doc, "report");
+
+  const JsonValue& schema = member(doc, "schema", "report");
+  if (!schema.is_string() || schema.string != "cmesolve.run_report/1") {
+    fail("report.schema must be \"cmesolve.run_report/1\"");
+  }
+
+  const JsonValue& prov = object_member(doc, "provenance", "report");
+  for (const char* key : {"version", "git"}) {
+    if (!member(prov, key, "provenance").is_string()) {
+      fail(std::string("provenance.") + key + ": must be a string");
+    }
+  }
+  const JsonValue& threads = member(prov, "threads", "provenance");
+  if (!threads.is_number() || threads.number < 0.0 ||
+      threads.number != std::floor(threads.number)) {
+    fail("provenance.threads: must be a nonnegative integer");
+  }
+  for (const char* key : {"openmp", "threads_enabled"}) {
+    if (!member(prov, key, "provenance").is_bool()) {
+      fail(std::string("provenance.") + key + ": must be a bool");
+    }
+  }
+
+  check_metric_block(object_member(doc, "metrics", "report"), "metrics",
+                     /*counters_required=*/true);
+  check_metric_block(object_member(doc, "volatile", "report"), "volatile",
+                     /*counters_required=*/true);
+}
+
+}  // namespace
+
+bool validate_run_report(std::string_view text, std::string* error) {
+  try {
+    validate(parse_json(text));
+    return true;
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+}
+
+}  // namespace cmesolve::verify

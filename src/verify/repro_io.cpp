@@ -1,0 +1,224 @@
+#include "verify/repro_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "verify/json_reader.hpp"
+
+namespace cmesolve::verify {
+
+void write_repro(std::ostream& os, const Scenario& sc) {
+  obs::JsonWriter w(os, 2);
+  w.begin_object();
+  w.kv("schema", kReproSchema);
+  w.kv("name", sc.name);
+  w.kv("seed", static_cast<std::uint64_t>(sc.seed));
+  w.kv("archetype", sc.archetype);
+  w.kv("expect", to_string(sc.expect));
+  w.kv("max_states", static_cast<std::uint64_t>(sc.max_states));
+
+  w.key("species").begin_array();
+  for (const auto& s : sc.species) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("capacity", static_cast<std::int64_t>(s.capacity));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("reactions").begin_array();
+  for (const auto& r : sc.reactions) {
+    w.begin_object();
+    w.kv("name", r.name);
+    w.kv("rate", r.rate);
+    w.key("reactants").begin_array();
+    for (const auto& re : r.reactants) {
+      w.begin_object();
+      w.kv("species", static_cast<std::int64_t>(re.species));
+      w.kv("copies", static_cast<std::int64_t>(re.copies));
+      w.end_object();
+    }
+    w.end_array();
+    w.key("changes").begin_array();
+    for (const auto& ch : r.changes) {
+      w.begin_object();
+      w.kv("species", static_cast<std::int64_t>(ch.species));
+      w.kv("delta", static_cast<std::int64_t>(ch.delta));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("initial").begin_array();
+  for (const auto x : sc.initial) {
+    w.value(static_cast<std::int64_t>(x));
+  }
+  w.end_array();
+
+  w.key("jacobi").begin_object();
+  w.kv("eps", sc.jacobi_eps);
+  w.kv("stagnation_eps", sc.jacobi_stagnation_eps);
+  w.kv("max_iterations", static_cast<std::uint64_t>(sc.jacobi_max_iterations));
+  w.kv("damping", sc.jacobi_damping);
+  w.end_object();
+
+  w.end_object();
+  os << '\n';
+}
+
+std::string serialize_repro(const Scenario& sc) {
+  std::ostringstream os;
+  write_repro(os, sc);
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::runtime_error("repro: " + what);
+}
+
+const JsonValue& require(const JsonValue& obj, const char* key,
+                         JsonValue::Kind kind, const char* kind_name) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) bad(std::string("missing key \"") + key + "\"");
+  if (v->kind != kind) {
+    bad(std::string("key \"") + key + "\" must be " + kind_name);
+  }
+  return *v;
+}
+
+const JsonValue& require_object(const JsonValue& obj, const char* key) {
+  return require(obj, key, JsonValue::Kind::kObject, "an object");
+}
+const JsonValue& require_array(const JsonValue& obj, const char* key) {
+  return require(obj, key, JsonValue::Kind::kArray, "an array");
+}
+std::string require_string(const JsonValue& obj, const char* key) {
+  return require(obj, key, JsonValue::Kind::kString, "a string").string;
+}
+double require_number(const JsonValue& obj, const char* key) {
+  return require(obj, key, JsonValue::Kind::kNumber, "a number").number;
+}
+
+/// Non-negative integer field. Fuzz seeds and iteration caps stay far below
+/// 2^53, so the double-valued JSON number is exact.
+std::uint64_t require_uint(const JsonValue& obj, const char* key) {
+  const double d = require_number(obj, key);
+  if (!(d >= 0.0) || d != std::floor(d) || d > 9.007199254740992e15) {
+    bad(std::string("key \"") + key + "\" must be a nonnegative integer");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+std::int32_t require_int32(const JsonValue& obj, const char* key) {
+  const double d = require_number(obj, key);
+  if (d != std::floor(d) || d < std::numeric_limits<std::int32_t>::min() ||
+      d > std::numeric_limits<std::int32_t>::max()) {
+    bad(std::string("key \"") + key + "\" must be a 32-bit integer");
+  }
+  return static_cast<std::int32_t>(d);
+}
+
+}  // namespace
+
+Scenario parse_repro(std::string_view text) {
+  const JsonValue doc = parse_json(text);
+  if (!doc.is_object()) bad("document must be an object");
+  const std::string schema = require_string(doc, "schema");
+  if (schema != kReproSchema) bad("unsupported schema: " + schema);
+
+  Scenario sc;
+  sc.name = require_string(doc, "name");
+  sc.seed = require_uint(doc, "seed");
+  sc.archetype = require_string(doc, "archetype");
+  sc.expect = expectation_from_string(require_string(doc, "expect"));
+  sc.max_states = static_cast<std::size_t>(require_uint(doc, "max_states"));
+
+  for (const auto& item : require_array(doc, "species").items) {
+    if (!item.is_object()) bad("species entries must be objects");
+    ScenarioSpecies s;
+    s.name = require_string(item, "name");
+    s.capacity = require_int32(item, "capacity");
+    if (s.capacity < 0) bad("species capacity must be nonnegative");
+    sc.species.push_back(std::move(s));
+  }
+  const auto ns = static_cast<std::int32_t>(sc.species.size());
+
+  auto check_species_id = [&](std::int32_t id) {
+    if (id < 0 || id >= ns) bad("species index out of range");
+  };
+
+  for (const auto& item : require_array(doc, "reactions").items) {
+    if (!item.is_object()) bad("reaction entries must be objects");
+    ScenarioReaction r;
+    r.name = require_string(item, "name");
+    r.rate = require_number(item, "rate");
+    for (const auto& re : require_array(item, "reactants").items) {
+      if (!re.is_object()) bad("reactant entries must be objects");
+      core::Reactant reactant;
+      reactant.species = require_int32(re, "species");
+      reactant.copies = require_int32(re, "copies");
+      check_species_id(reactant.species);
+      r.reactants.push_back(reactant);
+    }
+    for (const auto& ch : require_array(item, "changes").items) {
+      if (!ch.is_object()) bad("change entries must be objects");
+      core::SpeciesChange change;
+      change.species = require_int32(ch, "species");
+      change.delta = require_int32(ch, "delta");
+      check_species_id(change.species);
+      r.changes.push_back(change);
+    }
+    sc.reactions.push_back(std::move(r));
+  }
+
+  const auto& initial = require_array(doc, "initial");
+  if (initial.items.size() != sc.species.size()) {
+    bad("initial state length must match species count");
+  }
+  for (std::size_t i = 0; i < initial.items.size(); ++i) {
+    const auto& item = initial.items[i];
+    if (!item.is_number()) bad("initial entries must be numbers");
+    const auto x = static_cast<std::int32_t>(item.number);
+    if (static_cast<double>(x) != item.number || x < 0 ||
+        x > sc.species[i].capacity) {
+      bad("initial state outside the capacity box");
+    }
+    sc.initial.push_back(x);
+  }
+
+  const auto& jac = require_object(doc, "jacobi");
+  sc.jacobi_eps = require_number(jac, "eps");
+  sc.jacobi_stagnation_eps = require_number(jac, "stagnation_eps");
+  sc.jacobi_max_iterations = require_uint(jac, "max_iterations");
+  sc.jacobi_damping = require_number(jac, "damping");
+  return sc;
+}
+
+Scenario load_repro_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) bad("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse_repro(buf.str());
+  } catch (const std::exception& e) {
+    bad(path + ": " + e.what());
+  }
+}
+
+bool save_repro_file(const std::string& path, const Scenario& sc) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  write_repro(out, sc);
+  return static_cast<bool>(out);
+}
+
+}  // namespace cmesolve::verify

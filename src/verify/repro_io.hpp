@@ -1,0 +1,45 @@
+#pragma once
+//
+// Canonical .repro.json serialization for fuzz scenarios.
+//
+// The format is deliberately boring: a fixed key order, two-space indent,
+// %.17g doubles (shortest-or-exact via the shared JsonWriter), so that
+// serialize(parse(text)) == text for every file the library itself wrote.
+// That byte-stability is load-bearing — corpus entries are diffed in review
+// and the shrinker dedupes failures by serialized form.
+//
+//   {
+//     "schema": "cmesolve.repro/1",
+//     "name": ..., "seed": ..., "archetype": ..., "expect": ...,
+//     "max_states": ...,
+//     "species":   [ {"name", "capacity"}, ... ],
+//     "reactions": [ {"name", "rate", "reactants": [{"species","copies"}],
+//                     "changes": [{"species","delta"}]}, ... ],
+//     "initial":   [ ... ],
+//     "jacobi":    { "eps", "stagnation_eps", "max_iterations", "damping" }
+//   }
+//
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "verify/scenario.hpp"
+
+namespace cmesolve::verify {
+
+inline constexpr const char* kReproSchema = "cmesolve.repro/1";
+
+/// Serialize in canonical form (fixed key order, trailing newline).
+void write_repro(std::ostream& os, const Scenario& sc);
+[[nodiscard]] std::string serialize_repro(const Scenario& sc);
+
+/// Parse and validate a .repro.json document. Throws std::runtime_error
+/// with a field-naming message on schema violations.
+[[nodiscard]] Scenario parse_repro(std::string_view text);
+
+/// File helpers; load throws on unreadable/invalid files, save returns
+/// false on I/O failure.
+[[nodiscard]] Scenario load_repro_file(const std::string& path);
+bool save_repro_file(const std::string& path, const Scenario& sc);
+
+}  // namespace cmesolve::verify

@@ -1,0 +1,238 @@
+#include "verify/scenario.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace cmesolve::verify {
+
+const char* to_string(Expectation e) noexcept {
+  switch (e) {
+    case Expectation::kSteadyState: return "steady-state";
+    case Expectation::kAbsorbing: return "absorbing";
+    case Expectation::kStagnation: return "stagnation";
+    case Expectation::kZeroResidual: return "zero-residual";
+  }
+  return "?";
+}
+
+Expectation expectation_from_string(const std::string& s) {
+  if (s == "steady-state") return Expectation::kSteadyState;
+  if (s == "absorbing") return Expectation::kAbsorbing;
+  if (s == "stagnation") return Expectation::kStagnation;
+  if (s == "zero-residual") return Expectation::kZeroResidual;
+  throw std::runtime_error("scenario: unknown expectation: " + s);
+}
+
+core::ReactionNetwork build_network(const Scenario& sc) {
+  core::ReactionNetwork net;
+  for (const auto& s : sc.species) {
+    net.add_species(s.name, s.capacity);
+  }
+  for (const auto& r : sc.reactions) {
+    net.add_reaction(r.name, r.rate, r.reactants, r.changes);
+  }
+  return net;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Archetype builders. Every family keeps the reachable component ergodic by
+// construction (feed+decay on some species, a complete ring, or reversible
+// pairs), so the cross-solver oracles may treat disagreement as a bug.
+// Capacities are sized so the full box stays a few thousand states: the
+// oracle battery runs hundreds of scenarios per fuzz invocation.
+// ---------------------------------------------------------------------------
+
+void add_species_block(Scenario& sc, int count, std::int32_t cap) {
+  for (int s = 0; s < count; ++s) {
+    sc.species.push_back({"S" + std::to_string(s), cap});
+  }
+  sc.initial.assign(static_cast<std::size_t>(count), 0);
+}
+
+/// Reversible conversion mesh, the baseline family: copies of src convert
+/// into one dst and back, plus a birth/death pair keeping the origin
+/// connected. `rate` supplies every intrinsic rate.
+template <class RateFn>
+void build_mesh(Scenario& sc, Xoshiro256& rng, RateFn&& rate) {
+  const int ns = 2 + static_cast<int>(rng.bounded(3));
+  const auto cap = static_cast<std::int32_t>(3 + rng.bounded(5));
+  add_species_block(sc, ns, cap);
+  const int pairs = 2 + static_cast<int>(rng.bounded(3));
+  for (int k = 0; k < pairs; ++k) {
+    const int src = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(ns)));
+    int dst = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(ns)));
+    if (dst == src) dst = (dst + 1) % ns;
+    const auto copies = static_cast<std::int32_t>(1 + rng.bounded(2));
+    sc.reactions.push_back({"fwd" + std::to_string(k), rate(),
+                            {{src, copies}},
+                            {{src, -copies}, {dst, +1}}});
+    sc.reactions.push_back({"rev" + std::to_string(k), rate(),
+                            {{dst, 1}},
+                            {{dst, -1}, {src, +copies}}});
+  }
+  sc.reactions.push_back({"feed", rate(), {}, {{0, +1}}});
+  sc.reactions.push_back({"decay", rate(), {{0, 1}}, {{0, -1}}});
+}
+
+void build_reversible_mesh(Scenario& sc, Xoshiro256& rng) {
+  build_mesh(sc, rng, [&rng] { return rng.uniform(0.5, 3.0); });
+}
+
+/// Rate ratios spanning 1e±8: every rate is 10^U(-8, 8).
+void build_rate_cliff(Scenario& sc, Xoshiro256& rng) {
+  build_mesh(sc, rng, [&rng] {
+    real_t r = 1.0;
+    const int decades = static_cast<int>(rng.range(-8, 8));
+    for (int i = 0; i < decades; ++i) r *= 10.0;
+    for (int i = 0; i > decades; --i) r /= 10.0;
+    return r * rng.uniform(1.0, 9.99);
+  });
+}
+
+/// Near-zero rates: a fraction of the mesh runs at ~1e-12 while the rest
+/// stays O(1) — exercises propensity underflow and stagnation detection
+/// without breaking reachability (the rates stay strictly positive).
+void build_near_zero(Scenario& sc, Xoshiro256& rng) {
+  build_mesh(sc, rng, [&rng] {
+    const bool tiny = rng.bounded(3) == 0;
+    return tiny ? rng.uniform(0.5, 3.0) * 1e-12 : rng.uniform(0.5, 3.0);
+  });
+}
+
+/// Saturated buffers: capacities of 1-2 with strong feeds pushing every
+/// species against its cap. The capacity-box truncation dominates the
+/// generator structure — short irregular rows, the padding-bug honeypot.
+void build_saturated(Scenario& sc, Xoshiro256& rng) {
+  const int ns = 3 + static_cast<int>(rng.bounded(3));
+  const auto cap = static_cast<std::int32_t>(1 + rng.bounded(2));
+  add_species_block(sc, ns, cap);
+  for (int s = 0; s < ns; ++s) {
+    sc.initial[static_cast<std::size_t>(s)] = cap;  // start pinned at the wall
+    sc.reactions.push_back({"feed" + std::to_string(s),
+                            rng.uniform(2.0, 8.0), {}, {{s, +1}}});
+    sc.reactions.push_back({"drain" + std::to_string(s),
+                            rng.uniform(0.1, 0.5), {{s, 1}}, {{s, -1}}});
+  }
+  const int links = 1 + static_cast<int>(rng.bounded(3));
+  for (int k = 0; k < links; ++k) {
+    const int src = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(ns)));
+    const int dst = (src + 1 + static_cast<int>(rng.bounded(
+                                   static_cast<std::uint64_t>(ns - 1)))) % ns;
+    sc.reactions.push_back({"xfer" + std::to_string(k),
+                            rng.uniform(0.5, 4.0),
+                            {{src, 1}},
+                            {{src, -1}, {dst, +1}}});
+  }
+}
+
+/// Conservation-law-heavy: an irreversible conversion ring. The total copy
+/// number is conserved, so the reachable space is the simplex slice
+/// {sum_i x_i = T} of the capacity box — the stencil operator's
+/// conservation elimination and the FSP boundary logic both get exercised.
+void build_conservation_ring(Scenario& sc, Xoshiro256& rng) {
+  const int ns = 3 + static_cast<int>(rng.bounded(3));
+  const auto total = static_cast<std::int32_t>(4 + rng.bounded(5));
+  add_species_block(sc, ns, total);
+  sc.initial[0] = total;
+  for (int s = 0; s < ns; ++s) {
+    const int next = (s + 1) % ns;
+    sc.reactions.push_back({"ring" + std::to_string(s),
+                            rng.uniform(0.3, 3.0),
+                            {{s, 1}},
+                            {{s, -1}, {next, +1}}});
+  }
+}
+
+/// Irreversible-only chain: feed -> S0 -> S1 -> ... -> drain. No reaction
+/// has a reverse partner, yet the chain is ergodic; the generator has a
+/// strictly one-sided band that DFS cannot fold into the {-1,0,+1} pattern.
+void build_irreversible_chain(Scenario& sc, Xoshiro256& rng) {
+  const int ns = 2 + static_cast<int>(rng.bounded(3));
+  const auto cap = static_cast<std::int32_t>(3 + rng.bounded(4));
+  add_species_block(sc, ns, cap);
+  sc.reactions.push_back({"feed", rng.uniform(1.0, 5.0), {}, {{0, +1}}});
+  for (int s = 0; s + 1 < ns; ++s) {
+    sc.reactions.push_back({"step" + std::to_string(s),
+                            rng.uniform(0.5, 3.0),
+                            {{s, 1}},
+                            {{s, -1}, {s + 1, +1}}});
+  }
+  sc.reactions.push_back({"drain", rng.uniform(0.5, 3.0),
+                          {{ns - 1, 1}},
+                          {{ns - 1, -1}}});
+}
+
+/// Single-species birth-death chain with an optional pair-annihilation
+/// channel: the whole generator is the tridiagonal(-ish) band, rates spread
+/// across decades.
+void build_single_species(Scenario& sc, Xoshiro256& rng) {
+  const auto cap = static_cast<std::int32_t>(16 + rng.bounded(113));
+  sc.species.push_back({"X", cap});
+  sc.initial.assign(1, 0);
+  sc.reactions.push_back({"birth", rng.uniform(1.0, 50.0), {}, {{0, +1}}});
+  sc.reactions.push_back({"death", rng.uniform(0.05, 2.0), {{0, 1}}, {{0, -1}}});
+  if (rng.bounded(2) == 0) {
+    sc.reactions.push_back({"annihilate", rng.uniform(1e-4, 1e-1),
+                            {{0, 2}},
+                            {{0, -2}}});
+  }
+}
+
+/// Binding equilibrium A + B <-> C with a conserved B + C total and an open
+/// feed/drain on A: higher-order reactants plus a conservation law in the
+/// same network.
+void build_binding(Scenario& sc, Xoshiro256& rng) {
+  const auto b_total = static_cast<std::int32_t>(2 + rng.bounded(3));
+  const auto cap_a = static_cast<std::int32_t>(6 + rng.bounded(7));
+  sc.species.push_back({"A", cap_a});
+  sc.species.push_back({"B", b_total});
+  sc.species.push_back({"C", b_total});
+  sc.initial = {0, b_total, 0};
+  sc.reactions.push_back({"bind", rng.uniform(0.2, 2.0),
+                          {{0, 1}, {1, 1}},
+                          {{0, -1}, {1, -1}, {2, +1}}});
+  sc.reactions.push_back({"unbind", rng.uniform(0.5, 3.0),
+                          {{2, 1}},
+                          {{2, -1}, {0, +1}, {1, +1}}});
+  sc.reactions.push_back({"feed", rng.uniform(1.0, 6.0), {}, {{0, +1}}});
+  sc.reactions.push_back({"drain", rng.uniform(0.3, 1.5), {{0, 1}}, {{0, -1}}});
+}
+
+}  // namespace
+
+const std::vector<std::string>& scenario_archetypes() {
+  static const std::vector<std::string> kNames = {
+      "reversible-mesh",     "rate-cliff",     "near-zero",
+      "saturated",           "conservation-ring", "irreversible-chain",
+      "single-species",      "binding",
+  };
+  return kNames;
+}
+
+Scenario random_scenario(std::uint64_t seed) {
+  Xoshiro256 rng(seed ^ 0xC3E5'F00D'5EED'2026ULL);
+  const auto& families = scenario_archetypes();
+  const auto pick = rng.bounded(families.size());
+
+  Scenario sc;
+  sc.seed = seed;
+  sc.archetype = families[static_cast<std::size_t>(pick)];
+  sc.name = "fuzz-" + std::to_string(seed) + "-" + sc.archetype;
+
+  switch (pick) {
+    case 0: build_reversible_mesh(sc, rng); break;
+    case 1: build_rate_cliff(sc, rng); break;
+    case 2: build_near_zero(sc, rng); break;
+    case 3: build_saturated(sc, rng); break;
+    case 4: build_conservation_ring(sc, rng); break;
+    case 5: build_irreversible_chain(sc, rng); break;
+    case 6: build_single_species(sc, rng); break;
+    default: build_binding(sc, rng); break;
+  }
+  return sc;
+}
+
+}  // namespace cmesolve::verify

@@ -1,0 +1,79 @@
+#pragma once
+//
+// Fuzz scenarios: self-contained, serializable CME problem instances.
+//
+// A Scenario is the plain-data twin of (ReactionNetwork, initial state,
+// solver configuration): everything the differential-verification oracles
+// need to rebuild the full pipeline from scratch, small enough to check into
+// tests/corpus/ as a .repro.json and replay deterministically. The random
+// generator emits the adversarial families that hand-picked unit fixtures
+// miss — near-zero rates, saturated buffers, conservation-law-heavy
+// topologies, irreversible-only cycles, single-species chains, rate ratios
+// spanning 1e±8 — while guaranteeing by construction that the reachable
+// component stays ergodic (so a cross-solver disagreement is a bug, not a
+// modelling artifact).
+//
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/reaction_network.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::verify {
+
+struct ScenarioSpecies {
+  std::string name;
+  std::int32_t capacity = 1;
+};
+
+struct ScenarioReaction {
+  std::string name;
+  real_t rate = 0.0;
+  std::vector<core::Reactant> reactants;
+  std::vector<core::SpeciesChange> changes;
+};
+
+/// What a replay asserts about the scenario.
+enum class Expectation {
+  kSteadyState,   ///< full oracle battery must pass
+  kAbsorbing,     ///< solvers must reject with the zero-diagonal error
+  kStagnation,    ///< Jacobi must stop through the stagnation path
+  kZeroResidual,  ///< Jacobi must stop through the exact-zero residual path
+};
+
+[[nodiscard]] const char* to_string(Expectation e) noexcept;
+/// Parses the .repro.json spelling; throws std::runtime_error on unknown.
+[[nodiscard]] Expectation expectation_from_string(const std::string& s);
+
+struct Scenario {
+  std::string name;          ///< stable identifier ("fuzz-<seed>-<archetype>")
+  std::uint64_t seed = 0;    ///< generator seed (0 for handcrafted entries)
+  std::string archetype;     ///< generator family tag
+  std::vector<ScenarioSpecies> species;
+  std::vector<ScenarioReaction> reactions;
+  core::State initial;
+  std::size_t max_states = 200'000;  ///< enumeration cap (oracle asserts closure)
+  Expectation expect = Expectation::kSteadyState;
+
+  // Directed inner-solver configuration. The defaults suit the random
+  // archetypes; the stagnation/zero-residual corpus entries pin these to
+  // drive the Jacobi edge paths deliberately.
+  real_t jacobi_eps = 1e-9;
+  real_t jacobi_stagnation_eps = 1e-8;
+  std::uint64_t jacobi_max_iterations = 300'000;
+  real_t jacobi_damping = 0.8;  ///< random nets can be bipartite-ish
+};
+
+/// Instantiate the reaction network (throws on inconsistent species ids —
+/// a malformed hand-edited repro file, not a generator output).
+[[nodiscard]] core::ReactionNetwork build_network(const Scenario& sc);
+
+/// Archetype names the generator cycles through, in selection order.
+[[nodiscard]] const std::vector<std::string>& scenario_archetypes();
+
+/// Deterministic adversarial scenario for a seed. Equal seeds produce
+/// byte-identical scenarios (the fuzz driver's reproducibility contract).
+[[nodiscard]] Scenario random_scenario(std::uint64_t seed);
+
+}  // namespace cmesolve::verify

@@ -1,0 +1,172 @@
+#include "verify/shrink.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace cmesolve::verify {
+
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(Scenario sc, const ShrinkPredicate& still_fails,
+           const ShrinkOptions& opt)
+      : sc_(std::move(sc)), still_fails_(still_fails), opt_(opt) {}
+
+  Scenario run() {
+    bool progressed = true;
+    while (progressed && !exhausted()) {
+      progressed = false;
+      progressed |= pass_drop_reactions();
+      progressed |= pass_drop_unused_species();
+      progressed |= pass_halve_capacities();
+      progressed |= pass_round_rates();
+      progressed |= pass_zero_initial();
+    }
+    return std::move(sc_);
+  }
+
+  [[nodiscard]] ShrinkStats stats() const noexcept { return stats_; }
+
+ private:
+  [[nodiscard]] bool exhausted() const noexcept {
+    return stats_.attempts >= opt_.max_attempts;
+  }
+
+  /// Evaluate a candidate; adopt it when the same failure persists.
+  bool accept(Scenario&& cand) {
+    if (exhausted()) return false;
+    ++stats_.attempts;
+    if (!still_fails_(cand)) return false;
+    sc_ = std::move(cand);
+    ++stats_.accepted;
+    return true;
+  }
+
+  bool pass_drop_reactions() {
+    bool any = false;
+    // Re-scan from the front after every acceptance: index meaning shifts.
+    for (std::size_t i = 0; i < sc_.reactions.size() && !exhausted();) {
+      if (sc_.reactions.size() <= 1) break;  // keep at least one reaction
+      Scenario cand = sc_;
+      cand.reactions.erase(cand.reactions.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      if (accept(std::move(cand))) {
+        any = true;  // same index now names the next reaction
+      } else {
+        ++i;
+      }
+    }
+    return any;
+  }
+
+  bool pass_drop_unused_species() {
+    bool any = false;
+    for (std::size_t s = 0; s < sc_.species.size() && !exhausted();) {
+      if (sc_.species.size() <= 1 || species_used(static_cast<int>(s))) {
+        ++s;
+        continue;
+      }
+      Scenario cand = sc_;
+      cand.species.erase(cand.species.begin() + static_cast<std::ptrdiff_t>(s));
+      cand.initial.erase(cand.initial.begin() + static_cast<std::ptrdiff_t>(s));
+      for (auto& r : cand.reactions) {
+        for (auto& re : r.reactants) {
+          if (re.species > static_cast<std::int32_t>(s)) --re.species;
+        }
+        for (auto& ch : r.changes) {
+          if (ch.species > static_cast<std::int32_t>(s)) --ch.species;
+        }
+      }
+      if (accept(std::move(cand))) {
+        any = true;
+      } else {
+        ++s;
+      }
+    }
+    return any;
+  }
+
+  [[nodiscard]] bool species_used(int s) const {
+    for (const auto& r : sc_.reactions) {
+      for (const auto& re : r.reactants) {
+        if (re.species == s) return true;
+      }
+      for (const auto& ch : r.changes) {
+        if (ch.species == s) return true;
+      }
+    }
+    return false;
+  }
+
+  bool pass_halve_capacities() {
+    bool any = false;
+    for (std::size_t s = 0; s < sc_.species.size() && !exhausted(); ++s) {
+      // Keep halving the same species while the failure survives.
+      while (sc_.species[s].capacity > 1 && !exhausted()) {
+        Scenario cand = sc_;
+        cand.species[s].capacity = std::max<std::int32_t>(
+            1, cand.species[s].capacity / 2);
+        cand.initial[s] = std::min(cand.initial[s], cand.species[s].capacity);
+        if (!accept(std::move(cand))) break;
+        any = true;
+      }
+    }
+    return any;
+  }
+
+  bool pass_round_rates() {
+    bool any = false;
+    for (std::size_t i = 0; i < sc_.reactions.size() && !exhausted(); ++i) {
+      const real_t rate = sc_.reactions[i].rate;
+      if (rate == 1.0) continue;
+      {
+        Scenario cand = sc_;
+        cand.reactions[i].rate = 1.0;
+        if (accept(std::move(cand))) {
+          any = true;
+          continue;
+        }
+      }
+      if (rate > 0.0 && !exhausted()) {
+        const real_t rounded =
+            std::pow(10.0, std::round(std::log10(rate)));
+        if (rounded != rate) {
+          Scenario cand = sc_;
+          cand.reactions[i].rate = rounded;
+          any |= accept(std::move(cand));
+        }
+      }
+    }
+    return any;
+  }
+
+  bool pass_zero_initial() {
+    bool any = false;
+    for (std::size_t s = 0; s < sc_.initial.size() && !exhausted(); ++s) {
+      if (sc_.initial[s] == 0) continue;
+      Scenario cand = sc_;
+      cand.initial[s] = 0;
+      any |= accept(std::move(cand));
+    }
+    return any;
+  }
+
+  Scenario sc_;
+  const ShrinkPredicate& still_fails_;
+  const ShrinkOptions& opt_;
+  ShrinkStats stats_;
+};
+
+}  // namespace
+
+Scenario shrink_scenario(Scenario sc, const ShrinkPredicate& still_fails,
+                         const ShrinkOptions& opt, ShrinkStats* stats) {
+  Shrinker sh(std::move(sc), still_fails, opt);
+  Scenario out = sh.run();
+  if (stats != nullptr) *stats = sh.stats();
+  return out;
+}
+
+}  // namespace cmesolve::verify

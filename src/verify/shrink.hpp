@@ -1,0 +1,46 @@
+#pragma once
+//
+// Greedy failure shrinking.
+//
+// Given a failing scenario and a predicate that re-runs the oracles and
+// answers "does this candidate still fail the same way?", shrink_scenario
+// repeatedly tries structure-reducing edits and keeps every edit the
+// predicate confirms, until a full pass over all edit kinds accepts nothing
+// (a local minimum) or the attempt budget runs out. The edit kinds, ordered
+// by how much they simplify the reproducer:
+//
+//   1. drop a reaction
+//   2. drop a species no reaction references (remapping indices)
+//   3. halve a species capacity (clamping the initial state)
+//   4. round a rate to 1, then to its nearest power of ten
+//   5. zero an initial-state entry
+//
+// The predicate owns the failure-equivalence definition; the fuzz driver
+// passes "verify_scenario(..).primary() == original primary", so a shrink
+// can never drift from the bug being minimized to a different one.
+//
+#include <cstddef>
+#include <functional>
+
+#include "verify/scenario.hpp"
+
+namespace cmesolve::verify {
+
+using ShrinkPredicate = std::function<bool(const Scenario&)>;
+
+struct ShrinkOptions {
+  std::size_t max_attempts = 2000;  ///< predicate-evaluation budget
+};
+
+struct ShrinkStats {
+  std::size_t attempts = 0;  ///< predicate evaluations spent
+  std::size_t accepted = 0;  ///< edits kept
+};
+
+/// Returns the minimized scenario (== the input when nothing shrinks).
+[[nodiscard]] Scenario shrink_scenario(Scenario sc,
+                                       const ShrinkPredicate& still_fails,
+                                       const ShrinkOptions& opt = {},
+                                       ShrinkStats* stats = nullptr);
+
+}  // namespace cmesolve::verify

@@ -1,0 +1,216 @@
+//
+// Unit tests for the differential-verification subsystem: the scenario
+// generator, the repro codec, the report-schema validator, the oracle
+// battery's failure detection, and the shrinker.
+//
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "verify/oracles.hpp"
+#include "verify/report_check.hpp"
+#include "verify/repro_io.hpp"
+#include "verify/scenario.hpp"
+#include "verify/shrink.hpp"
+
+namespace {
+
+using namespace cmesolve;
+
+// -- scenario generator ------------------------------------------------------
+
+TEST(VerifyScenario, GeneratorIsDeterministic) {
+  for (std::uint64_t seed : {1ull, 7ull, 1234567ull}) {
+    const auto a = verify::random_scenario(seed);
+    const auto b = verify::random_scenario(seed);
+    EXPECT_EQ(verify::serialize_repro(a), verify::serialize_repro(b));
+  }
+}
+
+TEST(VerifyScenario, GeneratorCoversTheArchetypeFamilies) {
+  std::set<std::string> seen;
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const auto sc = verify::random_scenario(seed);
+    seen.insert(sc.archetype);
+    EXPECT_FALSE(sc.species.empty());
+    EXPECT_FALSE(sc.reactions.empty());
+    EXPECT_EQ(sc.initial.size(), sc.species.size());
+  }
+  // 64 draws over 8 families: missing more than two would mean the family
+  // picker is biased or broken.
+  EXPECT_GE(seen.size(), 6u);
+}
+
+TEST(VerifyScenario, ExpectationStringsRoundTrip) {
+  using verify::Expectation;
+  for (auto e : {Expectation::kSteadyState, Expectation::kAbsorbing,
+                 Expectation::kStagnation, Expectation::kZeroResidual}) {
+    EXPECT_EQ(verify::expectation_from_string(verify::to_string(e)), e);
+  }
+  EXPECT_THROW(verify::expectation_from_string("nonsense"),
+               std::runtime_error);
+}
+
+// -- repro codec -------------------------------------------------------------
+
+TEST(VerifyRepro, SerializeParseSerializeIsByteStable) {
+  for (std::uint64_t seed : {2ull, 15ull, 28ull, 99ull}) {
+    const auto sc = verify::random_scenario(seed);
+    const std::string once = verify::serialize_repro(sc);
+    const std::string twice =
+        verify::serialize_repro(verify::parse_repro(once));
+    EXPECT_EQ(once, twice) << "seed " << seed;
+  }
+}
+
+TEST(VerifyRepro, ParseRejectsMalformedInput) {
+  const auto sc = verify::random_scenario(3);
+  std::string good = verify::serialize_repro(sc);
+
+  EXPECT_THROW(verify::parse_repro("not json"), std::runtime_error);
+  EXPECT_THROW(verify::parse_repro("{}"), std::runtime_error);
+
+  std::string bad_schema = good;
+  const auto pos = bad_schema.find("cmesolve.repro/1");
+  ASSERT_NE(pos, std::string::npos);
+  bad_schema.replace(pos, 16, "cmesolve.repro/9");
+  EXPECT_THROW(verify::parse_repro(bad_schema), std::runtime_error);
+}
+
+TEST(VerifyRepro, ParseValidatesCrossReferences) {
+  // A reaction referencing a species that does not exist must be rejected
+  // at parse time, not crash the oracle battery later.
+  verify::Scenario sc = verify::random_scenario(3);
+  std::string text = verify::serialize_repro(sc);
+  // Point every reactant/change at a wildly out-of-range species id.
+  std::string broken = text;
+  const auto spos = broken.find("\"species\": 0");
+  ASSERT_NE(spos, std::string::npos);
+  broken.replace(spos, 12, "\"species\": 99");
+  EXPECT_THROW(verify::parse_repro(broken), std::runtime_error);
+}
+
+// -- run-report schema validator ---------------------------------------------
+
+TEST(VerifyReportCheck, AcceptsTheRealReportWriter) {
+  obs::set_metrics_enabled(true);
+  obs::count("verify_test_counter", 3);
+  std::ostringstream os;
+  obs::write_report(os);
+  std::string error;
+  EXPECT_TRUE(verify::validate_run_report(os.str(), &error)) << error;
+}
+
+TEST(VerifyReportCheck, RejectsSchemaViolations) {
+  std::string error;
+  EXPECT_FALSE(verify::validate_run_report("{}", &error));
+  EXPECT_FALSE(verify::validate_run_report("not json", &error));
+  // Wrong schema tag.
+  EXPECT_FALSE(verify::validate_run_report(
+      R"({"schema": "cmesolve.run_report/2"})", &error));
+  // Duplicate keys: the historical provenance-drift bug class.
+  EXPECT_FALSE(verify::validate_run_report(
+      R"({"schema": "cmesolve.run_report/1",
+          "provenance": {"version": "x", "version": "y", "git": "g",
+                         "threads": 1, "openmp": true,
+                         "threads_enabled": true},
+          "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+          "volatile": {"counters": {}, "gauges": {}, "histograms": {}}})",
+      &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  // Negative counter.
+  EXPECT_FALSE(verify::validate_run_report(
+      R"({"schema": "cmesolve.run_report/1",
+          "provenance": {"version": "x", "git": "g", "threads": 1,
+                         "openmp": true, "threads_enabled": true},
+          "metrics": {"counters": {"bad": -1}, "gauges": {},
+                      "histograms": {}},
+          "volatile": {"counters": {}, "gauges": {}, "histograms": {}}})",
+      &error));
+}
+
+// -- oracle battery ----------------------------------------------------------
+
+verify::OracleOptions cheap_options() {
+  verify::OracleOptions opt;
+  opt.with_fsp = false;
+  opt.with_gpusim = false;
+  opt.with_matrix_market = false;
+  return opt;
+}
+
+TEST(VerifyOracles, PassesAHealthyScenario) {
+  const auto sc = verify::random_scenario(3);  // reversible-mesh
+  const auto res = verify::verify_scenario(sc, cheap_options());
+  EXPECT_TRUE(res.passed);
+  for (const auto& f : res.failures) {
+    ADD_FAILURE() << "[" << f.oracle << "] " << f.message;
+  }
+}
+
+TEST(VerifyOracles, CatchesAWrongExpectation) {
+  // A healthy ergodic scenario mislabeled "absorbing" must fail the
+  // absorbing-edge oracle, proving the expectation dispatch is live.
+  verify::Scenario sc = verify::random_scenario(3);
+  sc.expect = verify::Expectation::kAbsorbing;
+  const auto res = verify::verify_scenario(sc, cheap_options());
+  EXPECT_FALSE(res.passed);
+  EXPECT_EQ(res.primary(), "absorbing-edge");
+}
+
+TEST(VerifyOracles, SurvivesAnUnexpectedAbsorbingState) {
+  // Pure decay labeled steady-state: the battery must report the
+  // zero-diagonal rejection as a failure, never crash the driver.
+  verify::Scenario sc;
+  sc.name = "unit-absorbing-mislabel";
+  sc.archetype = "directed";
+  sc.expect = verify::Expectation::kSteadyState;
+  sc.species = {{"X", 4}};
+  sc.initial = {4};
+  sc.reactions.push_back({"decay", 1.0, {{0, 1}}, {{0, -1}}});
+  const auto res = verify::verify_scenario(sc, cheap_options());
+  EXPECT_FALSE(res.passed);
+}
+
+// -- shrinker ----------------------------------------------------------------
+
+TEST(VerifyShrink, MinimizesToThePredicateCore) {
+  // Predicate: "some reaction has rate > 100". The shrinker should strip
+  // everything else: one species, one reaction, rounded rate, zero initial.
+  verify::Scenario sc = verify::random_scenario(3);
+  sc.reactions.push_back({"hot", 5000.0, {}, {{0, 1}}});
+  auto pred = [](const verify::Scenario& cand) {
+    for (const auto& r : cand.reactions) {
+      if (r.rate > 100.0) return true;
+    }
+    return false;
+  };
+  verify::ShrinkStats stats;
+  const verify::Scenario minimal =
+      verify::shrink_scenario(sc, pred, {}, &stats);
+  EXPECT_TRUE(pred(minimal));
+  EXPECT_EQ(minimal.reactions.size(), 1u);
+  EXPECT_EQ(minimal.species.size(), 1u);
+  EXPECT_GT(stats.accepted, 0u);
+  EXPECT_GT(stats.attempts, stats.accepted);
+}
+
+TEST(VerifyShrink, ReturnsTheInputWhenNothingShrinks) {
+  verify::Scenario sc;
+  sc.name = "unit-minimal";
+  sc.species = {{"X", 1}};  // capacity 1: the halving pass has no room
+  sc.initial = {0};
+  sc.reactions.push_back({"up", 1.0, {}, {{0, 1}}});
+  const std::string before = verify::serialize_repro(sc);
+  const verify::Scenario out = verify::shrink_scenario(
+      sc, [](const verify::Scenario&) { return true; }, {}, nullptr);
+  // Rates and initial are already minimal; reactions/species cannot drop
+  // below one: the scenario must come back semantically unchanged.
+  EXPECT_EQ(verify::serialize_repro(out), before);
+}
+
+}  // namespace

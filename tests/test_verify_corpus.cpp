@@ -1,0 +1,159 @@
+//
+// Corpus replay: every checked-in reproducer under tests/corpus must pass
+// the full oracle battery, stay byte-stable through the repro codec, solve
+// bit-identically across thread counts, and (steady-state entries) keep the
+// matrix-free FSP path deterministic under threading.
+//
+// CMESOLVE_CORPUS_DIR is injected by tests/CMakeLists.txt.
+//
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/state_space.hpp"
+#include "fsp/fsp.hpp"
+#include "solver/jacobi.hpp"
+#include "solver/operators.hpp"
+#include "solver/vector_ops.hpp"
+#include "sparse/csr.hpp"
+#include "core/rate_matrix.hpp"
+#include "util/parallel.hpp"
+#include "verify/oracles.hpp"
+#include "verify/repro_io.hpp"
+#include "verify/scenario.hpp"
+
+namespace {
+
+using namespace cmesolve;
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(CMESOLVE_CORPUS_DIR)) {
+    if (entry.is_regular_file() &&
+        entry.path().string().ends_with(".repro.json")) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Restores the ambient thread cap even when an assertion fires mid-test.
+struct ThreadRestore {
+  ~ThreadRestore() { util::set_max_threads(0); }
+};
+
+TEST(VerifyCorpus, HasEntries) {
+  // Guards against a silently-empty corpus (bad install, bad glob): the
+  // replay tests below would vacuously pass.
+  EXPECT_GE(corpus_files().size(), 10u);
+}
+
+TEST(VerifyCorpus, ReplayPassesFullBattery) {
+  verify::OracleOptions opt;
+  opt.with_threads = true;  // 1-vs-8-thread bitwise identity per scenario
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    const verify::Scenario sc = verify::load_repro_file(path);
+    const auto res = verify::verify_scenario(sc, opt);
+    EXPECT_TRUE(res.passed);
+    for (const auto& f : res.failures) {
+      ADD_FAILURE() << "[" << f.oracle << "] " << f.message;
+    }
+  }
+}
+
+TEST(VerifyCorpus, FilesAreCanonical) {
+  // parse -> serialize must reproduce the checked-in bytes exactly, so a
+  // corpus diff always means a semantic change, never formatting drift.
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    const std::string text = slurp(path);
+    const verify::Scenario sc = verify::parse_repro(text);
+    EXPECT_EQ(verify::serialize_repro(sc), text);
+  }
+}
+
+TEST(VerifyCorpus, JacobiBitIdenticalAcross1_2_8Threads) {
+  ThreadRestore restore;
+  for (const auto& path : corpus_files()) {
+    const verify::Scenario sc = verify::load_repro_file(path);
+    if (sc.expect != verify::Expectation::kSteadyState) continue;
+    SCOPED_TRACE(path);
+    const auto net = verify::build_network(sc);
+    const core::StateSpace space(net, sc.initial, sc.max_states);
+    const sparse::Csr a = core::rate_matrix(space);
+    const solver::CsrOperator op(a);
+    const real_t norm = a.inf_norm();
+    solver::JacobiOptions jopt;
+    jopt.eps = sc.jacobi_eps;
+    jopt.stagnation_eps = sc.jacobi_stagnation_eps;
+    jopt.max_iterations = sc.jacobi_max_iterations;
+    jopt.damping = sc.jacobi_damping;
+
+    auto solve_at = [&](int threads) {
+      util::set_max_threads(threads);
+      std::vector<real_t> p(static_cast<std::size_t>(a.nrows));
+      solver::fill_uniform(p);
+      (void)solver::jacobi_solve(op, norm, p, jopt);
+      return p;
+    };
+    const auto p1 = solve_at(1);
+    const auto p2 = solve_at(2);
+    const auto p8 = solve_at(8);
+    EXPECT_EQ(p1, p2);
+    EXPECT_EQ(p1, p8);
+  }
+}
+
+TEST(VerifyCorpus, MatrixFreeFspDeterministicAcrossThreads) {
+  // FspOptions::matrix_free engages the masked stencil operator; its
+  // adaptive trajectory (member sets, landscape) must not depend on the
+  // thread count. Small caps keep this affordable for every entry.
+  ThreadRestore restore;
+  for (const auto& path : corpus_files()) {
+    const verify::Scenario sc = verify::load_repro_file(path);
+    if (sc.expect != verify::Expectation::kSteadyState) continue;
+    SCOPED_TRACE(path);
+    const auto net = verify::build_network(sc);
+
+    fsp::FspOptions fo;
+    fo.tol = 1e-8;
+    fo.seed_states = 32;
+    fo.max_states = 4000;
+    fo.min_growth = 0.25;
+    fo.solver = fsp::InnerSolver::kJacobi;
+    fo.jacobi.eps = sc.jacobi_eps;
+    fo.jacobi.stagnation_eps = sc.jacobi_stagnation_eps;
+    fo.jacobi.max_iterations = sc.jacobi_max_iterations;
+    fo.jacobi.damping = sc.jacobi_damping;
+    fo.matrix_free = true;
+    fo.matrix_free_box_ratio = 1e9;
+
+    auto solve_at = [&](int threads) {
+      util::set_max_threads(threads);
+      return fsp::solve_adaptive(net, sc.initial, fo);
+    };
+    const auto r1 = solve_at(1);
+    const auto r8 = solve_at(8);
+    EXPECT_EQ(r1.space.size(), r8.space.size());
+    EXPECT_EQ(r1.rounds.size(), r8.rounds.size());
+    EXPECT_EQ(r1.converged, r8.converged);
+    EXPECT_EQ(r1.p, r8.p);  // bitwise: vectors of identical doubles
+  }
+}
+
+}  // namespace

@@ -1,0 +1,294 @@
+//
+// cme_fuzz — differential-verification fuzz driver.
+//
+// Modes:
+//   cme_fuzz --runs N [--seed S | --seed from-date]   seeded random sweep
+//   cme_fuzz --replay FILE.repro.json                 replay one reproducer
+//   cme_fuzz --corpus DIR                             replay a corpus tree
+//
+// Each scenario runs the full oracle battery (verify_scenario). A failing
+// random scenario is greedily shrunk — same-primary-oracle predicate — and
+// written to --out as a minimal .repro.json for triage and corpus
+// promotion. Exit status is 0 only when every scenario passed AND the
+// tool's own run report validates against the cmesolve.run_report/1 schema.
+//
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "verify/oracles.hpp"
+#include "verify/report_check.hpp"
+#include "verify/repro_io.hpp"
+#include "verify/scenario.hpp"
+#include "verify/shrink.hpp"
+
+namespace {
+
+using namespace cmesolve;
+
+struct Args {
+  std::uint64_t runs = 100;
+  std::uint64_t seed = 1;
+  bool seed_from_date = false;
+  std::string replay;
+  std::string corpus;
+  std::string out = "fuzz-failures";
+  std::size_t max_shrink = 2000;
+  bool quick = false;          ///< skip FSP + gpusim (CI smoke lanes)
+  std::uint64_t ssa_every = 8;     ///< SSA oracle sampling period (0 = off)
+  std::uint64_t threads_every = 4; ///< thread-determinism period (0 = off)
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--runs N] [--seed S|from-date] [--replay FILE]\n"
+      "          [--corpus DIR] [--out DIR] [--max-shrink K] [--quick]\n"
+      "          [--ssa-every N] [--threads-every N]\n",
+      argv0);
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "cme_fuzz: %s needs a value\n", a.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--runs") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.runs = std::strtoull(v, nullptr, 10);
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "from-date") == 0) {
+        args.seed_from_date = true;
+      } else {
+        args.seed = std::strtoull(v, nullptr, 10);
+      }
+    } else if (a == "--replay") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.replay = v;
+    } else if (a == "--corpus") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.corpus = v;
+    } else if (a == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.out = v;
+    } else if (a == "--max-shrink") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.max_shrink = std::strtoull(v, nullptr, 10);
+    } else if (a == "--quick") {
+      args.quick = true;
+    } else if (a == "--ssa-every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.ssa_every = std::strtoull(v, nullptr, 10);
+    } else if (a == "--threads-every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.threads_every = std::strtoull(v, nullptr, 10);
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "cme_fuzz: unknown flag %s\n", a.c_str());
+      usage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Nightly seed: YYYYMMDD in UTC, so every run of a given day fuzzes the
+/// same deterministic slice and a red nightly reproduces locally.
+std::uint64_t seed_from_date() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  return static_cast<std::uint64_t>(utc.tm_year + 1900) * 10000 +
+         static_cast<std::uint64_t>(utc.tm_mon + 1) * 100 +
+         static_cast<std::uint64_t>(utc.tm_mday);
+}
+
+verify::OracleOptions base_options(const Args& args) {
+  verify::OracleOptions opt;
+  opt.with_fsp = !args.quick;
+  opt.with_gpusim = !args.quick;
+  return opt;
+}
+
+void print_failures(const std::string& label,
+                    const verify::VerifyResult& res) {
+  std::printf("FAIL %s (%zu states)\n", label.c_str(), res.states);
+  for (const auto& f : res.failures) {
+    std::printf("  [%s] %s\n", f.oracle.c_str(), f.message.c_str());
+  }
+}
+
+/// Run + shrink one failing random scenario; returns the reproducer path.
+std::string shrink_and_save(const Args& args, const verify::Scenario& sc,
+                            const verify::VerifyResult& res,
+                            const verify::OracleOptions& opt) {
+  const std::string primary = res.primary();
+  verify::ShrinkOptions sopt;
+  sopt.max_attempts = args.max_shrink;
+  verify::ShrinkStats stats;
+  verify::Scenario minimal = verify::shrink_scenario(
+      sc,
+      [&](const verify::Scenario& cand) {
+        return verify::verify_scenario(cand, opt).primary() == primary;
+      },
+      sopt, &stats);
+  minimal.name = "shrunk-" + sc.name;
+  std::printf(
+      "  shrink: %zu attempts, %zu accepted -> %zu species, %zu reactions\n",
+      stats.attempts, stats.accepted, minimal.species.size(),
+      minimal.reactions.size());
+
+  std::filesystem::create_directories(args.out);
+  const std::string path =
+      (std::filesystem::path(args.out) / (minimal.name + ".repro.json"))
+          .string();
+  if (!verify::save_repro_file(path, minimal)) {
+    std::fprintf(stderr, "cme_fuzz: cannot write %s\n", path.c_str());
+  } else {
+    std::printf("  reproducer: %s\n", path.c_str());
+  }
+  return path;
+}
+
+int replay_one(const std::string& path, const verify::OracleOptions& opt) {
+  verify::Scenario sc;
+  try {
+    sc = verify::load_repro_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cme_fuzz: %s\n", e.what());
+    return 1;
+  }
+  const auto res = verify::verify_scenario(sc, opt);
+  if (!res.passed) {
+    print_failures(path + " (" + sc.name + ")", res);
+    return 1;
+  }
+  std::printf("ok   %s (%s, %zu states, %zu oracles)\n", path.c_str(),
+              sc.name.c_str(), res.states, res.oracles_run.size());
+  return 0;
+}
+
+int replay_corpus(const Args& args) {
+  const auto opt = base_options(args);
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(args.corpus)) {
+    if (entry.is_regular_file() &&
+        entry.path().string().ends_with(".repro.json")) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "cme_fuzz: no .repro.json under %s\n",
+                 args.corpus.c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const auto& f : files) failures += replay_one(f, opt);
+  std::printf("corpus: %zu entries, %d failures\n", files.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+int fuzz_sweep(const Args& args) {
+  const std::uint64_t base =
+      args.seed_from_date ? seed_from_date() : args.seed;
+  std::printf("cme_fuzz: %llu runs from seed %llu\n",
+              static_cast<unsigned long long>(args.runs),
+              static_cast<unsigned long long>(base));
+  int failures = 0;
+  for (std::uint64_t i = 0; i < args.runs; ++i) {
+    const std::uint64_t seed = base + i;
+    auto opt = base_options(args);
+    opt.with_ssa = args.ssa_every > 0 && i % args.ssa_every == 0;
+    opt.with_threads = args.threads_every > 0 && i % args.threads_every == 0;
+    const verify::Scenario sc = verify::random_scenario(seed);
+    const auto res = verify::verify_scenario(sc, opt);
+    if (res.passed) {
+      if ((i + 1) % 50 == 0 || i + 1 == args.runs) {
+        std::printf("  ... %llu/%llu ok\n",
+                    static_cast<unsigned long long>(i + 1),
+                    static_cast<unsigned long long>(args.runs));
+      }
+      continue;
+    }
+    ++failures;
+    print_failures(sc.name, res);
+    // Shrink with the cheapest option set that still covers the failing
+    // oracle — the predicate re-runs the battery hundreds of times.
+    auto shrink_opt = opt;
+    shrink_opt.with_ssa = res.primary() == "ssa";
+    shrink_opt.with_threads = res.primary() == "thread-determinism";
+    shrink_opt.with_fsp = shrink_opt.with_fsp && res.primary() == "fsp-parity";
+    shrink_opt.with_gpusim =
+        shrink_opt.with_gpusim && res.primary() == "gpusim";
+    (void)shrink_and_save(args, sc, res, shrink_opt);
+  }
+  std::printf("fuzz: %llu runs, %d failures\n",
+              static_cast<unsigned long long>(args.runs), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+/// The fuzz driver doubles as the report-writer oracle (ISSUE 5 satellite):
+/// after a sweep full of instrumented solves, its own run report must
+/// validate against the schema.
+int check_own_report() {
+  std::ostringstream os;
+  obs::write_report(os);
+  std::string error;
+  if (!verify::validate_run_report(os.str(), &error)) {
+    std::fprintf(stderr, "cme_fuzz: run report schema violation: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  std::printf("run report: schema ok (%zu bytes)\n", os.str().size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return 2;
+
+  // Metrics on: the oracle battery must hold up under full instrumentation,
+  // and the final report feeds the schema oracle.
+  obs::set_metrics_enabled(true);
+  obs::set_context("program", "cme_fuzz");
+
+  int rc = 0;
+  if (!args.replay.empty()) {
+    rc = replay_one(args.replay, base_options(args));
+  } else if (!args.corpus.empty()) {
+    rc = replay_corpus(args);
+  } else {
+    rc = fuzz_sweep(args);
+  }
+  rc |= check_own_report();
+  return rc;
+}
