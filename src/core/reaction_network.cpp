@@ -50,12 +50,17 @@ int ReactionNetwork::find_species(std::string_view name) const noexcept {
 
 real_t ReactionNetwork::propensity(int k, const State& x) const {
   const Reaction& r = reactions_[static_cast<std::size_t>(k)];
-  real_t a = r.rate;
+  // Rate-last association: the propensity is rate * (unit combinatorial
+  // product). Keeping the rate as the final multiply makes every
+  // propensity exactly linear in the rate constant at the bit level,
+  // which the batched ensemble operator relies on to share one unit
+  // propensity table across parameter points (1.0 * u == u exactly).
+  real_t a = 1.0;
   for (const auto& re : r.reactants) {
     a *= binomial(x[static_cast<std::size_t>(re.species)], re.copies);
     if (a == 0.0) return 0.0;
   }
-  return a;
+  return r.rate * a;
 }
 
 bool ReactionNetwork::within_capacity(int k, const State& x) const {

@@ -1,6 +1,7 @@
 #include "core/stencil.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
@@ -165,6 +166,43 @@ StencilTable::StencilTable(const ReactionNetwork& network, const State& anchor)
   obs::gauge("stencil.bytes_modeled", static_cast<double>(bytes_modeled()));
 }
 
+StencilTable::StencilTable(const StencilTable& base,
+                           std::span<const real_t> rates)
+    : network_(base.network_),
+      anchor_(base.anchor_),
+      num_species_(base.num_species_),
+      laws_(base.laws_),
+      free_species_(base.free_species_),
+      radix_(base.radix_),
+      weight_(base.weight_),
+      box_rows_(base.box_rows_),
+      reactions_(base.reactions_),
+      rate_dropped_(base.rate_dropped_) {
+  CMESOLVE_TRACE_SPAN("core.stencil.rebind");
+  if (rates.size() != static_cast<std::size_t>(network_->num_reactions())) {
+    throw std::invalid_argument(
+        "StencilTable rebind: rates must cover every network reaction");
+  }
+  if (rate_dropped_ > 0) {
+    throw std::invalid_argument(
+        "StencilTable rebind: base table dropped a reaction for a "
+        "non-positive rate; rebuild from a network with all rates > 0");
+  }
+  for (auto& r : reactions_) {
+    const real_t v = rates[static_cast<std::size_t>(r.reaction)];
+    if (!std::isfinite(v) || v <= 0.0) {
+      throw std::invalid_argument(
+          "StencilTable rebind: every compiled reaction needs a finite "
+          "positive rate");
+    }
+    r.rate = v;
+  }
+  build_diagonal();
+  obs::count("stencil.tables_rebound");
+  obs::gauge("stencil.box_rows", static_cast<double>(box_rows_));
+  obs::gauge("stencil.rows_masked", static_cast<double>(rows_masked_));
+}
+
 void StencilTable::detect_laws() {
   const auto ns = static_cast<std::size_t>(num_species_);
   // Delta matrix: one row per non-null reaction, one column per species.
@@ -280,7 +318,11 @@ void StencilTable::compile_reactions() {
     // A zero stride means zero net change on every free digit, which the
     // laws propagate to every derived species: a null transition. It
     // cancels in the generator exactly as in rate_matrix().
-    if (sr.stride == 0 || r.rate <= 0.0) continue;
+    if (sr.stride == 0) continue;
+    if (r.rate <= 0.0) {
+      ++rate_dropped_;
+      continue;
+    }
 
     WindowSet in, out;
     for (std::size_t s = 0; s < net.size(); ++s) {
@@ -362,11 +404,16 @@ bool StencilTable::row_valid(const State& x) const {
 
 real_t StencilTable::in_propensity(const StencilReaction& r,
                                    const State& x) const {
+  return r.rate * unit_in_propensity(r, x);
+}
+
+real_t StencilTable::unit_in_propensity(const StencilReaction& r,
+                                        const State& x) const {
   for (const auto& c : r.in_checks) {
     const std::int32_t v = x[static_cast<std::size_t>(c.species)];
     if (v < c.lo || v > c.hi) return 0.0;
   }
-  real_t a = r.rate;
+  real_t a = 1.0;
   for (const auto& f : r.in_factors) {
     a *= cmesolve::binomial(x[static_cast<std::size_t>(f.species)] + f.shift,
                         f.copies);
@@ -377,11 +424,16 @@ real_t StencilTable::in_propensity(const StencilReaction& r,
 
 real_t StencilTable::out_propensity(const StencilReaction& r,
                                     const State& x) const {
+  return r.rate * unit_out_propensity(r, x);
+}
+
+real_t StencilTable::unit_out_propensity(const StencilReaction& r,
+                                         const State& x) const {
   for (const auto& c : r.out_checks) {
     const std::int32_t v = x[static_cast<std::size_t>(c.species)];
     if (v < c.lo || v > c.hi) return 0.0;
   }
-  real_t a = r.rate;
+  real_t a = 1.0;
   for (const auto& f : r.out_factors) {
     a *= cmesolve::binomial(x[static_cast<std::size_t>(f.species)] + f.shift,
                         f.copies);

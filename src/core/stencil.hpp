@@ -94,6 +94,20 @@ class StencilTable {
  public:
   StencilTable(const ReactionNetwork& network, const State& anchor);
 
+  /// Rebind: share every structural table of `base` — conservation laws,
+  /// mixed-radix geometry, per-reaction strides/windows/factors — and swap
+  /// in new rate constants (indexed by NETWORK reaction id, size
+  /// network().num_reactions()). Only the per-row diagonal is recomputed;
+  /// enumeration and elimination are never repeated. This is what makes a
+  /// parameter ensemble share one structural build.
+  ///
+  /// Every compiled reaction's new rate must be finite and > 0, and the
+  /// base must not have dropped any reaction for a non-positive rate
+  /// (the dropped reaction's stencil was never compiled, so no rate can
+  /// revive it); violations throw std::invalid_argument. Sparsity and row
+  /// masking are therefore rate-independent across rebinds.
+  StencilTable(const StencilTable& base, std::span<const real_t> rates);
+
   [[nodiscard]] const ReactionNetwork& network() const noexcept {
     return *network_;
   }
@@ -141,14 +155,26 @@ class StencilTable {
 
   /// Off-diagonal value A(row(x), row(x) - r.stride) for a decoded row
   /// state x. Assumes x itself is a valid row; returns 0 when the
-  /// predecessor is invalid or the propensity vanishes.
+  /// predecessor is invalid or the propensity vanishes. Exactly
+  /// r.rate * unit_in_propensity(r, x) — rate-last, so the value is
+  /// bitwise linear in the rate constant.
   [[nodiscard]] real_t in_propensity(const StencilReaction& r,
                                      const State& x) const;
+  /// The rate-independent combinatorial part of in_propensity (windows
+  /// applied, binomial factors multiplied onto 1.0). Shared across every
+  /// rebind of this structure; the batched operator caches it once per
+  /// (reaction, row) for a whole parameter ensemble.
+  [[nodiscard]] real_t unit_in_propensity(const StencilReaction& r,
+                                          const State& x) const;
 
   /// Outflow rate of reaction r at row state x: positive exactly when the
-  /// reaction is applicable (successor stays in the box).
+  /// reaction is applicable (successor stays in the box). Exactly
+  /// r.rate * unit_out_propensity(r, x).
   [[nodiscard]] real_t out_propensity(const StencilReaction& r,
                                       const State& x) const;
+  /// Rate-independent combinatorial part of out_propensity.
+  [[nodiscard]] real_t unit_out_propensity(const StencilReaction& r,
+                                           const State& x) const;
 
   /// Diagonal over the box: -sum_k out_propensity for valid rows with
   /// positive outflow, -1 sentinel on masked rows (invalid derived counts,
@@ -191,6 +217,10 @@ class StencilTable {
   std::vector<real_t> diag_;
   std::size_t offdiag_nnz_ = 0;
   index_t rows_masked_ = 0;
+  /// Reactions with a real (non-null) transition that compile_reactions
+  /// dropped only because their rate was <= 0. A table with any such drop
+  /// cannot be rebound: the structure is incomplete for positive rates.
+  int rate_dropped_ = 0;
 };
 
 }  // namespace cmesolve::core

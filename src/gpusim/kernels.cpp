@@ -810,6 +810,110 @@ KernelStats simulate_spmv_stencil(const DeviceSpec& dev,
                     2ULL * table.offdiag_nnz(), opt.passes, body);
 }
 
+KernelStats simulate_spmv_stencil_batched(
+    const DeviceSpec& dev, const core::StencilTable& table,
+    std::span<const std::vector<real_t>> rates, std::span<const real_t> x,
+    std::span<real_t> y, const SimOptions& opt) {
+  const index_t n = table.box_rows();
+  const auto batch = rates.size();
+  assert(batch >= 1);
+  assert(x.size() == static_cast<std::size_t>(n) * batch);
+  assert(y.size() == static_cast<std::size_t>(n) * batch);
+  MemorySim sim(dev, opt.l1_enabled);
+  AddressSpace as;
+  SpmvArrays a;
+  a.x = as.alloc(static_cast<std::size_t>(n) * batch * opt.value_bytes);
+  a.y = as.alloc(static_cast<std::size_t>(n) * batch * opt.value_bytes);
+
+  const auto& rx = table.reactions();
+  const int ns = table.num_species();
+  // Per-point rate coefficients, reaction-major — the ONLY stored operator
+  // data, R x K scalars for the whole batch.
+  std::vector<real_t> coef(rx.size() * batch);
+  for (std::size_t r = 0; r < rx.size(); ++r) {
+    for (std::size_t q = 0; q < batch; ++q) {
+      coef[r * batch + q] =
+          rates[q][static_cast<std::size_t>(rx[r].reaction)];
+    }
+  }
+  a.val = as.alloc(coef.size() * opt.value_bytes);
+
+  std::uint64_t decode_flops =
+      3ULL * static_cast<std::uint64_t>(table.num_free());
+  for (const auto& law : table.laws()) {
+    decode_flops += 2ULL * law.terms.size();
+  }
+  const std::size_t kvec = batch * opt.value_bytes;
+
+  const auto body = [&] {
+    for_each_warp(sim, n, opt.block_size, [&](SmStream& mem) {
+      return [&,
+              sums = std::vector<real_t>(
+                  static_cast<std::size_t>(dev.warp_size) * batch),
+              states = std::vector<core::State>(
+                  static_cast<std::size_t>(dev.warp_size),
+                  core::State(static_cast<std::size_t>(ns))),
+              valid = std::vector<char>(
+                  static_cast<std::size_t>(dev.warp_size))](
+                 index_t w, index_t lanes) mutable {
+        std::fill(sums.begin(), sums.end(), 0.0);
+        for (index_t lane = 0; lane < lanes; ++lane) {
+          auto& xs = states[static_cast<std::size_t>(lane)];
+          table.decode(w + lane, xs);
+          valid[static_cast<std::size_t>(lane)] = table.row_valid(xs) ? 1 : 0;
+        }
+        mem.add_flops(decode_flops * static_cast<std::uint64_t>(lanes));
+
+        for (std::size_t r = 0; r < rx.size(); ++r) {
+          const auto& sr = rx[r];
+          const real_t* cf = coef.data() + r * batch;
+          // Coefficient vector: one tiny contiguous load per warp per
+          // reaction, L1/L2 resident across the whole sweep.
+          mem.stream_load(a.val + static_cast<std::uint64_t>(r) * kvec, kvec);
+          std::uint64_t eval_flops = 0;
+          for (index_t lane = 0; lane < lanes; ++lane) {
+            if (!valid[static_cast<std::size_t>(lane)]) continue;
+            // Decode/check/factor arithmetic ONCE per (row, reaction) —
+            // amortized over the whole batch (this is the compute-side
+            // win; the rate multiply happens per point below).
+            eval_flops += static_cast<std::uint64_t>(sr.in_checks.size()) +
+                          2ULL * sr.in_factors.size();
+            const real_t u = table.unit_in_propensity(
+                sr, states[static_cast<std::size_t>(lane)]);
+            if (u == 0.0) continue;
+            const index_t src = w + lane - static_cast<index_t>(sr.stride);
+            // The x read is a CONTIGUOUS K-vector (and consecutive lanes
+            // touch consecutive rows, so warp traffic coalesces).
+            mem.stream_load(
+                a.x + static_cast<std::uint64_t>(src) * kvec, kvec);
+            real_t* sl = sums.data() +
+                         static_cast<std::size_t>(lane) * batch;
+            const real_t* xs =
+                x.data() + static_cast<std::size_t>(src) * batch;
+            for (std::size_t q = 0; q < batch; ++q) {
+              sl[q] += (cf[q] * u) * xs[q];
+            }
+            eval_flops += 3ULL * batch;  // coef mult + fma per point
+          }
+          mem.add_flops(eval_flops);
+        }
+        mem.stream_store(a.y + static_cast<std::uint64_t>(w) * kvec,
+                         static_cast<std::size_t>(lanes) * kvec);
+        for (index_t lane = 0; lane < lanes; ++lane) {
+          for (std::size_t q = 0; q < batch; ++q) {
+            y[static_cast<std::size_t>(w + lane) * batch + q] =
+                sums[static_cast<std::size_t>(lane) * batch + q];
+          }
+        }
+      };
+    });
+  };
+  return run_passes(sim, "sim.spmv.stencil_batched", opt.block_size,
+                    2ULL * table.offdiag_nnz() *
+                        static_cast<std::uint64_t>(batch),
+                    opt.passes, body);
+}
+
 KernelStats simulate_jacobi_sweep(const DeviceSpec& dev,
                                   const sparse::SlicedEllDia& m,
                                   std::span<const real_t> x,

@@ -13,6 +13,7 @@
 // the second (warm-cache) pass is reported.
 //
 #include <span>
+#include <vector>
 
 #include "core/stencil.hpp"
 #include "gpusim/device.hpp"
@@ -95,6 +96,25 @@ KernelStats simulate_spmv_stencil(const DeviceSpec& dev,
                                   std::span<const real_t> x,
                                   std::span<real_t> y,
                                   const SimOptions& opt = {});
+
+/// Batched multi-RHS stencil kernel: thread = box row, K parameter points
+/// advanced per pass with x and y interleaved point-major ([row][k], see
+/// solver::BatchedStencilOperator). The expensive per-entry work — state
+/// decode, window checks, combinatorial factors — happens ONCE per (row,
+/// reaction) and is amortized over all K points, while the x read at
+/// row - stride becomes a CONTIGUOUS K-element vector load (and warp
+/// lanes read consecutive rows, so the whole warp's traffic coalesces
+/// into dense segments instead of strided gathers). Per-point rate
+/// coefficients stream once per warp per reaction from a tiny R x K
+/// table. `rates[k]` indexes network reactions, exactly as the host
+/// batched operator; the functional result is bitwise the host batched
+/// sweep. This is the modeled-DRAM twin of the ensemble batching win:
+/// traffic per point drops toward (offdiag reads + row writes) with the
+/// unit-table stream amortized K ways.
+KernelStats simulate_spmv_stencil_batched(
+    const DeviceSpec& dev, const core::StencilTable& table,
+    std::span<const std::vector<real_t>> rates, std::span<const real_t> x,
+    std::span<real_t> y, const SimOptions& opt = {});
 
 /// One Jacobi sweep x_out = -D^{-1} (L+U) x on the Table IV hybrid format:
 /// off-band sliced-ELL walk + off-diagonal band lanes + dense-diagonal

@@ -400,12 +400,18 @@ void StencilOperator::sweep_recompute(std::span<const real_t> x,
               }
             }
             if (!alive) continue;
-            real_t prefix = r.rate;
+            // Unit prefix: combinatorial factors only. The rate multiplies
+            // LAST at every value-formation site below, so each entry is
+            // exactly rate * (unit product) — bitwise linear in the rate,
+            // matching StencilTable::in_propensity and the batched
+            // operator's coefficient * shared-unit-cache split.
+            real_t prefix = 1.0;
             for (const auto& f : r.const_factors) {
               prefix *= f.tbl[base[f.sp] + f.shift];
               if (prefix == 0.0) break;
             }
             if (prefix == 0.0) continue;
+            const real_t rate = r.rate;
             // j-varying windows become j-intervals: lo <= b + sJ*j <= hi.
             std::int64_t jlo = jv_lo, jhi = jv_hi;
             for (const auto& c : r.j_checks) {
@@ -437,11 +443,12 @@ void StencilOperator::sweep_recompute(std::span<const real_t> x,
                 const std::int64_t b0 = tbase + jlo * rf;
                 const std::int64_t cnt = (jhi - jlo) * rf;
                 const std::int64_t s0 = b0 - r.stride;
+                const real_t coef = rate * prefix;
                 if (ck) {
-                  for (std::int64_t u = 0; u < cnt; ++u) ck[s0 + u] = prefix;
+                  for (std::int64_t u = 0; u < cnt; ++u) ck[s0 + u] = coef;
                 } else {
                   for (std::int64_t u = 0; u < cnt; ++u) {
-                    yv[b0 + u] += prefix * xv[s0 + u];
+                    yv[b0 + u] += coef * xv[s0 + u];
                   }
                 }
                 continue;
@@ -462,11 +469,11 @@ void StencilOperator::sweep_recompute(std::span<const real_t> x,
                 const std::int64_t s0 = tbase - r.stride;
                 if (ck) {
                   for (std::int64_t u = ulo; u < uhi; ++u) {
-                    ck[s0 + u] = prefix * cf[u];
+                    ck[s0 + u] = rate * (prefix * cf[u]);
                   }
                 } else {
                   for (std::int64_t u = ulo; u < uhi; ++u) {
-                    yv[tbase + u] += prefix * cf[u] * xv[s0 + u];
+                    yv[tbase + u] += rate * (prefix * cf[u]) * xv[s0 + u];
                   }
                 }
                 continue;
@@ -486,11 +493,11 @@ void StencilOperator::sweep_recompute(std::span<const real_t> x,
                 if (tw) {
                   if (ck) {
                     for (std::int64_t u = tlo; u < thi; ++u) {
-                      ck[src0 + u] = kj * tw[u];
+                      ck[src0 + u] = rate * (kj * tw[u]);
                     }
                   } else {
                     for (std::int64_t u = tlo; u < thi; ++u) {
-                      yv[dst0 + u] += kj * tw[u] * xv[src0 + u];
+                      yv[dst0 + u] += rate * (kj * tw[u]) * xv[src0 + u];
                     }
                   }
                 } else if (tf) {
@@ -498,21 +505,22 @@ void StencilOperator::sweep_recompute(std::span<const real_t> x,
                                      tf->sT * static_cast<std::int32_t>(tlo);
                   if (ck) {
                     for (std::int64_t u = tlo; u < thi; ++u, arg += tf->sT) {
-                      ck[src0 + u] = kj * tf->tbl[arg];
+                      ck[src0 + u] = rate * (kj * tf->tbl[arg]);
                     }
                   } else {
                     for (std::int64_t u = tlo; u < thi; ++u, arg += tf->sT) {
-                      yv[dst0 + u] += kj * tf->tbl[arg] * xv[src0 + u];
+                      yv[dst0 + u] += rate * (kj * tf->tbl[arg]) * xv[src0 + u];
                     }
                   }
                 } else {
+                  const real_t coef = rate * kj;
                   if (ck) {
                     for (std::int64_t u = tlo; u < thi; ++u) {
-                      ck[src0 + u] = kj;
+                      ck[src0 + u] = coef;
                     }
                   } else {
                     for (std::int64_t u = tlo; u < thi; ++u) {
-                      yv[dst0 + u] += kj * xv[src0 + u];
+                      yv[dst0 + u] += coef * xv[src0 + u];
                     }
                   }
                 }
@@ -536,11 +544,11 @@ void StencilOperator::sweep_recompute(std::span<const real_t> x,
                 const real_t* cf = r.tile_coef.data() + j * rf;
                 if (ck) {
                   for (std::int64_t u = lo; u < hi; ++u) {
-                    ck[src0 + u] = prefix * cf[u];
+                    ck[src0 + u] = rate * (prefix * cf[u]);
                   }
                 } else {
                   for (std::int64_t u = lo; u < hi; ++u) {
-                    yv[dst0 + u] += prefix * cf[u] * xv[src0 + u];
+                    yv[dst0 + u] += rate * (prefix * cf[u]) * xv[src0 + u];
                   }
                 }
                 continue;
@@ -549,7 +557,8 @@ void StencilOperator::sweep_recompute(std::span<const real_t> x,
                 clip_window(lo, hi, base[c.sp] + c.sJ * j, c.sT, c.lo, c.hi);
               }
               if (lo >= hi) continue;
-              // Per-j coefficient: rate x tile-constant x j-only factors.
+              // Per-j unit coefficient: tile-constant x j-only factors;
+              // the rate multiplies last at the value sites.
               real_t kj = prefix;
               for (const auto& f : r.j_factors) {
                 kj *= f.tbl[base[f.sp] + f.shift + f.sJ * j];
@@ -561,13 +570,14 @@ void StencilOperator::sweep_recompute(std::span<const real_t> x,
               const std::int64_t dst0 = tbase + j * rf;
               const std::int64_t src0 = dst0 - r.stride;
               if (nt == 0) {
+                const real_t coef = rate * kj;
                 if (ck) {
                   for (std::int64_t u = lo; u < hi; ++u) {
-                    ck[src0 + u] = kj;
+                    ck[src0 + u] = coef;
                   }
                 } else {
                   for (std::int64_t u = lo; u < hi; ++u) {
-                    yv[dst0 + u] += kj * xv[src0 + u];
+                    yv[dst0 + u] += coef * xv[src0 + u];
                   }
                 }
               } else if (nt == 1) {
@@ -581,22 +591,22 @@ void StencilOperator::sweep_recompute(std::span<const real_t> x,
                   const real_t* tw = f.tbl + arg0;
                   if (ck) {
                     for (std::int64_t u = lo; u < hi; ++u) {
-                      ck[src0 + u] = kj * tw[u];
+                      ck[src0 + u] = rate * (kj * tw[u]);
                     }
                   } else {
                     for (std::int64_t u = lo; u < hi; ++u) {
-                      yv[dst0 + u] += kj * tw[u] * xv[src0 + u];
+                      yv[dst0 + u] += rate * (kj * tw[u]) * xv[src0 + u];
                     }
                   }
                 } else {
                   std::int32_t arg = arg0 + st * static_cast<std::int32_t>(lo);
                   if (ck) {
                     for (std::int64_t u = lo; u < hi; ++u, arg += st) {
-                      ck[src0 + u] = kj * f.tbl[arg];
+                      ck[src0 + u] = rate * (kj * f.tbl[arg]);
                     }
                   } else {
                     for (std::int64_t u = lo; u < hi; ++u, arg += st) {
-                      yv[dst0 + u] += kj * f.tbl[arg] * xv[src0 + u];
+                      yv[dst0 + u] += rate * (kj * f.tbl[arg]) * xv[src0 + u];
                     }
                   }
                 }
@@ -621,9 +631,9 @@ void StencilOperator::sweep_recompute(std::span<const real_t> x,
                     args[f] += steps[f];
                   }
                   if (ck) {
-                    ck[src0 + u] = a;
+                    ck[src0 + u] = rate * a;
                   } else {
-                    yv[dst0 + u] += a * xv[src0 + u];
+                    yv[dst0 + u] += rate * a * xv[src0 + u];
                   }
                 }
               }

@@ -72,6 +72,15 @@ class StencilOperator {
   /// construction via a ones-vector sweep — the scale jacobi_solve wants.
   [[nodiscard]] real_t inf_norm() const noexcept { return inf_norm_; }
 
+  /// kPropensityCache only: the cached off-diagonal values, reaction-major
+  /// (reactions() x box_rows; entry [k * box_rows + src] is the value the
+  /// sweep applies from source row src along reaction k). Empty in
+  /// recompute mode. The batched ensemble operator builds a UNIT-rate
+  /// operator and reads this as the shared combinatorial table.
+  [[nodiscard]] std::span<const real_t> propensity_cache() const noexcept {
+    return cache_;
+  }
+
   /// Copy per-state values from an enumerated space into the box layout
   /// (rows not covered by the space are zeroed). Every state of `space`
   /// must map into the box (same network, same conservation class).

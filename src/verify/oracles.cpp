@@ -17,6 +17,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/kernels.hpp"
 #include "obs/metrics.hpp"
+#include "solver/batched.hpp"
 #include "solver/gauss_seidel.hpp"
 #include "solver/gmres.hpp"
 #include "solver/jacobi.hpp"
@@ -150,6 +151,7 @@ class Verifier {
     if (opt_.with_gpusim) check_gpusim();
     if (opt_.with_threads) check_threads();
     if (opt_.with_fsp) check_fsp_parity();
+    if (opt_.with_ensemble) check_ensemble();
   }
 
  private:
@@ -747,6 +749,90 @@ class Verifier {
       }
     } catch (const std::exception& e) {
       fail("fsp-parity", std::string("adaptive FSP threw: ") + e.what());
+    }
+  }
+
+  // -- batched ensemble parity ---------------------------------------------
+
+  /// The batched multi-RHS solver's contract: lane k is bit-identical to
+  /// the single-RHS path solving point k alone — same vector, same
+  /// iteration count, same stop reason, same GMRES-fallback decision — at
+  /// any thread count. The scenario is turned into a K=3 ensemble (the
+  /// compiled rates plus two deterministic rescalings) so the lanes are
+  /// genuinely distinct and converge at different iterations, exercising
+  /// the per-lane freeze masking.
+  void check_ensemble() {
+    if (jacobi_iterations_ > 100'000) return;  // too stiff to re-solve x6
+    build_stencil();
+    if (stencil_ == nullptr) return;
+    if (stencil_->nrows() > opt_.ensemble_max) return;
+
+    constexpr int kPoints = 3;
+    std::vector<std::vector<real_t>> rates;
+    Xoshiro256 rng(sc_.seed * 0x9E3779B97F4A7C15ULL + 0xBA7C4EDULL);
+    for (int q = 0; q < kPoints; ++q) {
+      std::vector<real_t> rk(static_cast<std::size_t>(net_.num_reactions()));
+      for (int r = 0; r < net_.num_reactions(); ++r) {
+        const real_t f = q == 0 ? 1.0 : rng.uniform(0.5, 2.0);
+        rk[static_cast<std::size_t>(r)] = net_.reaction(r).rate * f;
+      }
+      rates.push_back(std::move(rk));
+    }
+
+    solver::EnsembleOptions eopt;
+    eopt.jacobi = jacobi_options();
+    solver::EnsembleResult batched;
+    solver::EnsembleResult sequential;
+    try {
+      batched = solver::solve_ensemble(stencil_->table(), rates, eopt);
+      auto sopt = eopt;
+      sopt.batched = false;
+      sequential = solver::solve_ensemble(stencil_->table(), rates, sopt);
+    } catch (const std::invalid_argument&) {
+      // Rates not rebind-eligible for this scenario's box (a zero-rate
+      // compiled reaction): the ensemble path simply doesn't apply.
+      return;
+    }
+    ran("ensemble");
+
+    for (int q = 0; q < kPoints; ++q) {
+      const auto& b = batched.points[static_cast<std::size_t>(q)];
+      const auto& s = sequential.points[static_cast<std::size_t>(q)];
+      if (!bitwise_equal(b.p, s.p)) {
+        fail("ensemble", "batched point " + std::to_string(q) +
+                             " differs bitwise from the sequential "
+                             "single-RHS solve");
+        return;
+      }
+      if (b.jacobi.iterations != s.jacobi.iterations ||
+          b.jacobi.reason != s.jacobi.reason || b.gmres_used != s.gmres_used) {
+        fail("ensemble", "batched point " + std::to_string(q) +
+                             " stops differently from the sequential path (" +
+                             std::to_string(b.jacobi.iterations) + " vs " +
+                             std::to_string(s.jacobi.iterations) + " iters)");
+        return;
+      }
+    }
+
+    if (opt_.with_threads) {
+      struct ThreadRestore {
+        ~ThreadRestore() { util::set_max_threads(0); }
+      } restore;
+      auto solve_at = [&](int threads) {
+        util::set_max_threads(threads);
+        return solver::solve_ensemble(stencil_->table(), rates, eopt);
+      };
+      const auto e1 = solve_at(1);
+      const auto e8 = solve_at(8);
+      for (int q = 0; q < kPoints; ++q) {
+        const auto& b = batched.points[static_cast<std::size_t>(q)];
+        if (!bitwise_equal(e1.points[static_cast<std::size_t>(q)].p, b.p) ||
+            !bitwise_equal(e8.points[static_cast<std::size_t>(q)].p, b.p)) {
+          fail("ensemble", "batched ensemble point " + std::to_string(q) +
+                               " differs bitwise across thread counts");
+          return;
+        }
+      }
     }
   }
 

@@ -24,6 +24,10 @@
 //   thread-determinism the solve is bit-identical at 1 and 8 threads
 //   fsp-parity        adaptive FSP, assembled vs masked-stencil inner
 //                     solves, both land on the full-space answer
+//   ensemble          a batched K-variant multi-RHS solve is bitwise
+//                     identical per point (vector, iterations, stop
+//                     reason, fallback) to the sequential single-RHS path,
+//                     and stable across 1/8/ambient thread counts
 //
 // Directed expectations (Expectation::kAbsorbing / kStagnation /
 // kZeroResidual) replace the cross-solver battery with the corresponding
@@ -48,8 +52,11 @@ struct OracleOptions {
   index_t ssa_max = 160;
   /// Largest space the FSP-parity oracle accepts.
   index_t fsp_max = 3000;
+  /// Largest stencil box (rows) the batched-ensemble oracle accepts.
+  index_t ensemble_max = 20'000;
   bool with_ssa = false;      ///< expensive; the fuzz driver samples it
   bool with_fsp = true;
+  bool with_ensemble = true;
   bool with_gpusim = true;
   bool with_matrix_market = true;
   /// Re-solve at 1 and 8 threads and require bit-identity. Leave off when

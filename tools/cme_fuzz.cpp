@@ -46,6 +46,7 @@ struct Args {
   bool quick = false;          ///< skip FSP + gpusim (CI smoke lanes)
   std::uint64_t ssa_every = 8;     ///< SSA oracle sampling period (0 = off)
   std::uint64_t threads_every = 4; ///< thread-determinism period (0 = off)
+  std::uint64_t ensemble_every = 2;  ///< batched-ensemble period (0 = off)
 };
 
 void usage(const char* argv0) {
@@ -53,7 +54,7 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--runs N] [--seed S|from-date] [--replay FILE]\n"
       "          [--corpus DIR] [--out DIR] [--max-shrink K] [--quick]\n"
-      "          [--ssa-every N] [--threads-every N]\n",
+      "          [--ssa-every N] [--threads-every N] [--ensemble-every N]\n",
       argv0);
 }
 
@@ -105,6 +106,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.threads_every = std::strtoull(v, nullptr, 10);
+    } else if (a == "--ensemble-every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.ensemble_every = std::strtoull(v, nullptr, 10);
     } else if (a == "--help" || a == "-h") {
       usage(argv[0]);
       std::exit(0);
@@ -227,6 +232,8 @@ int fuzz_sweep(const Args& args) {
     auto opt = base_options(args);
     opt.with_ssa = args.ssa_every > 0 && i % args.ssa_every == 0;
     opt.with_threads = args.threads_every > 0 && i % args.threads_every == 0;
+    opt.with_ensemble =
+        args.ensemble_every > 0 && i % args.ensemble_every == 0;
     const verify::Scenario sc = verify::random_scenario(seed);
     const auto res = verify::verify_scenario(sc, opt);
     if (res.passed) {
@@ -245,6 +252,7 @@ int fuzz_sweep(const Args& args) {
     shrink_opt.with_ssa = res.primary() == "ssa";
     shrink_opt.with_threads = res.primary() == "thread-determinism";
     shrink_opt.with_fsp = shrink_opt.with_fsp && res.primary() == "fsp-parity";
+    shrink_opt.with_ensemble = res.primary() == "ensemble";
     shrink_opt.with_gpusim =
         shrink_opt.with_gpusim && res.primary() == "gpusim";
     (void)shrink_and_save(args, sc, res, shrink_opt);
