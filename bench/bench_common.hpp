@@ -47,8 +47,13 @@ inline std::vector<real_t> uniform_vector(index_t n) {
 }
 
 /// Stamp the shared provenance fields of the run report (schema
-/// "cmesolve.run_report/1") for a bench binary. Pass the simulated device
-/// when the bench uses one.
+/// "cmesolve.run_report/2") and the bench ledger record
+/// ("cmesolve.bench/1") for a bench binary. Pass the simulated device
+/// when the bench uses one. Every bench publishes its headline numbers as
+/// obs gauges (measured wall-clock-derived values with is_volatile=true,
+/// modeled/counted values deterministic) and calls obs::flush_outputs()
+/// before exit so CMESOLVE_REPORT / CMESOLVE_BENCH / CMESOLVE_FLIGHT work
+/// uniformly across the bench suite and cme_bench_diff can diff any run.
 inline void report_context(const std::string& program, const std::string& scale,
                            const gpusim::DeviceSpec* dev = nullptr) {
   obs::set_context("program", program);

@@ -9,7 +9,7 @@
 // measuring wall-clock per repetition and cross-checking that every thread
 // count reproduces the 1-thread counters and iterates bit-exactly.
 //
-// Emits the unified run-report schema (cmesolve.run_report/1, the same
+// Emits the unified run-report schema (cmesolve.run_report/2, the same
 // writer every instrumented binary uses) to stdout and to sim_scaling.json —
 // honest numbers from THIS host: on a single-core container every speedup is
 // ~1.0 by physics, and the report says so rather than inventing parallel

@@ -1,18 +1,24 @@
 // google-benchmark microbenchmarks of the host SpMV kernels across formats
 // (the CPU reference implementations backing the solver numerics). These are
 // real wall-clock measurements on this machine, complementing the
-// simulated-GPU tables.
+// simulated-GPU tables. Results are mirrored into the obs registry as
+// VOLATILE gauges (per-iteration seconds per benchmark) so a
+// CMESOLVE_BENCH run yields a cmesolve.bench/1 ledger cme_bench_diff can
+// band-compare against a same-machine baseline.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #if defined(_OPENMP)
 #include <omp.h>
 #endif
 
+#include "bench_common.hpp"
 #include "core/models.hpp"
 #include "core/rate_matrix.hpp"
 #include "core/state_space.hpp"
+#include "obs/metrics.hpp"
 #include "solver/jacobi.hpp"
 #include "solver/operators.hpp"
 #include "sparse/csr.hpp"
@@ -145,6 +151,39 @@ void BM_JacobiIterationsThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_JacobiIterationsThreads)->Apply(thread_args)->UseRealTime();
 
+/// Console reporter that also mirrors each run into the obs registry:
+/// `spmv_cpu.<benchmark>.seconds` (real time per iteration), volatile —
+/// wall clock never enters the deterministic ledger section.
+class LedgerReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::string key = "spmv_cpu." + run.benchmark_name();
+      for (auto& ch : key) {
+        if (ch == '/') ch = '.';  // thread-sweep args: BM_x/4 -> BM_x.4
+      }
+      obs::gauge(key + ".seconds", run.GetAdjustedRealTime() * 1e-9,
+                 /*is_volatile=*/true);
+    }
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::report_context("spmv_cpu", "toggle70");
+  // Deterministic anchor for the ledger: the workload's structure.
+  const auto& a = toggle_matrix();
+  obs::gauge("spmv_cpu.matrix_rows", static_cast<double>(a.nrows));
+  obs::gauge("spmv_cpu.matrix_nnz", static_cast<double>(a.nnz()));
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  LedgerReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  obs::flush_outputs();
+  return 0;
+}

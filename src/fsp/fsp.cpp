@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/stencil.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "solver/operators.hpp"
@@ -218,6 +219,12 @@ FspResult solve_adaptive(const core::ReactionNetwork& network,
     obs::observe("fsp.round.states", static_cast<real_t>(n));
     obs::observe("fsp.round.solver_iterations",
                  static_cast<real_t>(rs.iterations));
+    // The adaptive loop's own trajectory: sink-mass bound and projection
+    // size per round, on the round axis.
+    obs::flight("fsp.sink_mass", obs::FlightKind::kFspRound,
+                static_cast<std::uint64_t>(round), bound);
+    obs::flight("fsp.states", obs::FlightKind::kFspStates,
+                static_cast<std::uint64_t>(round), static_cast<double>(n));
 
     if (bound <= opt.tol) {
       converged = true;
@@ -430,6 +437,11 @@ FspResult solve_adaptive(const core::ReactionNetwork& network,
     }
   }
 
+  obs::flight("fsp.stop", obs::FlightKind::kStop, rounds.size(),
+              converged ? 1.0 : 0.0);
+  if (!converged && obs::flight_enabled()) {
+    obs::FlightRecorder::instance().mark_post_mortem("fsp: bound not met");
+  }
   obs::count("fsp.solves");
   obs::gauge("fsp.rounds", static_cast<real_t>(rounds.size()));
   obs::gauge("fsp.states.final", static_cast<real_t>(space.size()));

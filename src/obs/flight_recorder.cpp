@@ -1,0 +1,229 @@
+//
+// Flight recorder implementation: the ring buffer itself. The enable flag,
+// path plumbing and env activation live in telemetry.cpp (single-TU rule for
+// everything the inline fast paths reference) — this TU owns the storage and
+// the exporters.
+//
+#include "obs/flight_recorder.hpp"
+
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace cmesolve::obs {
+
+const char* to_string(FlightKind k) noexcept {
+  switch (k) {
+    case FlightKind::kResidual: return "residual";
+    case FlightKind::kNormalization: return "normalization";
+    case FlightKind::kStagnation: return "stagnation";
+    case FlightKind::kStop: return "stop";
+    case FlightKind::kFspRound: return "fsp-round";
+    case FlightKind::kFspStates: return "fsp-states";
+    case FlightKind::kBatchActive: return "batch-active";
+  }
+  return "?";
+}
+
+namespace {
+
+struct RecorderState {
+  mutable std::mutex mu;
+  std::vector<FlightEvent> ring;  ///< allocated once at enable()
+  std::size_t head = 0;           ///< next write position
+  std::size_t count = 0;          ///< events held (<= ring.size())
+  std::uint64_t overwritten = 0;
+  bool post_mortem = false;
+  std::string post_mortem_reason;
+
+  void reset_locked() {
+    head = 0;
+    count = 0;
+    overwritten = 0;
+    post_mortem = false;
+    post_mortem_reason.clear();
+  }
+};
+
+RecorderState& recorder_state() {
+  static RecorderState state;
+  return state;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::enable(std::size_t capacity) {
+  auto& s = recorder_state();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (capacity == 0) capacity = 1;
+    if (s.ring.size() != capacity) {
+      s.ring.assign(capacity, FlightEvent{});
+      s.ring.shrink_to_fit();
+    }
+    s.reset_locked();
+  }
+  detail::g_flight_on.store(true, std::memory_order_relaxed);
+}
+
+void FlightRecorder::disable() {
+  detail::g_flight_on.store(false, std::memory_order_relaxed);
+}
+
+void FlightRecorder::clear() {
+  auto& s = recorder_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.reset_locked();
+}
+
+void FlightRecorder::record(const char* track, FlightKind kind,
+                            std::uint64_t iteration, double value,
+                            std::uint32_t lane) {
+  auto& s = recorder_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.ring.empty()) return;  // record() before enable(): nothing allocated
+  FlightEvent& slot = s.ring[s.head];
+  if (s.count == s.ring.size()) ++s.overwritten;  // oldest event lost
+  slot.track = track;
+  slot.kind = kind;
+  slot.lane = lane;
+  slot.iteration = iteration;
+  slot.value = value;
+  s.head = (s.head + 1) % s.ring.size();
+  if (s.count < s.ring.size()) ++s.count;
+}
+
+void FlightRecorder::mark_post_mortem(const char* reason) {
+  auto& s = recorder_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.post_mortem = true;
+  s.post_mortem_reason = reason != nullptr ? reason : "";
+}
+
+bool FlightRecorder::post_mortem() const {
+  auto& s = recorder_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.post_mortem;
+}
+
+std::string FlightRecorder::post_mortem_reason() const {
+  auto& s = recorder_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.post_mortem_reason;
+}
+
+std::size_t FlightRecorder::size() const {
+  auto& s = recorder_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.count;
+}
+
+std::size_t FlightRecorder::capacity() const {
+  auto& s = recorder_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.ring.size();
+}
+
+std::uint64_t FlightRecorder::overwritten() const {
+  auto& s = recorder_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.overwritten;
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  auto& s = recorder_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<FlightEvent> out;
+  out.reserve(s.count);
+  // Oldest-first: when the ring has wrapped, head points at the oldest slot.
+  const std::size_t start = s.count == s.ring.size() ? s.head : 0;
+  for (std::size_t i = 0; i < s.count; ++i) {
+    out.push_back(s.ring[(start + i) % s.ring.size()]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::content_signature() const {
+  const auto evs = events();
+  // Order-SENSITIVE (chained, not summed, unlike Tracer::content_signature):
+  // the stream is recorded from one thread in program order, so order is
+  // part of the contract.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& ev : evs) {
+    h = fnv1a(h, ev.track, std::char_traits<char>::length(ev.track));
+    h = fnv1a(h, &ev.kind, sizeof(ev.kind));
+    h = fnv1a(h, &ev.lane, sizeof(ev.lane));
+    h = fnv1a(h, &ev.iteration, sizeof(ev.iteration));
+    h = fnv1a(h, &ev.value, sizeof(ev.value));
+  }
+  return h;
+}
+
+void FlightRecorder::write_chrome_trace(std::ostream& os) const {
+  const auto evs = events();
+  std::uint64_t lost = 0;
+  {
+    auto& s = recorder_state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    lost = s.overwritten;
+  }
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  std::string name;
+  for (const auto& ev : evs) {
+    name.assign(ev.track);
+    if (ev.lane > 0) {
+      name += '[';
+      name += std::to_string(ev.lane);
+      name += ']';
+    }
+    w.begin_object();
+    w.kv("name", std::string_view(name));
+    w.kv("ph", "C");
+    // Iteration on the time axis: the recorder stores no wall-clock, so the
+    // exported tracks plot value-vs-iteration (1 "us" per iteration).
+    w.kv("ts", static_cast<std::int64_t>(ev.iteration));
+    w.kv("pid", std::int64_t{1});
+    w.kv("tid", std::int64_t{0});
+    w.key("args").begin_object();
+    w.kv("value", ev.value);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("otherData").begin_object();
+  w.kv("tool", "cmesolve-flight");
+  w.kv("time_axis", "iteration");
+  w.kv("overwritten_events", lost);
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+bool FlightRecorder::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return os.good();
+}
+
+}  // namespace cmesolve::obs

@@ -1,0 +1,176 @@
+//
+// perf_event_open counter groups. Linux-only syscalls are confined to this
+// TU; every other platform compiles the degraded (zeroed) path.
+//
+#include "obs/perf_counters.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace cmesolve::obs {
+
+namespace detail {
+std::atomic<bool> g_perf_on{false};
+}  // namespace detail
+
+void set_perf_enabled(bool on) {
+  detail::g_perf_on.store(on, std::memory_order_relaxed);
+}
+
+#if defined(__linux__)
+
+namespace {
+
+long perf_open(perf_event_attr* attr, int group_fd) {
+  return syscall(SYS_perf_event_open, attr, /*pid=*/0, /*cpu=*/-1, group_fd,
+                 /*flags=*/0UL);
+}
+
+perf_event_attr make_attr(std::uint32_t type, std::uint64_t config,
+                          bool leader) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = leader ? 1 : 0;  // group starts/stops through the leader
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID;
+  return attr;
+}
+
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+// Order matches PerfGroup::fds_: cycles (leader), instructions, LLC misses,
+// stalled backend cycles.
+constexpr EventSpec kSpecs[4] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+};
+
+}  // namespace
+
+PerfGroup::PerfGroup() {
+  for (int i = 0; i < kEvents; ++i) {
+    auto attr = make_attr(kSpecs[i].type, kSpecs[i].config, /*leader=*/i == 0);
+    const long fd = perf_open(&attr, i == 0 ? -1 : fds_[0]);
+    if (fd < 0) {
+      if (i == 0) return;  // no leader, no group: fully degraded
+      continue;            // member unsupported: its counter reads zero
+    }
+    fds_[i] = static_cast<int>(fd);
+    std::uint64_t id = 0;
+    if (ioctl(fds_[i], PERF_EVENT_IOC_ID, &id) == 0) ids_[i] = id;
+  }
+}
+
+PerfGroup::~PerfGroup() {
+  for (int i = kEvents - 1; i >= 0; --i) {
+    if (fds_[i] >= 0) close(fds_[i]);
+  }
+}
+
+void PerfGroup::start() {
+  if (fds_[0] < 0) return;
+  ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfSample PerfGroup::stop() {
+  PerfSample s;
+  if (fds_[0] < 0) return s;
+  ioctl(fds_[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+
+  // PERF_FORMAT_GROUP | PERF_FORMAT_ID layout: nr, then {value, id} pairs.
+  struct {
+    std::uint64_t nr;
+    struct {
+      std::uint64_t value;
+      std::uint64_t id;
+    } values[kEvents];
+  } buf;
+  std::memset(&buf, 0, sizeof(buf));
+  const auto got = read(fds_[0], &buf, sizeof(buf));
+  if (got < static_cast<ssize_t>(sizeof(std::uint64_t))) return s;
+
+  std::uint64_t out[kEvents] = {0, 0, 0, 0};
+  for (std::uint64_t v = 0; v < buf.nr && v < kEvents; ++v) {
+    for (int i = 0; i < kEvents; ++i) {
+      if (fds_[i] >= 0 && ids_[i] == buf.values[v].id) {
+        out[i] = buf.values[v].value;
+        break;
+      }
+    }
+  }
+  s.available = true;
+  s.cycles = out[0];
+  s.instructions = out[1];
+  s.llc_misses = out[2];
+  s.stalled_cycles = out[3];
+  return s;
+}
+
+#else  // !__linux__
+
+PerfGroup::PerfGroup() {}
+PerfGroup::~PerfGroup() {}
+void PerfGroup::start() {}
+PerfSample PerfGroup::stop() { return PerfSample{}; }
+
+#endif  // __linux__
+
+bool perf_available() {
+  static const bool ok = [] {
+    PerfGroup probe;
+    return probe.available();
+  }();
+  return ok;
+}
+
+namespace {
+
+PerfGroup& scope_group() {
+  // One lazily-opened group per thread: PerfScope never contends and never
+  // opens fds on the disabled path (this function is only reached enabled).
+  thread_local PerfGroup group;
+  return group;
+}
+
+}  // namespace
+
+void PerfScope::begin(const char* name) {
+  name_ = name;
+  scope_group().start();
+}
+
+void PerfScope::finish() {
+  const PerfSample s = scope_group().stop();
+  const std::string prefix = std::string("perf.") + name_;
+  // Hardware counts vary run to run — volatile section only, so the
+  // deterministic fingerprint stays thread-count/HW independent.
+  gauge(prefix + ".available", s.available ? 1.0 : 0.0, /*is_volatile=*/true);
+  gauge(prefix + ".cycles", static_cast<double>(s.cycles), true);
+  gauge(prefix + ".instructions", static_cast<double>(s.instructions), true);
+  gauge(prefix + ".llc_misses", static_cast<double>(s.llc_misses), true);
+  gauge(prefix + ".stalled_cycles", static_cast<double>(s.stalled_cycles),
+        true);
+  gauge(prefix + ".dram_bytes", static_cast<double>(s.dram_bytes()), true);
+  gauge(prefix + ".ipc", s.ipc(), true);
+}
+
+}  // namespace cmesolve::obs

@@ -1,0 +1,108 @@
+#pragma once
+//
+// Hardware-counter attribution via Linux perf_event_open: one counter group
+// (cycles leader + instructions, LLC misses, stalled backend cycles) sampled
+// over a measured region, so the benches' modeled-DRAM-bytes arguments get a
+// measured crosscheck (DRAM bytes ~= LLC misses x 64-byte lines).
+//
+// Degradation matrix (see DESIGN.md §14) — the API never fails, it degrades:
+//   * non-Linux build              -> available()=false, all counters zero
+//   * perf_event_paranoid too high -> available()=false, all counters zero
+//   * container/seccomp blocks the syscall            -> same
+//   * a MEMBER event unsupported (e.g. LLC-misses on some VMs) -> that
+//     counter reads zero, the rest of the group still counts
+// Consumers branch on PerfSample::available (and reports carry a
+// `perf_available` provenance flag) instead of ifdef'ing.
+//
+// Scheduling note: the group is pinned to the calling thread+CPU-any and
+// read with PERF_FORMAT_GROUP, so all members cover the identical window.
+// Counter values are run-varying by nature — publish them as VOLATILE
+// metrics only, never into the deterministic section.
+//
+// Disabled cost: PerfScope checks one relaxed atomic before touching any fd
+// (bench/obs_overhead budgets the disabled site like trace/metrics sites).
+//
+#include <atomic>
+#include <cstdint>
+
+namespace cmesolve::obs {
+
+namespace detail {
+extern std::atomic<bool> g_perf_on;  ///< defined in perf_counters.cpp
+}  // namespace detail
+
+inline bool perf_enabled() {
+  return detail::g_perf_on.load(std::memory_order_relaxed);
+}
+
+/// Global switch for PerfScope sites (counter groups are a finite kernel
+/// resource; instrumented hot paths stay free unless a bench opts in).
+void set_perf_enabled(bool on);
+
+/// One reading of the counter group over a start()..stop() window.
+struct PerfSample {
+  bool available = false;  ///< false => every field below is zero
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t stalled_cycles = 0;  ///< backend stall cycles
+
+  /// Measured DRAM traffic estimate: every LLC miss moves one cache line.
+  [[nodiscard]] std::uint64_t dram_bytes() const { return llc_misses * 64; }
+  [[nodiscard]] double ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+};
+
+/// A perf_event counter group bound to the calling thread. Construction
+/// opens the group (or degrades); start()/stop() bracket measured regions
+/// and may be reused for multiple windows.
+class PerfGroup {
+ public:
+  PerfGroup();
+  ~PerfGroup();
+  PerfGroup(const PerfGroup&) = delete;
+  PerfGroup& operator=(const PerfGroup&) = delete;
+
+  /// True when the group leader opened; individual members may still be
+  /// degraded (their counters read zero).
+  [[nodiscard]] bool available() const { return fds_[0] >= 0; }
+
+  void start();              ///< reset + enable the group
+  [[nodiscard]] PerfSample stop();  ///< disable + read
+
+ private:
+  static constexpr int kEvents = 4;  // cycles, instr, llc-miss, stalls
+  int fds_[kEvents] = {-1, -1, -1, -1};
+  std::uint64_t ids_[kEvents] = {0, 0, 0, 0};
+};
+
+/// Cheap probe (opens and closes a throwaway group once, cached): can this
+/// process count hardware events at all? Reports stamp this into provenance.
+bool perf_available();
+
+/// RAII sampling span: when set_perf_enabled(true), measures the enclosed
+/// region and publishes `perf.<name>.{cycles,instructions,llc_misses,
+/// stalled_cycles,dram_bytes,ipc}` as VOLATILE gauges; disabled it is one
+/// relaxed load. The underlying group is a lazily-opened thread_local, so
+/// nested scopes on one thread serialize on the same group (inner wins).
+class PerfScope {
+ public:
+  explicit PerfScope(const char* name) {
+    if (perf_enabled()) begin(name);
+  }
+  ~PerfScope() {
+    if (name_ != nullptr) finish();
+  }
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+
+ private:
+  void begin(const char* name);  ///< out-of-line slow path
+  void finish();
+  const char* name_ = nullptr;
+};
+
+}  // namespace cmesolve::obs

@@ -20,8 +20,10 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
@@ -39,6 +41,7 @@ namespace detail {
 // Zero-initialized: constant initialization, valid before any dynamic init.
 std::atomic<bool> g_trace_on{false};
 std::atomic<bool> g_metrics_on{false};
+std::atomic<bool> g_flight_on{false};
 thread_local int t_suppress_depth = 0;
 }  // namespace detail
 
@@ -350,6 +353,8 @@ struct ObsState {
   std::map<std::string, std::string> context;
   std::string trace_path;
   std::string report_path;
+  std::string flight_path;
+  std::string bench_path;
   std::set<std::string> flushed;  ///< paths already written by flush_outputs
 };
 
@@ -396,6 +401,72 @@ void write_metric_sections(JsonWriter& w,
   w.end_object();
 }
 
+/// The fixed provenance fields written by write_report/write_bench_record;
+/// a context entry reusing one would emit a duplicate JSON key and break
+/// strict parsers.
+bool is_fixed_provenance_key(const std::string& key) {
+  return key == "version" || key == "git" || key == "threads" ||
+         key == "openmp" || key == "threads_enabled" ||
+         key == "perf_available";
+}
+
+void write_provenance(JsonWriter& w,
+                      const std::map<std::string, std::string>& context) {
+  w.key("provenance").begin_object();
+  w.kv("version", CMESOLVE_VERSION);
+  w.kv("git", CMESOLVE_GIT_DESCRIBE);
+  w.kv("threads", static_cast<std::int64_t>(util::max_threads()));
+#ifdef _OPENMP
+  w.kv("openmp", true);
+#else
+  w.kv("openmp", false);
+#endif
+#ifdef CMESOLVE_THREADS_ENABLED
+  w.kv("threads_enabled", true);
+#else
+  w.kv("threads_enabled", false);
+#endif
+  w.kv("perf_available", perf_available());
+  for (const auto& [key, value] : context) {
+    if (is_fixed_provenance_key(key)) continue;
+    w.kv(key, std::string_view(value));
+  }
+  w.end_object();
+}
+
+/// The run report's post-mortem flight section. Everything here derives from
+/// iteration-indexed events recorded on the calling thread — no timestamps,
+/// no thread ids — so the serialized section is bit-identical across
+/// CMESOLVE_THREADS (the test suite diffs it at 1/2/8).
+void write_flight_section(JsonWriter& w) {
+  auto& rec = FlightRecorder::instance();
+  const auto evs = rec.events();
+  w.key("flight").begin_object();
+  if (rec.post_mortem()) {
+    w.kv("post_mortem", std::string_view(rec.post_mortem_reason()));
+  } else {
+    w.key("post_mortem").null();
+  }
+  w.kv("capacity", static_cast<std::uint64_t>(rec.capacity()));
+  w.kv("overwritten", rec.overwritten());
+  char sig[32];
+  std::snprintf(sig, sizeof(sig), "%016llx",
+                static_cast<unsigned long long>(rec.content_signature()));
+  w.kv("signature", sig);
+  w.key("events").begin_array();
+  for (const auto& ev : evs) {
+    w.begin_object();
+    w.kv("track", ev.track);
+    w.kv("kind", to_string(ev.kind));
+    w.kv("iteration", ev.iteration);
+    if (ev.lane > 0) w.kv("lane", static_cast<std::uint64_t>(ev.lane));
+    w.kv("value", ev.value);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 }  // namespace
 
 void set_context(const std::string& key, const std::string& value) {
@@ -415,32 +486,12 @@ void write_report(std::ostream& os) {
 
   JsonWriter w(os, /*indent=*/2);
   w.begin_object();
-  w.kv("schema", "cmesolve.run_report/1");
+  // /2 is an additive bump over /1: provenance gains "perf_available" and a
+  // "flight" section appears when the flight recorder was ever enabled.
+  // verify::validate_run_report accepts both versions.
+  w.kv("schema", "cmesolve.run_report/2");
 
-  w.key("provenance").begin_object();
-  w.kv("version", CMESOLVE_VERSION);
-  w.kv("git", CMESOLVE_GIT_DESCRIBE);
-  w.kv("threads", static_cast<std::int64_t>(util::max_threads()));
-#ifdef _OPENMP
-  w.kv("openmp", true);
-#else
-  w.kv("openmp", false);
-#endif
-#ifdef CMESOLVE_THREADS_ENABLED
-  w.kv("threads_enabled", true);
-#else
-  w.kv("threads_enabled", false);
-#endif
-  for (const auto& [key, value] : context) {
-    // The fixed provenance fields above own these names; a context entry
-    // reusing one would emit a duplicate JSON key and break strict parsers.
-    if (key == "version" || key == "git" || key == "threads" ||
-        key == "openmp" || key == "threads_enabled") {
-      continue;
-    }
-    w.kv(key, std::string_view(value));
-  }
-  w.end_object();
+  write_provenance(w, context);
 
   w.key("metrics").begin_object();
   write_metric_sections(w, snap, /*volatile_section=*/false);
@@ -450,8 +501,77 @@ void write_report(std::ostream& os) {
   write_metric_sections(w, snap, /*volatile_section=*/true);
   w.end_object();
 
+  if (FlightRecorder::instance().capacity() > 0) {
+    write_flight_section(w);
+  }
+
   w.end_object();
   os << '\n';
+}
+
+// ---------------------------------------------------------------------------
+// Bench record (cmesolve.bench/1) — the regression-ledger unit
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Flatten the registry into two name->number maps: "deterministic" must
+/// compare EXACTLY between a fresh run and the checked-in baseline (that is
+/// the repo's determinism contract doing ledger duty); "volatile" carries
+/// wall-clock-like values that cme_bench_diff holds to a ratio band.
+/// Histograms expand to .count/.min/.max/.mean so the differ only ever sees
+/// scalars.
+void write_flat_metrics(JsonWriter& w, const std::map<std::string, Metric>& snap,
+                        bool volatile_section) {
+  for (const auto& [name, m] : snap) {
+    if (m.is_volatile != volatile_section) continue;
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        w.kv(name, m.count);
+        break;
+      case MetricKind::kGauge:
+        w.kv(name, m.gauge);
+        break;
+      case MetricKind::kHistogram:
+        w.kv(name + ".count", m.stats.count());
+        w.kv(name + ".min", static_cast<double>(m.stats.min()));
+        w.kv(name + ".max", static_cast<double>(m.stats.max()));
+        w.kv(name + ".mean", static_cast<double>(m.stats.mean()));
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void write_bench_record(std::ostream& os) {
+  std::map<std::string, std::string> context;
+  {
+    auto& s = obs_state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    context = s.context;
+  }
+  const auto snap = MetricRegistry::instance().snapshot();
+
+  JsonWriter w(os, /*indent=*/2);
+  w.begin_object();
+  w.kv("schema", "cmesolve.bench/1");
+  write_provenance(w, context);
+  w.key("deterministic").begin_object();
+  write_flat_metrics(w, snap, /*volatile_section=*/false);
+  w.end_object();
+  w.key("volatile").begin_object();
+  write_flat_metrics(w, snap, /*volatile_section=*/true);
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+bool write_bench_record_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_bench_record(os);
+  return os.good();
 }
 
 bool write_report_file(const std::string& path) {
@@ -487,9 +607,37 @@ std::string report_path() {
   return s.report_path;
 }
 
+void set_flight_path(const std::string& path) {
+  auto& s = obs_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.flight_path = path;
+  s.flushed.erase(path);
+}
+
+std::string flight_path() {
+  auto& s = obs_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.flight_path;
+}
+
+void set_bench_path(const std::string& path) {
+  auto& s = obs_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.bench_path = path;
+  s.flushed.erase(path);
+}
+
+std::string bench_path() {
+  auto& s = obs_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.bench_path;
+}
+
 void flush_outputs() {
   std::string trace;
   std::string report;
+  std::string flight;
+  std::string bench;
   {
     auto& s = obs_state();
     std::lock_guard<std::mutex> lock(s.mu);
@@ -498,6 +646,12 @@ void flush_outputs() {
     }
     if (!s.report_path.empty() && s.flushed.insert(s.report_path).second) {
       report = s.report_path;
+    }
+    if (!s.flight_path.empty() && s.flushed.insert(s.flight_path).second) {
+      flight = s.flight_path;
+    }
+    if (!s.bench_path.empty() && s.flushed.insert(s.bench_path).second) {
+      bench = s.bench_path;
     }
   }
   if (!trace.empty() && !Tracer::instance().write_file(trace)) {
@@ -508,6 +662,14 @@ void flush_outputs() {
     std::fprintf(stderr, "cmesolve: failed to write report to %s\n",
                  report.c_str());
   }
+  if (!flight.empty() && !FlightRecorder::instance().write_file(flight)) {
+    std::fprintf(stderr, "cmesolve: failed to write flight trace to %s\n",
+                 flight.c_str());
+  }
+  if (!bench.empty() && !write_bench_record_file(bench)) {
+    std::fprintf(stderr, "cmesolve: failed to write bench record to %s\n",
+                 bench.c_str());
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -516,13 +678,16 @@ void flush_outputs() {
 
 namespace {
 
-/// Dynamic initializer: reads CMESOLVE_TRACE / CMESOLVE_REPORT once at
-/// program startup (of any binary that links this TU) and arranges an atexit
-/// flush so instrumented programs produce their files without code changes.
+/// Dynamic initializer: reads CMESOLVE_TRACE / CMESOLVE_REPORT /
+/// CMESOLVE_FLIGHT / CMESOLVE_BENCH once at program startup (of any binary
+/// that links this TU) and arranges an atexit flush so instrumented programs
+/// produce their files without code changes.
 struct EnvInit {
   EnvInit() {
     const char* trace = std::getenv("CMESOLVE_TRACE");
     const char* report = std::getenv("CMESOLVE_REPORT");
+    const char* flight = std::getenv("CMESOLVE_FLIGHT");
+    const char* bench = std::getenv("CMESOLVE_BENCH");
     bool flush_at_exit = false;
     if (trace != nullptr && trace[0] != '\0') {
       set_trace_path(trace);
@@ -531,6 +696,18 @@ struct EnvInit {
     }
     if (report != nullptr && report[0] != '\0') {
       set_report_path(report);
+      set_metrics_enabled(true);
+      flush_at_exit = true;
+    }
+    if (flight != nullptr && flight[0] != '\0') {
+      set_flight_path(flight);
+      FlightRecorder::instance().enable();
+      flush_at_exit = true;
+    }
+    if (bench != nullptr && bench[0] != '\0') {
+      // The ledger record is a view of the metric registry, so the registry
+      // must be live for the record to carry anything.
+      set_bench_path(bench);
       set_metrics_enabled(true);
       flush_at_exit = true;
     }

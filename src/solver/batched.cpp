@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "solver/vector_ops.hpp"
@@ -511,6 +512,8 @@ std::vector<JacobiResult> batched_jacobi_solve(const BatchedStencilOperator& op,
         if (rn[q] == 0.0) {
           o.residual = 0.0;
           obs::observe("jacobi.residual", o.residual);
+          obs::flight("batch.residual", obs::FlightKind::kResidual, it, 0.0,
+                      static_cast<std::uint32_t>(q));
           if (opt.on_residual) opt.on_residual(it, o.residual);
           o.reason = StopReason::kConverged;
           stop_lane(q);
@@ -519,6 +522,8 @@ std::vector<JacobiResult> batched_jacobi_solve(const BatchedStencilOperator& op,
         o.residual = rn[q] / (inf_norms[q] * (xn[q] > 0 ? xn[q] : 1.0));
         o.flops += flops_per_sweep;  // the residual costs one extra sweep
         obs::observe("jacobi.residual", o.residual);
+        obs::flight("batch.residual", obs::FlightKind::kResidual, it,
+                    o.residual, static_cast<std::uint32_t>(q));
         if (opt.on_residual) opt.on_residual(it, o.residual);
         if (history_cap > 0) {
           if (check_number[q] % o.history_stride == 0) {
@@ -557,6 +562,10 @@ std::vector<JacobiResult> batched_jacobi_solve(const BatchedStencilOperator& op,
         prev_residual[q] = o.residual;
       }
       obs::gauge("batch.points_active", static_cast<double>(n_active));
+      // Freeze-mask popcount: how many lanes are still iterating after this
+      // check — the amortization the batch is actually getting.
+      obs::flight("batch.active", obs::FlightKind::kBatchActive, it,
+                  static_cast<double>(n_active));
     }
   }
 
@@ -573,6 +582,17 @@ std::vector<JacobiResult> batched_jacobi_solve(const BatchedStencilOperator& op,
   }
   obs::count("jacobi.batched_solves");
   obs::gauge("batch.points_active", static_cast<double>(n_active));
+  if (obs::flight_enabled()) {
+    for (std::size_t q = 0; q < kk; ++q) {
+      obs::flight("batch.stop", obs::FlightKind::kStop, out[q].iterations,
+                  static_cast<double>(out[q].reason),
+                  static_cast<std::uint32_t>(q));
+      if (out[q].reason != StopReason::kConverged) {
+        obs::FlightRecorder::instance().mark_post_mortem(
+            to_string(out[q].reason));
+      }
+    }
+  }
   return out;
 }
 
@@ -802,6 +822,10 @@ EnsembleResult solve_ensemble(const core::StencilTable& base,
       }
     }
     for (std::size_t q = b0; q < b1; ++q) solved.push_back(out.order[q]);
+    // Ensemble progress on the flight timeline: points solved after each
+    // continuation block (block index is the iteration axis here).
+    obs::flight("ensemble.solved", obs::FlightKind::kBatchActive, blk,
+                static_cast<double>(solved.size()));
   }
 
   out.seconds_total = total.seconds();

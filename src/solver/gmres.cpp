@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "solver/vector_ops.hpp"
@@ -23,6 +24,11 @@ void publish_gmres(const GmresResult& out) {
   obs::gauge("gmres.iterations", static_cast<real_t>(out.iterations));
   obs::gauge("gmres.residual.final", out.relative_residual);
   obs::gauge("gmres.converged", out.converged ? 1.0 : 0.0);
+  obs::flight("gmres.stop", obs::FlightKind::kStop, out.iterations,
+              out.converged ? 1.0 : 0.0);
+  if (!out.converged && obs::flight_enabled()) {
+    obs::FlightRecorder::instance().mark_post_mortem("gmres: not converged");
+  }
 }
 
 }  // namespace
@@ -117,6 +123,8 @@ GmresResult gmres_solve(const LinearOp& apply, index_t n,
       out.residual_history.push_back(out.relative_residual);
       CMESOLVE_TRACE_COUNTER("gmres.residual", out.relative_residual);
       obs::observe("gmres.residual", out.relative_residual);
+      obs::flight("gmres.residual", obs::FlightKind::kResidual,
+                  out.iterations, out.relative_residual);
       if (out.relative_residual <= opt.tol || hlast == 0.0) {
         ++j;
         break;

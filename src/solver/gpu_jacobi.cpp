@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -57,6 +58,11 @@ GpuJacobiReport gpu_jacobi_solve(const gpusim::DeviceSpec& dev,
   obs::count("gpu_jacobi.solves");
   obs::gauge("gpu_jacobi.sim_seconds", report.sim_seconds);
   obs::gauge("gpu_jacobi.sim_gflops", report.sim_gflops);
+  // Inner per-iteration events come from jacobi_solve above; this one pins
+  // the simulated cost onto the same flight timeline.
+  obs::flight("gpu_jacobi.stop", obs::FlightKind::kStop,
+              report.result.iterations,
+              static_cast<double>(report.result.reason));
   return report;
 }
 

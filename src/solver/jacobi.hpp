@@ -20,6 +20,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "solver/vector_ops.hpp"
@@ -171,6 +172,12 @@ JacobiResult jacobi_solve(const Op& op, real_t a_inf_norm,
     if (opt.normalize_every > 0 && it % opt.normalize_every == 0) {
       CMESOLVE_TRACE_INSTANT("jacobi.renormalize");
       obs::count("jacobi.renormalizations");
+      if (obs::flight_enabled()) {
+        // The L1 drift since the last renormalization — an extra reduction,
+        // paid only in flight-recording mode.
+        obs::flight("jacobi.l1_drift", obs::FlightKind::kNormalization, it,
+                    norm_l1(x));
+      }
       normalize_l1(x);
     }
 
@@ -201,6 +208,7 @@ JacobiResult jacobi_solve(const Op& op, real_t a_inf_norm,
         out.residual = 0.0;
         CMESOLVE_TRACE_COUNTER("jacobi.residual", out.residual);
         obs::observe("jacobi.residual", out.residual);
+        obs::flight("jacobi.residual", obs::FlightKind::kResidual, it, 0.0);
         if (opt.on_residual) opt.on_residual(it, out.residual);
         out.reason = StopReason::kConverged;
         break;
@@ -209,6 +217,8 @@ JacobiResult jacobi_solve(const Op& op, real_t a_inf_norm,
       out.flops += flops_per_sweep;  // the residual costs one extra sweep
       CMESOLVE_TRACE_COUNTER("jacobi.residual", out.residual);
       obs::observe("jacobi.residual", out.residual);
+      obs::flight("jacobi.residual", obs::FlightKind::kResidual, it,
+                  out.residual);
       if (opt.on_residual) opt.on_residual(it, out.residual);
       if (history_cap > 0) {
         if (check_number % out.history_stride == 0) {
@@ -239,6 +249,8 @@ JacobiResult jacobi_solve(const Op& op, real_t a_inf_norm,
       if (prev_residual > 0.0 &&
           std::abs(out.residual - prev_residual) / prev_residual <=
               opt.stagnation_eps) {
+        obs::flight("jacobi.stagnation", obs::FlightKind::kStagnation, it,
+                    std::abs(out.residual - prev_residual) / prev_residual);
         if (++flat_checks >= opt.stagnation_patience) {
           out.reason = StopReason::kStagnated;
           break;
@@ -255,6 +267,13 @@ JacobiResult jacobi_solve(const Op& op, real_t a_inf_norm,
   out.gflops = out.seconds > 0
                    ? static_cast<real_t>(out.flops) / out.seconds / 1.0e9
                    : 0.0;
+  obs::flight("jacobi.stop", obs::FlightKind::kStop, out.iterations,
+              static_cast<double>(out.reason));
+  if (out.reason != StopReason::kConverged && obs::flight_enabled()) {
+    // Arm the post mortem: write_report() dumps the recorded trajectory
+    // into the run report's "flight" section for this failed solve.
+    obs::FlightRecorder::instance().mark_post_mortem(to_string(out.reason));
+  }
   // Deterministic outcome metrics; host wall-clock goes to the volatile
   // section of the run report (it cannot be bit-identical run-to-run).
   obs::count("jacobi.solves");

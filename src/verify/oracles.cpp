@@ -16,6 +16,7 @@
 #include "fsp/fsp.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/kernels.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "solver/batched.hpp"
 #include "solver/gauss_seidel.hpp"
@@ -150,6 +151,7 @@ class Verifier {
     if (opt_.with_ssa) check_ssa();
     if (opt_.with_gpusim) check_gpusim();
     if (opt_.with_threads) check_threads();
+    if (opt_.with_telemetry) check_telemetry();
     if (opt_.with_fsp) check_fsp_parity();
     if (opt_.with_ensemble) check_ensemble();
   }
@@ -698,6 +700,88 @@ class Verifier {
     if (jacobi_converged_ && !bitwise_equal(p1, p_jacobi_)) {
       fail("thread-determinism",
            "jacobi solution differs bitwise between 1 and ambient threads");
+    }
+  }
+
+  // -- full-observability determinism --------------------------------------
+
+  /// Runs the reference solve with the whole obs layer live — metric
+  /// registry AND flight recorder — and asserts that (a) the deterministic
+  /// fingerprint and the recorded flight stream are bit-identical at 1 and
+  /// 8 threads, and (b) attaching the recorder leaves the fingerprint
+  /// unchanged (observability must never change the computation it
+  /// observes). Clobbers the process-wide registry/flight buffer; ambient
+  /// enable-state is restored on every exit path.
+  void check_telemetry() {
+    ran("telemetry");
+    const auto jopt = jacobi_options();
+    const solver::CsrOperator csr_op(a_);
+    struct ObsRestore {
+      bool metrics_was_on = obs::metrics_enabled();
+      bool flight_was_on = obs::flight_enabled();
+      ~ObsRestore() {
+        util::set_max_threads(0);
+        obs::MetricRegistry::instance().clear();
+        obs::FlightRecorder::instance().clear();
+        obs::set_metrics_enabled(metrics_was_on);
+        if (flight_was_on) {
+          obs::detail::g_flight_on.store(true, std::memory_order_relaxed);
+        } else {
+          obs::FlightRecorder::instance().disable();
+        }
+      }
+    } restore;
+
+    struct Observed {
+      std::string fingerprint;
+      std::uint64_t flight_sig = 0;
+      std::size_t flight_events = 0;
+      std::vector<real_t> p;
+    };
+    auto solve_at = [&](int threads, bool with_flight) {
+      util::set_max_threads(threads);
+      obs::MetricRegistry::instance().clear();
+      obs::set_metrics_enabled(true);
+      if (with_flight) {
+        obs::FlightRecorder::instance().enable();
+      } else {
+        obs::FlightRecorder::instance().disable();
+        obs::FlightRecorder::instance().clear();
+      }
+      Observed o;
+      o.p.resize(n_);
+      solver::fill_uniform(o.p);
+      (void)solver::jacobi_solve(csr_op, a_norm_, o.p, jopt);
+      o.fingerprint = obs::MetricRegistry::instance().deterministic_fingerprint();
+      o.flight_sig = obs::FlightRecorder::instance().content_signature();
+      o.flight_events = obs::FlightRecorder::instance().size();
+      return o;
+    };
+
+    const auto t1 = solve_at(1, /*with_flight=*/true);
+    const auto t8 = solve_at(8, /*with_flight=*/true);
+    const auto bare = solve_at(1, /*with_flight=*/false);
+
+    if (t1.fingerprint != t8.fingerprint) {
+      fail("telemetry",
+           "deterministic metric fingerprint differs between 1 and 8 threads "
+           "under full observability");
+    }
+    if (t1.flight_sig != t8.flight_sig ||
+        t1.flight_events != t8.flight_events) {
+      fail("telemetry",
+           "flight-recorder stream differs between 1 and 8 threads");
+    }
+    if (t1.flight_events == 0) {
+      fail("telemetry", "flight recorder captured no events from the solve");
+    }
+    if (bare.fingerprint != t1.fingerprint) {
+      fail("telemetry",
+           "attaching the flight recorder changed the metric fingerprint");
+    }
+    if (!bitwise_equal(bare.p, t1.p)) {
+      fail("telemetry",
+           "attaching the flight recorder changed the solve result");
     }
   }
 

@@ -28,6 +28,11 @@
 //                     identical per point (vector, iterations, stop
 //                     reason, fallback) to the sequential single-RHS path,
 //                     and stable across 1/8/ambient thread counts
+//   telemetry         with metrics + flight recorder fully enabled, the
+//                     deterministic metric fingerprint and the recorded
+//                     flight stream are bit-identical at 1 and 8 threads,
+//                     and attaching the recorder does not perturb the
+//                     fingerprint (observability cannot change the run)
 //
 // Directed expectations (Expectation::kAbsorbing / kStagnation /
 // kZeroResidual) replace the cross-solver battery with the corresponding
@@ -62,6 +67,12 @@ struct OracleOptions {
   /// Re-solve at 1 and 8 threads and require bit-identity. Leave off when
   /// the caller already pins util::set_max_threads (corpus replay).
   bool with_threads = false;
+  /// Full-observability determinism: re-solve with metrics + the flight
+  /// recorder enabled and require identical fingerprints/flight streams at
+  /// 1 and 8 threads, and with and without the recorder attached. CLOBBERS
+  /// the process-wide metric registry and flight buffer — leave off when
+  /// the host program is accumulating a run report of its own.
+  bool with_telemetry = false;
 };
 
 struct OracleFailure {

@@ -85,13 +85,73 @@ void check_metric_block(const JsonValue& block, const std::string& where,
                    where + ".histograms");
 }
 
+/// The /2 post-mortem section: iteration-indexed solver events. Every event
+/// carries a track, a known kind, a nonnegative integer iteration, and a
+/// numeric (or null, for non-finite) value; "lane" is optional.
+void check_flight(const JsonValue& flight, const std::string& where) {
+  const JsonValue& pm = member(flight, "post_mortem", where);
+  if (!pm.is_string() && !pm.is_null()) {
+    fail(where + ".post_mortem: must be a string or null");
+  }
+  for (const char* key : {"capacity", "overwritten"}) {
+    const JsonValue& v = member(flight, key, where);
+    if (!v.is_number() || v.number < 0.0 || v.number != std::floor(v.number)) {
+      fail(where + "." + key + ": must be a nonnegative integer");
+    }
+  }
+  if (!member(flight, "signature", where).is_string()) {
+    fail(where + ".signature: must be a string");
+  }
+  const JsonValue& events = member(flight, "events", where);
+  if (!events.is_array()) fail(where + ".events: must be an array");
+  for (std::size_t i = 0; i < events.items.size(); ++i) {
+    const std::string here = where + ".events[" + std::to_string(i) + "]";
+    const JsonValue& ev = events.items[i];
+    if (!ev.is_object()) fail(here + ": must be an object");
+    check_unique_keys(ev, here);
+    if (!member(ev, "track", here).is_string()) {
+      fail(here + ".track: must be a string");
+    }
+    const JsonValue& kind = member(ev, "kind", here);
+    if (!kind.is_string()) fail(here + ".kind: must be a string");
+    bool known = false;
+    for (const char* k : {"residual", "normalization", "stagnation", "stop",
+                          "fsp-round", "fsp-states", "batch-active"}) {
+      known = known || kind.string == k;
+    }
+    if (!known) fail(here + ".kind: unknown kind \"" + kind.string + "\"");
+    const JsonValue& it = member(ev, "iteration", here);
+    if (!it.is_number() || it.number < 0.0 ||
+        it.number != std::floor(it.number)) {
+      fail(here + ".iteration: must be a nonnegative integer");
+    }
+    if (const JsonValue* lane = ev.find("lane"); lane != nullptr) {
+      if (!lane->is_number() || lane->number < 0.0 ||
+          lane->number != std::floor(lane->number)) {
+        fail(here + ".lane: must be a nonnegative integer");
+      }
+    }
+    const JsonValue& value = member(ev, "value", here);
+    if (!value.is_number() && !value.is_null()) {
+      fail(here + ".value: must be a number or null");
+    }
+  }
+}
+
 void validate(const JsonValue& doc) {
   if (!doc.is_object()) fail("document must be an object");
   check_unique_keys(doc, "report");
 
   const JsonValue& schema = member(doc, "schema", "report");
-  if (!schema.is_string() || schema.string != "cmesolve.run_report/1") {
-    fail("report.schema must be \"cmesolve.run_report/1\"");
+  // /2 is an additive bump: /1 files remain valid, /2 adds the
+  // "perf_available" provenance flag and the optional "flight" section.
+  int version = 0;
+  if (schema.is_string() && schema.string == "cmesolve.run_report/1") {
+    version = 1;
+  } else if (schema.is_string() && schema.string == "cmesolve.run_report/2") {
+    version = 2;
+  } else {
+    fail("report.schema must be \"cmesolve.run_report/1\" or \"/2\"");
   }
 
   const JsonValue& prov = object_member(doc, "provenance", "report");
@@ -110,11 +170,23 @@ void validate(const JsonValue& doc) {
       fail(std::string("provenance.") + key + ": must be a bool");
     }
   }
+  if (version >= 2) {
+    if (!member(prov, "perf_available", "provenance").is_bool()) {
+      fail("provenance.perf_available: must be a bool");
+    }
+  }
 
   check_metric_block(object_member(doc, "metrics", "report"), "metrics",
                      /*counters_required=*/true);
   check_metric_block(object_member(doc, "volatile", "report"), "volatile",
                      /*counters_required=*/true);
+
+  if (const JsonValue* flight = doc.find("flight"); flight != nullptr) {
+    if (version < 2) fail("report.flight: not part of cmesolve.run_report/1");
+    if (!flight->is_object()) fail("report.flight: must be an object");
+    check_unique_keys(*flight, "flight");
+    check_flight(*flight, "flight");
+  }
 }
 
 }  // namespace

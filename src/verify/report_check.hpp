@@ -2,19 +2,22 @@
 //
 // Run-report schema oracle.
 //
-// Validates a JSON document against the "cmesolve.run_report/1" contract the
+// Validates a JSON document against the "cmesolve.run_report" contract the
 // report writer promises (obs/report.hpp): required sections, member types,
 // histogram shape, and — because the reader keeps duplicate object members —
 // that no object carries the same key twice (the drift mode a map-based
-// parser would silently hide). The fuzz driver validates its own report
-// every run; tests validate reports produced under metric load.
+// parser would silently hide). Both schema versions are accepted: /1 and
+// the additive /2 bump (perf_available provenance flag + the optional
+// flight-recorder post-mortem section, which is validated when present).
+// The fuzz driver validates its own report every run; tests validate
+// reports produced under metric load.
 //
 #include <string>
 #include <string_view>
 
 namespace cmesolve::verify {
 
-/// True when `text` is a valid cmesolve.run_report/1 document. On failure
+/// True when `text` is a valid cmesolve.run_report/1 or /2 document. On failure
 /// `error` (if non-null) receives a one-line description of the first
 /// violation found.
 [[nodiscard]] bool validate_run_report(std::string_view text,

@@ -4,7 +4,10 @@
 //   * the metric registry produced by the reference pipeline is bit-identical
 //     across thread budgets 1/2/8 (the PR-1 determinism contract extended to
 //     telemetry),
-//   * the run report carries the required schema keys.
+//   * the run report carries the required schema keys,
+//   * the JsonWriter emits strict RFC 8259 output on every edge case,
+//   * the flight recorder's ring, post-mortem and Chrome-trace export obey
+//     the same 1/2/8-thread bit-identity contract as the registry.
 #include <gtest/gtest.h>
 
 #include <cctype>
@@ -18,6 +21,8 @@
 #include "core/rate_matrix.hpp"
 #include "core/state_space.hpp"
 #include "gpusim/device.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -45,6 +50,8 @@ void reset_telemetry() {
   obs::Tracer::instance().clear();
   obs::set_metrics_enabled(false);
   obs::MetricRegistry::instance().clear();
+  obs::FlightRecorder::instance().disable();
+  obs::FlightRecorder::instance().clear();
 }
 
 /// The determinism reference pipeline: enumerate a small toggle switch,
@@ -356,10 +363,10 @@ TEST_F(ObsTest, ReportCarriesSchemaProvenanceAndMetrics) {
 
   EXPECT_TRUE(JsonParser(json).valid()) << json.substr(0, 400);
   for (const char* key :
-       {"cmesolve.run_report/1", "provenance", "version", "git", "threads",
-        "metrics", "counters", "gauges", "histograms", "volatile",
-        "jacobi.iterations", "jacobi.residual.final", "sim.jacobi_sweep",
-        "test_obs"}) {
+       {"cmesolve.run_report/2", "provenance", "version", "git", "threads",
+        "perf_available", "metrics", "counters", "gauges", "histograms",
+        "volatile", "jacobi.iterations", "jacobi.residual.final",
+        "sim.jacobi_sweep", "test_obs"}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing key " << key;
   }
 }
@@ -378,6 +385,213 @@ TEST_F(ObsTest, ReportSerializesNonFiniteAsNull) {
   EXPECT_EQ(json.find(": nan"), std::string::npos);
   EXPECT_EQ(json.find(": inf"), std::string::npos);
   EXPECT_EQ(json.find(": -inf"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter edge cases (the writer backs the trace exporter, the run
+// report, the flight export and the bench ledger — one bug corrupts all).
+// ---------------------------------------------------------------------------
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object()
+      .kv("nan", std::numeric_limits<double>::quiet_NaN())
+      .kv("inf", std::numeric_limits<double>::infinity())
+      .kv("ninf", -std::numeric_limits<double>::infinity())
+      .kv("fine", 1.5)
+      .end_object();
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonParser(json).valid()) << json;
+  EXPECT_NE(json.find("\"nan\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"inf\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"ninf\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"fine\": 1.5"), std::string::npos);
+}
+
+TEST(JsonWriterTest, ControlCharactersAndQuotesAreEscaped) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object()
+      .kv(std::string_view("q\"b\\s\nn\tt\rr\x01u", 12), "v")
+      .end_object();
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonParser(json).valid()) << json;
+  EXPECT_NE(json.find("\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\"), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\r"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  // No raw control byte may survive into the output.
+  for (const char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(JsonWriterTest, DeepNestingStaysBalanced) {
+  constexpr int kDepth = 64;
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  for (int i = 0; i < kDepth; ++i) {
+    w.begin_object().key("a");
+  }
+  w.begin_array().value(std::int64_t{1}).value(std::int64_t{2}).end_array();
+  for (int i = 0; i < kDepth; ++i) {
+    w.end_object();
+  }
+  EXPECT_TRUE(JsonParser(os.str()).valid()) << os.str().substr(0, 200);
+}
+
+TEST(JsonWriterTest, ZeroIndentPacksOneLine) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object()
+      .key("arr")
+      .begin_array()
+      .value(std::int64_t{1})
+      .value(true)
+      .null()
+      .end_array()
+      .kv("s", "x")
+      .end_object();
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonParser(json).valid()) << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, FlightDisabledRecordsNothing) {
+  EXPECT_FALSE(obs::flight_enabled());
+  obs::flight("t", obs::FlightKind::kResidual, 1, 0.5);
+  reference_solve();  // instrumented solver paths, recorder off
+  EXPECT_EQ(obs::FlightRecorder::instance().size(), 0u);
+  EXPECT_FALSE(obs::FlightRecorder::instance().post_mortem());
+}
+
+TEST_F(ObsTest, FlightRingOverwritesOldestKeepsTail) {
+  auto& rec = obs::FlightRecorder::instance();
+  rec.enable(/*capacity=*/8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    obs::flight("tail", obs::FlightKind::kResidual, i,
+                static_cast<double>(i));
+  }
+  EXPECT_EQ(rec.size(), 8u);
+  EXPECT_EQ(rec.overwritten(), 12u);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first unroll of the ring: the post mortem keeps the tail of the
+  // flight (iterations 12..19), not the takeoff.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].iteration, 12 + i);
+  }
+}
+
+TEST_F(ObsTest, FlightSuppressedInsidePoolTasks) {
+  obs::FlightRecorder::instance().enable(16);
+  {
+    obs::SuppressMetrics guard;
+    EXPECT_FALSE(obs::flight_enabled());
+    obs::flight("suppressed", obs::FlightKind::kResidual, 0, 0.0);
+  }
+  EXPECT_TRUE(obs::flight_enabled());
+  EXPECT_EQ(obs::FlightRecorder::instance().size(), 0u);
+}
+
+TEST_F(ObsTest, FlightChromeTraceExportIsValidJson) {
+  auto& rec = obs::FlightRecorder::instance();
+  rec.enable(16);
+  obs::flight("jacobi.residual", obs::FlightKind::kResidual, 100, 1e-7);
+  obs::flight("batch.residual", obs::FlightKind::kResidual, 100, 2e-7,
+              /*lane=*/3);
+  obs::flight("bad", obs::FlightKind::kResidual, 101,
+              std::numeric_limits<double>::quiet_NaN());
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonParser(json).valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("batch.residual[3]"), std::string::npos);
+  EXPECT_EQ(json.find(": nan"), std::string::npos);
+}
+
+/// The acceptance scenario: a solve forced to stagnate (iteration cap far
+/// below convergence) must leave a post-mortem flight section that is
+/// bit-identical across thread budgets 1/2/8 — recorded from the calling
+/// thread in program order, indexed by iteration, no timestamps.
+TEST_F(ObsTest, ForcedStagnationPostMortemBitIdenticalAcrossThreads) {
+  const auto solve_capped = [] {
+    core::models::ToggleSwitchParams params;
+    params.cap_a = params.cap_b = 12;
+    const auto network = core::models::toggle_switch(params);
+    const core::StateSpace space(
+        network, core::models::toggle_switch_initial(params), 100'000);
+    const auto a = core::rate_matrix(space);
+    std::vector<real_t> p(static_cast<std::size_t>(a.nrows));
+    solver::fill_uniform(p);
+    solver::JacobiOptions opt;
+    opt.eps = 1e-14;          // unreachable
+    opt.max_iterations = 40;  // forced stop short of convergence
+    opt.check_every = 10;
+    const solver::CsrDiaOperator op(a);
+    return solver::jacobi_solve(op, a.inf_norm(), p, opt);
+  };
+
+  std::uint64_t ref_signature = 0;
+  std::string ref_trace;
+  std::string ref_reason;
+  std::size_t ref_events = 0;
+  bool first = true;
+  for (int threads : {1, 2, 8}) {
+    reset_telemetry();
+    ThreadBudget budget(threads);
+    obs::FlightRecorder::instance().enable();
+    const auto res = solve_capped();
+    ASSERT_NE(res.reason, solver::StopReason::kConverged);
+    auto& rec = obs::FlightRecorder::instance();
+    EXPECT_TRUE(rec.post_mortem())
+        << "unconverged solve must mark a post mortem";
+    EXPECT_GT(rec.size(), 0u);
+    std::ostringstream os;
+    rec.write_chrome_trace(os);
+    if (first) {
+      ref_signature = rec.content_signature();
+      ref_trace = os.str();
+      ref_reason = rec.post_mortem_reason();
+      ref_events = rec.size();
+      first = false;
+      continue;
+    }
+    EXPECT_EQ(rec.content_signature(), ref_signature)
+        << "flight stream diverged at " << threads << " threads";
+    EXPECT_EQ(os.str(), ref_trace)
+        << "flight export diverged at " << threads << " threads";
+    EXPECT_EQ(rec.post_mortem_reason(), ref_reason);
+    EXPECT_EQ(rec.size(), ref_events);
+  }
+}
+
+/// The /2 run report embeds the flight section when the recorder holds a
+/// buffer, and the whole document stays strict JSON.
+TEST_F(ObsTest, ReportEmbedsFlightSection) {
+  obs::set_metrics_enabled(true);
+  obs::FlightRecorder::instance().enable(32);
+  obs::flight("jacobi.residual", obs::FlightKind::kResidual, 10, 1e-3);
+  obs::FlightRecorder::instance().mark_post_mortem("test: forced");
+
+  std::ostringstream os;
+  obs::write_report(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonParser(json).valid()) << json.substr(0, 400);
+  for (const char* key : {"\"flight\"", "\"post_mortem\": \"test: forced\"",
+                          "\"signature\"", "\"events\"", "\"capacity\": 32",
+                          "\"kind\": \"residual\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
 }
 
 }  // namespace

@@ -109,9 +109,12 @@ TEST(VerifyReportCheck, RejectsSchemaViolations) {
   std::string error;
   EXPECT_FALSE(verify::validate_run_report("{}", &error));
   EXPECT_FALSE(verify::validate_run_report("not json", &error));
-  // Wrong schema tag.
+  // Accepted schema tag but nothing else.
   EXPECT_FALSE(verify::validate_run_report(
       R"({"schema": "cmesolve.run_report/2"})", &error));
+  // Unknown schema tag.
+  EXPECT_FALSE(verify::validate_run_report(
+      R"({"schema": "cmesolve.run_report/3"})", &error));
   // Duplicate keys: the historical provenance-drift bug class.
   EXPECT_FALSE(verify::validate_run_report(
       R"({"schema": "cmesolve.run_report/1",
@@ -130,6 +133,69 @@ TEST(VerifyReportCheck, RejectsSchemaViolations) {
           "metrics": {"counters": {"bad": -1}, "gauges": {},
                       "histograms": {}},
           "volatile": {"counters": {}, "gauges": {}, "histograms": {}}})",
+      &error));
+}
+
+TEST(VerifyReportCheck, AcceptsBothSchemaVersions) {
+  // A /1 document (no perf_available, no flight) must keep validating:
+  // the /2 bump is additive and old reports stay diffable.
+  std::string error;
+  EXPECT_TRUE(verify::validate_run_report(
+      R"({"schema": "cmesolve.run_report/1",
+          "provenance": {"version": "x", "git": "g", "threads": 1,
+                         "openmp": true, "threads_enabled": true},
+          "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+          "volatile": {"counters": {}, "gauges": {}, "histograms": {}}})",
+      &error))
+      << error;
+  // The same document tagged /2 must fail: /2 requires perf_available.
+  EXPECT_FALSE(verify::validate_run_report(
+      R"({"schema": "cmesolve.run_report/2",
+          "provenance": {"version": "x", "git": "g", "threads": 1,
+                         "openmp": true, "threads_enabled": true},
+          "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+          "volatile": {"counters": {}, "gauges": {}, "histograms": {}}})",
+      &error));
+  EXPECT_NE(error.find("perf_available"), std::string::npos) << error;
+}
+
+TEST(VerifyReportCheck, ValidatesTheFlightSection) {
+  const auto doc = [](const char* version, const char* flight) {
+    return std::string(R"({"schema": "cmesolve.run_report/)") + version +
+           R"(",
+          "provenance": {"version": "x", "git": "g", "threads": 1,
+                         "openmp": true, "threads_enabled": true,
+                         "perf_available": false},
+          "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+          "volatile": {"counters": {}, "gauges": {}, "histograms": {}})" +
+           flight + "}";
+  };
+  std::string error;
+  // Well-formed flight section on /2.
+  EXPECT_TRUE(verify::validate_run_report(
+      doc("2", R"(, "flight": {"post_mortem": "jacobi: max iterations",
+                   "capacity": 65536, "overwritten": 0,
+                   "signature": "00deadbeef00cafe",
+                   "events": [{"track": "jacobi.residual",
+                               "kind": "residual", "iteration": 10,
+                               "value": 1e-3},
+                              {"track": "batch.residual",
+                               "kind": "residual", "iteration": 10,
+                               "lane": 3, "value": null}]})"),
+      &error))
+      << error;
+  // Unknown event kind.
+  EXPECT_FALSE(verify::validate_run_report(
+      doc("2", R"(, "flight": {"post_mortem": null, "capacity": 4,
+                   "overwritten": 0, "signature": "0",
+                   "events": [{"track": "t", "kind": "warp-drive",
+                               "iteration": 0, "value": 0}]})"),
+      &error));
+  EXPECT_NE(error.find("kind"), std::string::npos) << error;
+  // A flight section is not part of /1.
+  EXPECT_FALSE(verify::validate_run_report(
+      doc("1", R"(, "flight": {"post_mortem": null, "capacity": 4,
+                   "overwritten": 0, "signature": "0", "events": []})"),
       &error));
 }
 
@@ -160,6 +226,22 @@ TEST(VerifyOracles, CatchesAWrongExpectation) {
   const auto res = verify::verify_scenario(sc, cheap_options());
   EXPECT_FALSE(res.passed);
   EXPECT_EQ(res.primary(), "absorbing-edge");
+}
+
+TEST(VerifyOracles, TelemetryOracleHoldsOnAHealthyScenario) {
+  // Full-observability determinism: fingerprints and flight streams
+  // bit-identical at 1/8 threads, recorder attach changes nothing.
+  auto opt = cheap_options();
+  opt.with_telemetry = true;
+  const auto sc = verify::random_scenario(3);
+  const auto res = verify::verify_scenario(sc, opt);
+  EXPECT_TRUE(res.passed);
+  for (const auto& f : res.failures) {
+    ADD_FAILURE() << "[" << f.oracle << "] " << f.message;
+  }
+  bool ran = false;
+  for (const auto& name : res.oracles_run) ran = ran || name == "telemetry";
+  EXPECT_TRUE(ran) << "telemetry oracle did not run";
 }
 
 TEST(VerifyOracles, SurvivesAnUnexpectedAbsorbingState) {

@@ -1,0 +1,273 @@
+//
+// cme_bench_diff: the bench regression ledger's differ.
+//
+// Compares a fresh cmesolve.bench/1 record (emitted by any bench via
+// CMESOLVE_BENCH=path) against a checked-in baseline and exits non-zero on
+// regression, so CI's smoke-bench step doubles as an enforced performance
+// time series. Two tolerance policies, one per section:
+//
+//   * "deterministic": iteration counts, residuals, modeled bytes — the
+//     repo's determinism contract says these are bit-identical run-to-run,
+//     so the differ compares EXACTLY by default. --rel-tol loosens this to a
+//     relative band (CI uses a tiny one to absorb libm drift across distro
+//     images; see DESIGN.md §14).
+//   * "volatile": wall-clock and friends — compared against a ratio band
+//     (--ratio, default 1.5x) in the metric's bad direction: names
+//     containing "seconds"/"_s."/".time" are lower-is-better, names
+//     containing "gflops"/"gbps"/"speedup"/"bandwidth" are higher-is-better,
+//     anything else is advisory (printed, never fatal).
+//
+//   A metric present in the baseline but missing from the fresh run is a
+//   regression (coverage loss); new metrics in the fresh run are fine
+//   (additive growth, surfaced as info).
+//
+// Usage:
+//   cme_bench_diff <baseline.json> <fresh.json> [--ratio R] [--rel-tol T]
+//   cme_bench_diff --rebase <fresh.json> <baseline.json> [--keep-volatile]
+//
+// --rebase canonicalizes a fresh record into a baseline. By default it
+// STRIPS the volatile section: checked-in baselines then carry only
+// machine-independent numbers, so the exact compare is meaningful on any
+// runner. --keep-volatile retains it for same-machine wall-clock ledgers.
+//
+// Exit codes: 0 clean, 1 regression, 2 usage/parse error.
+//
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "verify/json_reader.hpp"
+
+namespace {
+
+using cmesolve::verify::JsonValue;
+
+struct Record {
+  std::string schema;
+  std::map<std::string, std::string> provenance;
+  std::map<std::string, double> deterministic;
+  std::map<std::string, double> volatiles;
+};
+
+std::string slurp(const char* path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error(std::string("cannot open ") + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+std::map<std::string, double> flat_section(const JsonValue& root,
+                                           const char* name) {
+  std::map<std::string, double> out;
+  const JsonValue* sec = root.find(name);
+  if (sec == nullptr || !sec->is_object()) return out;
+  for (const auto& [key, value] : sec->members) {
+    if (value.is_number()) out[key] = value.number;
+    // null (a non-finite double at emit time) participates as NaN: exact
+    // compare then fails unless BOTH sides are null, which is what we want.
+    if (value.is_null()) out[key] = std::nan("");
+  }
+  return out;
+}
+
+Record load(const char* path) {
+  const auto root = cmesolve::verify::parse_json(slurp(path));
+  if (!root.is_object()) throw std::runtime_error("record is not an object");
+  Record r;
+  if (const JsonValue* s = root.find("schema"); s != nullptr && s->is_string()) {
+    r.schema = s->string;
+  }
+  if (r.schema != "cmesolve.bench/1") {
+    throw std::runtime_error(std::string(path) +
+                             ": schema is not cmesolve.bench/1");
+  }
+  if (const JsonValue* p = root.find("provenance");
+      p != nullptr && p->is_object()) {
+    for (const auto& [key, value] : p->members) {
+      if (value.is_string()) r.provenance[key] = value.string;
+    }
+  }
+  r.deterministic = flat_section(root, "deterministic");
+  r.volatiles = flat_section(root, "volatile");
+  return r;
+}
+
+enum class Direction { kLowerBetter, kHigherBetter, kAdvisory };
+
+Direction direction_of(const std::string& name) {
+  const auto has = [&name](const char* needle) {
+    return name.find(needle) != std::string::npos;
+  };
+  if (has("seconds") || has(".time") || has("_s.") || has("latency")) {
+    return Direction::kLowerBetter;
+  }
+  if (has("gflops") || has("gbps") || has("speedup") || has("bandwidth") ||
+      has("throughput") || has("ipc")) {
+    return Direction::kHigherBetter;
+  }
+  return Direction::kAdvisory;
+}
+
+bool exact_or_tol(double base, double fresh, double rel_tol) {
+  if (std::isnan(base) && std::isnan(fresh)) return true;  // null == null
+  if (std::isnan(base) || std::isnan(fresh)) return false;
+  if (base == fresh) return true;  // covers +-0 and exact integers
+  if (rel_tol <= 0.0) return false;
+  const double denom = std::max(std::abs(base), std::abs(fresh));
+  return std::abs(base - fresh) <= rel_tol * denom;
+}
+
+int run_diff(const char* base_path, const char* fresh_path, double ratio,
+             double rel_tol) {
+  const Record base = load(base_path);
+  const Record fresh = load(fresh_path);
+
+  int regressions = 0;
+  int checked = 0;
+  const auto fail = [&regressions](const char* why, const std::string& name,
+                                   double b, double f) {
+    std::fprintf(stderr, "REGRESSION [%s] %s: baseline %.17g, fresh %.17g\n",
+                 why, name.c_str(), b, f);
+    ++regressions;
+  };
+
+  for (const auto& [name, b] : base.deterministic) {
+    const auto it = fresh.deterministic.find(name);
+    if (it == fresh.deterministic.end()) {
+      std::fprintf(stderr, "REGRESSION [coverage] %s: missing from fresh run\n",
+                   name.c_str());
+      ++regressions;
+      continue;
+    }
+    ++checked;
+    if (!exact_or_tol(b, it->second, rel_tol)) {
+      fail("deterministic", name, b, it->second);
+    }
+  }
+  for (const auto& [name, f] : fresh.deterministic) {
+    if (base.deterministic.find(name) == base.deterministic.end()) {
+      std::printf("info: new deterministic metric %s = %.17g\n", name.c_str(),
+                  f);
+    }
+  }
+
+  for (const auto& [name, b] : base.volatiles) {
+    const auto it = fresh.volatiles.find(name);
+    if (it == fresh.volatiles.end()) {
+      std::fprintf(stderr, "REGRESSION [coverage] %s: missing from fresh run\n",
+                   name.c_str());
+      ++regressions;
+      continue;
+    }
+    const double f = it->second;
+    switch (direction_of(name)) {
+      case Direction::kLowerBetter:
+        ++checked;
+        if (b > 0.0 && f > b * ratio) fail("slower", name, b, f);
+        break;
+      case Direction::kHigherBetter:
+        ++checked;
+        if (f > 0.0 && b > f * ratio) fail("throughput", name, b, f);
+        break;
+      case Direction::kAdvisory:
+        std::printf("advisory: %s baseline %.6g, fresh %.6g\n", name.c_str(),
+                    b, f);
+        break;
+    }
+  }
+
+  std::printf("%s vs %s: %d metrics checked, %d regression%s\n", base_path,
+              fresh_path, checked, regressions, regressions == 1 ? "" : "s");
+  return regressions > 0 ? 1 : 0;
+}
+
+/// Canonicalize a fresh record into a committable baseline: re-serialize
+/// through JsonWriter (stable key order is already guaranteed — flat maps
+/// come out of a std::map) and drop the volatile section unless asked.
+int run_rebase(const char* fresh_path, const char* out_path,
+               bool keep_volatile) {
+  const Record fresh = load(fresh_path);
+  std::ofstream os(out_path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 2;
+  }
+  cmesolve::obs::JsonWriter w(os, /*indent=*/2);
+  w.begin_object();
+  w.kv("schema", "cmesolve.bench/1");
+  w.key("provenance").begin_object();
+  for (const auto& [key, value] : fresh.provenance) {
+    w.kv(key, std::string_view(value));
+  }
+  w.end_object();
+  w.key("deterministic").begin_object();
+  for (const auto& [name, v] : fresh.deterministic) w.kv(name, v);
+  w.end_object();
+  w.key("volatile").begin_object();
+  if (keep_volatile) {
+    for (const auto& [name, v] : fresh.volatiles) w.kv(name, v);
+  }
+  w.end_object();
+  w.end_object();
+  os << '\n';
+  std::printf("rebased %s -> %s (%zu deterministic, %zu volatile)\n",
+              fresh_path, out_path, fresh.deterministic.size(),
+              keep_volatile ? fresh.volatiles.size() : std::size_t{0});
+  return os.good() ? 0 : 2;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: cme_bench_diff <baseline.json> <fresh.json> [--ratio R] "
+      "[--rel-tol T]\n"
+      "       cme_bench_diff --rebase <fresh.json> <baseline.json> "
+      "[--keep-volatile]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::vector<std::string> pos;
+    double ratio = 1.5;
+    double rel_tol = 0.0;
+    bool rebase = false;
+    bool keep_volatile = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--rebase") {
+        rebase = true;
+      } else if (arg == "--keep-volatile") {
+        keep_volatile = true;
+      } else if (arg == "--ratio" && i + 1 < argc) {
+        ratio = std::atof(argv[++i]);
+      } else if (arg == "--rel-tol" && i + 1 < argc) {
+        rel_tol = std::atof(argv[++i]);
+      } else if (!arg.empty() && arg[0] == '-') {
+        usage();
+        return 2;
+      } else {
+        pos.push_back(arg);
+      }
+    }
+    if (pos.size() != 2 || ratio <= 1.0) {
+      usage();
+      return 2;
+    }
+    if (rebase) {
+      return run_rebase(pos[0].c_str(), pos[1].c_str(), keep_volatile);
+    }
+    return run_diff(pos[0].c_str(), pos[1].c_str(), ratio, rel_tol);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cme_bench_diff: %s\n", e.what());
+    return 2;
+  }
+}

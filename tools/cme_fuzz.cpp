@@ -10,7 +10,7 @@
 // random scenario is greedily shrunk — same-primary-oracle predicate — and
 // written to --out as a minimal .repro.json for triage and corpus
 // promotion. Exit status is 0 only when every scenario passed AND the
-// tool's own run report validates against the cmesolve.run_report/1 schema.
+// tool's own run report validates against the cmesolve.run_report schema.
 //
 #include <algorithm>
 #include <cstdint>
@@ -232,6 +232,11 @@ int fuzz_sweep(const Args& args) {
     auto opt = base_options(args);
     opt.with_ssa = args.ssa_every > 0 && i % args.ssa_every == 0;
     opt.with_threads = args.threads_every > 0 && i % args.threads_every == 0;
+    // Full-observability determinism rides the thread-determinism cadence:
+    // both re-solve at pinned thread counts, and the telemetry oracle
+    // clobbers the registry, which is fine here (the fuzz driver's own
+    // report only has to stay schema-valid, not complete).
+    opt.with_telemetry = opt.with_threads;
     opt.with_ensemble =
         args.ensemble_every > 0 && i % args.ensemble_every == 0;
     const verify::Scenario sc = verify::random_scenario(seed);
@@ -251,6 +256,7 @@ int fuzz_sweep(const Args& args) {
     auto shrink_opt = opt;
     shrink_opt.with_ssa = res.primary() == "ssa";
     shrink_opt.with_threads = res.primary() == "thread-determinism";
+    shrink_opt.with_telemetry = res.primary() == "telemetry";
     shrink_opt.with_fsp = shrink_opt.with_fsp && res.primary() == "fsp-parity";
     shrink_opt.with_ensemble = res.primary() == "ensemble";
     shrink_opt.with_gpusim =
