@@ -35,7 +35,18 @@ struct TransientResult {
   std::uint64_t matvecs = 0;       ///< SpMV count (series length)
   real_t covered_mass = 0.0;       ///< accumulated Poisson weight
   real_t lambda = 0.0;
-  bool truncated_early = false;    ///< hit max_terms before 1 - eps
+  /// Hit max_terms with Poisson mass still outstanding. The returned `p` is
+  /// the truncated series renormalized by the covered mass (a proper
+  /// distribution over the landscape actually reached) — except when
+  /// covered_mass == 0, where `p` is left unchanged (see below).
+  bool truncated_early = false;
+  /// The series ended because every remaining tail weight underflows to
+  /// zero in double precision — the numerically exact stopping point. This
+  /// is the normal exit when `eps` is at or below the accumulation floor
+  /// (~1e-12 of rounding error in the Poisson-mass sum): without it the
+  /// `mass >= 1 - eps` test could never fire and the solve would spin to
+  /// max_terms doing zero-weight SpMVs.
+  bool tail_exhausted = false;
 };
 
 /// Advance `p` from P(0) to P(t). `op`/`diag` follow the Jacobi operator
@@ -72,13 +83,25 @@ TransientResult transient_solve(const Op& op, real_t t, std::span<real_t> p,
   std::vector<real_t> acc(static_cast<std::size_t>(n), 0.0);
 
   real_t mass = 0.0;
+  bool seen_weight = false;  // some w_k was representable (> 0)
   for (std::uint64_t k = 0;; ++k) {
     const real_t w = std::exp(log_w);
     if (w > 0.0) {
       mass += w;
+      seen_weight = true;
       axpy(w, v, std::span<real_t>(acc));
     }
     if (mass >= 1.0 - opt.eps) break;
+    // Tail exhaustion: past the Poisson mode the weights decay
+    // monotonically, so once one underflows every later one does too and
+    // the series is numerically complete. This must be checked
+    // independently of the mass test: the accumulated mass carries ~1e-12
+    // of rounding error, so for eps below that floor `mass >= 1 - eps` can
+    // never fire and the loop would spin to max_terms on zero weights.
+    if (w == 0.0 && seen_weight && static_cast<real_t>(k) > m) {
+      out.tail_exhausted = true;
+      break;
+    }
     if (k >= opt.max_terms) {
       out.truncated_early = true;
       break;
@@ -94,13 +117,18 @@ TransientResult transient_solve(const Op& op, real_t t, std::span<real_t> p,
 
   out.covered_mass = mass;
   if (mass > 0.0) {
-    // Compensate the truncated tail so P(t) stays a probability vector.
+    // Renormalize by the covered mass so P(t) is a proper distribution even
+    // when the series was cut early: acc = sum_k w_k B^k P(0) carries total
+    // weight `mass`, and each B^k P(0) is itself a probability vector, so
+    // the L1 rescale divides by exactly the covered mass (plus the rounding
+    // the direct division would miss).
     std::copy(acc.begin(), acc.end(), p.begin());
     normalize_l1(p);
   }
   // mass == 0 can only happen when max_terms cut the series before the
   // Poisson bulk (every computed weight underflowed); p is left unchanged —
-  // there is no usable information in the truncated prefix.
+  // there is no usable information in the truncated prefix, and
+  // truncated_early + covered_mass == 0 tells the caller so.
   return out;
 }
 

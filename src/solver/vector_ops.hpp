@@ -100,17 +100,45 @@ inline void normalize_l1(std::span<real_t> v) {
   if (s > 0.0) scale(v, 1.0 / s);
 }
 
+/// Uniform probability vector.
+inline void fill_uniform(std::span<real_t> v) {
+  const real_t p = 1.0 / static_cast<real_t>(v.size());
+  real_t* pv = v.data();
+  util::parallel_for(v.size(), [p, pv](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) pv[i] = p;
+  });
+}
+
 /// Warm-start vector for a re-solve on a renumbered/extended index set (the
-/// FSP expansion/prune loop, src/fsp/): every new-index entry starts at
-/// `fill`, surviving entries copy the previous solution through `remap`
-/// (old index -> new index, -1 = dropped), and the result is L1-normalized
-/// back to a probability vector. With remap[i] == i this degenerates to
-/// "pad the old landscape with `fill` for appended states" — the warm-start
-/// contract of the adaptive pipeline.
-inline void warm_restart(std::span<const real_t> prev,
+/// FSP expansion/prune loop, src/fsp/, and the serve warm-start cache,
+/// src/serve/): every new-index entry starts at `fill`, surviving entries
+/// copy the previous solution through `remap` (old index -> new index,
+/// -1 = dropped), and the result is L1-normalized back to a probability
+/// vector. With remap[i] == i this degenerates to "pad the old landscape
+/// with `fill` for appended states" — the warm-start contract of the
+/// adaptive pipeline.
+///
+/// Returns true when the warm start was applied. A previous vector that
+/// does not fit the new index set — prev/remap length mismatch, a remap
+/// target outside `out` (a cached solution from a pruned/expanded FSP set
+/// or a different conservation elimination), or a mapping that carries no
+/// probability mass at all — falls back to uniform seeding over `out` and
+/// returns false instead of scattering out of bounds. Cold-start cost, not
+/// UB, is the failure mode for a stale cache entry.
+inline bool warm_restart(std::span<const real_t> prev,
                          std::span<const index_t> remap, std::span<real_t> out,
                          real_t fill = 0.0) {
-  assert(prev.size() == remap.size());
+  if (prev.size() != remap.size()) {
+    fill_uniform(out);
+    return false;
+  }
+  const auto nout = static_cast<index_t>(out.size());
+  for (std::size_t i = 0; i < remap.size(); ++i) {
+    if (remap[i] >= nout) {
+      fill_uniform(out);
+      return false;
+    }
+  }
   real_t* po = out.data();
   util::parallel_for(out.size(), [fill, po](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) po[i] = fill;
@@ -121,16 +149,14 @@ inline void warm_restart(std::span<const real_t> prev,
     const index_t j = remap[i];
     if (j >= 0) out[static_cast<std::size_t>(j)] = prev[i];
   }
+  if (norm_l1(out) == 0.0) {
+    // Every surviving entry was dropped (or carried zero probability): the
+    // previous solution contributes nothing, so seed uniformly.
+    fill_uniform(out);
+    return false;
+  }
   normalize_l1(out);
-}
-
-/// Uniform probability vector.
-inline void fill_uniform(std::span<real_t> v) {
-  const real_t p = 1.0 / static_cast<real_t>(v.size());
-  real_t* pv = v.data();
-  util::parallel_for(v.size(), [p, pv](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) pv[i] = p;
-  });
+  return true;
 }
 
 }  // namespace cmesolve::solver

@@ -180,6 +180,21 @@ bool in_parallel_region() noexcept {
 #endif
 }
 
+InlineRegion::InlineRegion() noexcept {
+#if defined(CMESOLVE_THREADS_ENABLED)
+  prev_ = t_in_task;
+  t_in_task = true;
+#else
+  prev_ = false;
+#endif
+}
+
+InlineRegion::~InlineRegion() {
+#if defined(CMESOLVE_THREADS_ENABLED)
+  t_in_task = prev_;
+#endif
+}
+
 void parallel_tasks(int ntasks, const std::function<void(int)>& task) {
   if (ntasks <= 0) return;
 #if defined(CMESOLVE_THREADS_ENABLED)

@@ -52,6 +52,27 @@ void set_max_threads(int n) noexcept;
 /// constructs detect this and run inline instead of deadlocking the pool.
 [[nodiscard]] bool in_parallel_region() noexcept;
 
+/// RAII scope that forces every parallel primitive on the calling thread to
+/// take its inline (serial) path, exactly as if the thread were already
+/// inside a pool task. Two properties follow: the shared pool is never
+/// driven from this thread (so several application-level threads — e.g. the
+/// serve worker pool, src/serve/ — can each run a full solve concurrently
+/// without violating parallel_tasks' one-driver rule), and every reduction
+/// uses the serial chunk order, which the determinism contract guarantees is
+/// bit-identical to the pooled result. Nests safely with itself and with
+/// pool tasks; restores the previous state on destruction. No-op in serial
+/// builds, which are always inline anyway.
+class InlineRegion {
+ public:
+  InlineRegion() noexcept;
+  ~InlineRegion();
+  InlineRegion(const InlineRegion&) = delete;
+  InlineRegion& operator=(const InlineRegion&) = delete;
+
+ private:
+  bool prev_ = false;
+};
+
 /// Run `task(0) .. task(ntasks-1)` on up to max_threads() threads (the
 /// calling thread participates). Blocks until all tasks finish. Tasks are
 /// handed out dynamically; the first exception thrown by any task is

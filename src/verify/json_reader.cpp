@@ -27,9 +27,16 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
 
   JsonValue run() {
+    if (limits_.max_bytes > 0 && text_.size() > limits_.max_bytes) {
+      throw std::runtime_error(
+          "json: document of " + std::to_string(text_.size()) +
+          " bytes exceeds the " + std::to_string(limits_.max_bytes) +
+          "-byte limit");
+    }
     JsonValue v = value();
     skip_ws();
     if (pos_ != text_.size()) fail("trailing characters after document");
@@ -37,10 +44,42 @@ class Parser {
   }
 
  private:
+  /// Position-annotated failure: 1-based line/column of the current offset,
+  /// so a rejected wire request points at the offending byte.
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("json: " + what + " at offset " +
-                             std::to_string(pos_));
+    std::size_t line = 1;
+    std::size_t col = 1;
+    const std::size_t stop = pos_ < text_.size() ? pos_ : text_.size();
+    for (std::size_t i = 0; i < stop; ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw std::runtime_error("json: " + what + " at line " +
+                             std::to_string(line) + " column " +
+                             std::to_string(col) + " (offset " +
+                             std::to_string(pos_) + ")");
   }
+
+  /// RAII nesting guard for object()/array().
+  class Depth {
+   public:
+    explicit Depth(Parser& p) : p_(p) {
+      if (++p_.depth_ > p_.limits_.max_depth) {
+        p_.fail("nesting deeper than " + std::to_string(p_.limits_.max_depth) +
+                " levels");
+      }
+    }
+    ~Depth() { --p_.depth_; }
+    Depth(const Depth&) = delete;
+    Depth& operator=(const Depth&) = delete;
+
+   private:
+    Parser& p_;
+  };
 
   void skip_ws() {
     while (pos_ < text_.size()) {
@@ -104,6 +143,7 @@ class Parser {
   }
 
   JsonValue object() {
+    Depth depth(*this);
     expect('{');
     JsonValue v;
     v.kind = JsonValue::Kind::kObject;
@@ -114,7 +154,12 @@ class Parser {
     }
     for (;;) {
       skip_ws();
+      const std::size_t key_pos = pos_;
       std::string key = string();
+      if (limits_.reject_duplicate_keys && v.find(key) != nullptr) {
+        pos_ = key_pos;
+        fail("duplicate object key \"" + key + "\"");
+      }
       skip_ws();
       expect(':');
       v.members.emplace_back(std::move(key), value());
@@ -133,6 +178,7 @@ class Parser {
   }
 
   JsonValue array() {
+    Depth depth(*this);
     expect('[');
     JsonValue v;
     v.kind = JsonValue::Kind::kArray;
@@ -247,11 +293,19 @@ class Parser {
   }
 
   std::string_view text_;
+  JsonLimits limits_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace
 
-JsonValue parse_json(std::string_view text) { return Parser(text).run(); }
+JsonValue parse_json(std::string_view text) {
+  return Parser(text, JsonLimits{}).run();
+}
+
+JsonValue parse_json(std::string_view text, const JsonLimits& limits) {
+  return Parser(text, limits).run();
+}
 
 }  // namespace cmesolve::verify

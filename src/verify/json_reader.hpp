@@ -50,8 +50,28 @@ class JsonValue {
   [[nodiscard]] std::size_t count(std::string_view key) const;
 };
 
-/// Parse a complete JSON document. Throws std::runtime_error (with an
-/// offset-bearing message) on malformed input or trailing garbage.
+/// Parse limits. The defaults keep the historical behaviour for trusted,
+/// library-written documents (duplicate members preserved for the schema
+/// oracle, no size cap) while bounding recursion unconditionally — a
+/// recursive-descent parser with no depth cap is a stack-overflow crash on
+/// a "[[[[..." bomb, which is a denial-of-service once the codec is a wire
+/// format. Serve traffic uses the stricter kWireJsonLimits (repro_io.hpp).
+struct JsonLimits {
+  /// Reject documents larger than this many bytes (0 = unlimited).
+  std::size_t max_bytes = 0;
+  /// Maximum container nesting depth (objects + arrays).
+  std::size_t max_depth = 256;
+  /// Reject objects that carry the same key twice. Off by default: the
+  /// run-report schema oracle *detects* duplicates itself and needs them
+  /// preserved (see the class comment above).
+  bool reject_duplicate_keys = false;
+};
+
+/// Parse a complete JSON document. Throws std::runtime_error on malformed
+/// input, trailing garbage, or a limit violation; messages carry the
+/// 1-based line and column of the failure.
 [[nodiscard]] JsonValue parse_json(std::string_view text);
+[[nodiscard]] JsonValue parse_json(std::string_view text,
+                                   const JsonLimits& limits);
 
 }  // namespace cmesolve::verify

@@ -129,7 +129,7 @@ std::int32_t require_int32(const JsonValue& obj, const char* key) {
 }  // namespace
 
 Scenario parse_repro(std::string_view text) {
-  const JsonValue doc = parse_json(text);
+  const JsonValue doc = parse_json(text, kWireJsonLimits);
   if (!doc.is_object()) bad("document must be an object");
   const std::string schema = require_string(doc, "schema");
   if (schema != kReproSchema) bad("unsupported schema: " + schema);

@@ -23,18 +23,34 @@
 #include <string>
 #include <string_view>
 
+#include "verify/json_reader.hpp"
 #include "verify/scenario.hpp"
 
 namespace cmesolve::verify {
 
 inline constexpr const char* kReproSchema = "cmesolve.repro/1";
 
+/// Parse limits for untrusted .repro.json input (the serve wire format,
+/// src/serve/). A canonical writer-produced document nests 4 levels deep
+/// and never repeats a key, so the caps cost nothing on legitimate traffic
+/// while rejecting nesting bombs, oversized bodies, and silently-shadowed
+/// duplicate members ({"rate":1,"rate":1e9} would otherwise take the first
+/// and drop the second without a trace). parse_repro applies these
+/// unconditionally — every reader of the codec is a wire endpoint now.
+inline constexpr JsonLimits kWireJsonLimits{
+    /*.max_bytes =*/8u << 20,  // 8 MiB
+    /*.max_depth =*/24,
+    /*.reject_duplicate_keys =*/true,
+};
+
 /// Serialize in canonical form (fixed key order, trailing newline).
 void write_repro(std::ostream& os, const Scenario& sc);
 [[nodiscard]] std::string serialize_repro(const Scenario& sc);
 
-/// Parse and validate a .repro.json document. Throws std::runtime_error
-/// with a field-naming message on schema violations.
+/// Parse and validate a .repro.json document under kWireJsonLimits. Throws
+/// std::runtime_error with a field-naming message on schema violations and
+/// a line/column-annotated message on JSON-level failures (both propagate
+/// the json_reader diagnostics verbatim).
 [[nodiscard]] Scenario parse_repro(std::string_view text);
 
 /// File helpers; load throws on unreadable/invalid files, save returns

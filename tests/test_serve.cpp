@@ -1,0 +1,570 @@
+// Tests for the CME-as-a-service subsystem (src/serve/): result cache,
+// warm-start contract, admission/priority scheduling — plus the regression
+// tests for the PR's request-path bugfix sweep (transient truncation
+// accounting, hardened JSON reader, warm_restart fallback).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "core/models.hpp"
+#include "serve/cache.hpp"
+#include "serve/controller.hpp"
+#include "serve/workload.hpp"
+#include "solver/transient.hpp"
+#include "solver/vector_ops.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "solver/operators.hpp"
+#include "util/parallel.hpp"
+#include "verify/json_reader.hpp"
+#include "verify/repro_io.hpp"
+
+namespace cmesolve::serve {
+namespace {
+
+bool bitwise_equal(std::span<const real_t> a, std::span<const real_t> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(real_t)) == 0;
+}
+
+real_t l1_distance(std::span<const real_t> a, std::span<const real_t> b) {
+  real_t d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
+  return d;
+}
+
+/// Tiny birth-death chain: 41 states, solves in milliseconds.
+verify::Scenario birth_death(real_t birth, real_t death) {
+  verify::Scenario sc;
+  sc.name = "bd";
+  sc.archetype = "serve-test";
+  sc.species.push_back({"X", 40});
+  verify::ScenarioReaction b;
+  b.name = "birth";
+  b.rate = birth;
+  b.changes.push_back({0, +1});
+  sc.reactions.push_back(b);
+  verify::ScenarioReaction d;
+  d.name = "death";
+  d.rate = death;
+  d.reactants.push_back({0, 1});
+  d.changes.push_back({0, -1});
+  sc.reactions.push_back(d);
+  sc.initial = {0};
+  return sc;
+}
+
+/// Small phage lambda (the ISSUE's warm-start acceptance model), sized for
+/// a unit test.
+verify::Scenario small_phage() {
+  core::models::PhageLambdaParams p;
+  p.cap_ci = p.cap_cro = 5;
+  p.cap_ci2 = p.cap_cro2 = 2;
+  return scenario_from_network("phage-small", core::models::phage_lambda(p),
+                               core::models::phage_lambda_initial(p), 200'000,
+                               /*damping=*/0.95);
+}
+
+// ---------------------------------------------------------------------------
+// Cache keying
+// ---------------------------------------------------------------------------
+
+TEST(ServeCache, FamilyKeyIgnoresRatesAndIdentity) {
+  const verify::Scenario a = birth_death(2.0, 1.0);
+  verify::Scenario b = birth_death(17.0, 0.25);
+  b.name = "other-name";
+  b.seed = 99;
+  EXPECT_NE(cache_key(a), cache_key(b));
+  EXPECT_EQ(family_key(a), family_key(b));
+
+  verify::Scenario c = birth_death(2.0, 1.0);
+  c.species[0].capacity = 41;  // different box => different family
+  EXPECT_NE(family_key(a), family_key(c));
+
+  verify::Scenario d = birth_death(2.0, 1.0);
+  d.jacobi_damping = 0.5;  // different solver contract => different family
+  EXPECT_NE(family_key(a), family_key(d));
+}
+
+TEST(ServeCache, LogRateDistanceMatchesContinuationMetric) {
+  const verify::Scenario a = birth_death(2.0, 1.0);
+  const verify::Scenario b = birth_death(2.0 * std::exp(1.0), 1.0);
+  const real_t d2 = log_rate_dist2(log_rates(a), log_rates(b));
+  EXPECT_NEAR(d2, 1.0, 1e-12);
+  // Non-positive rates carry no log coordinates and never warm-start.
+  verify::Scenario z = birth_death(2.0, 1.0);
+  z.reactions[0].rate = 0.0;
+  EXPECT_TRUE(log_rates(z).empty());
+  EXPECT_TRUE(std::isinf(log_rate_dist2(log_rates(z), log_rates(a))));
+}
+
+TEST(ServeCache, LruEvictsOldestAndCountsIt) {
+  ResultCache cache(2);
+  cache.insert("k1", "f", {0.0}, {1.0});
+  cache.insert("k2", "f", {0.0}, {1.0});
+  ASSERT_NE(cache.find_exact("k1"), nullptr);  // bump k1; k2 is now oldest
+  cache.insert("k3", "f", {0.0}, {1.0});
+  EXPECT_EQ(cache.find_exact("k2"), nullptr);
+  EXPECT_NE(cache.find_exact("k1"), nullptr);
+  EXPECT_NE(cache.find_exact("k3"), nullptr);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(ServeCache, NearProbeRespectsFamilyAndRadius) {
+  ResultCache cache(8);
+  cache.insert("a", "famA", {0.0}, {0.5, 0.5});
+  cache.insert("b", "famB", {0.0}, {0.25, 0.75});
+  cache.insert("c", "famA", {3.0}, {0.75, 0.25});
+  const auto near = cache.find_near("famA", {0.1}, 1.0);
+  ASSERT_TRUE(near.has_value());
+  EXPECT_EQ(near->source_key, "a");
+  EXPECT_NEAR(near->dist2, 0.01, 1e-12);
+  // famB's closer coordinates must not leak across families.
+  EXPECT_FALSE(cache.find_near("famC", {0.0}, 100.0).has_value());
+  // Outside the radius: no seed.
+  EXPECT_FALSE(cache.find_near("famA", {10.0}, 1.0).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Daemon: cache hits, warm starts, scheduling
+// ---------------------------------------------------------------------------
+
+TEST(Serve, CacheHitIsBitwiseIdenticalToTheColdSolve) {
+  ServeOptions opt;
+  opt.workers = 1;
+  Controller ctl(opt);
+  const std::string wire = verify::serialize_repro(birth_death(2.0, 1.0));
+
+  SolveResponse cold = ctl.submit(wire).get();
+  ASSERT_EQ(cold.status, Status::kOk);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_GT(cold.iterations, 0u);
+
+  SolveResponse hit = ctl.submit(wire).get();
+  ASSERT_EQ(hit.status, Status::kOk);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.iterations, 0u);
+  EXPECT_TRUE(bitwise_equal(hit.p, cold.p));
+
+  // Whitespace-distinct wire bytes of the same scenario hit too: the key is
+  // the canonical re-serialization, not the raw input.
+  SolveResponse hit2 = ctl.submit("  " + wire + "\n ").get();
+  ASSERT_EQ(hit2.status, Status::kOk);
+  EXPECT_TRUE(hit2.cache_hit);
+
+  const ServeStats s = ctl.stats();
+  EXPECT_EQ(s.cache_hits, 2u);
+  EXPECT_EQ(s.cold_solves, 1u);
+}
+
+TEST(Serve, NearMissWarmStartConvergesToTheSameAnswerInFewerIterations) {
+  const verify::Scenario base = small_phage();
+  // A genuinely near miss: 2% on the CI synthesis rates. Jacobi's
+  // asymptotic rate is start-independent, so the warm start buys the
+  // log(err0 ratio) head start — at check_every=100 granularity that needs
+  // the seed to be close to show up.
+  verify::Scenario variant = base;
+  variant.name = "phage-small-up";
+  for (auto& r : variant.reactions) {
+    if (r.name == "synthCI_basal" || r.name == "synthCI_active") r.rate *= 1.02;
+  }
+
+  // Cold reference for the variant (warm start off).
+  ServeOptions cold_opt;
+  cold_opt.workers = 1;
+  cold_opt.warm_start = false;
+  Controller cold_ctl(cold_opt);
+  SolveResponse cold = cold_ctl.submit(verify::Scenario(variant)).get();
+  ASSERT_EQ(cold.status, Status::kOk);
+  ASSERT_FALSE(cold.warm_start_applied);
+
+  // Warm path: solve the base first, then the near-miss variant.
+  ServeOptions warm_opt;
+  warm_opt.workers = 1;
+  Controller warm_ctl(warm_opt);
+  ASSERT_EQ(warm_ctl.submit(verify::Scenario(base)).get().status, Status::kOk);
+  SolveResponse warm = warm_ctl.submit(verify::Scenario(variant)).get();
+  ASSERT_EQ(warm.status, Status::kOk);
+  EXPECT_FALSE(warm.cache_hit);
+  EXPECT_TRUE(warm.warm_start_applied);
+  EXPECT_GE(warm.warm_dist2, 0.0);
+
+  // Same fixed point (both converged to eps), measurably fewer sweeps.
+  EXPECT_LT(warm.iterations, cold.iterations);
+  EXPECT_LT(l1_distance(warm.p, cold.p), 1e-6);
+}
+
+TEST(Serve, UniformRateScalingWarmStartsToAnImmediateConvergence) {
+  // Scaling every rate by the same factor scales A but not its null space:
+  // the cached base solution IS the variant's stationary vector, so the
+  // warm-started solve converges at the first residual check.
+  const verify::Scenario base = birth_death(2.0, 1.0);
+  verify::Scenario scaled = birth_death(2.0 * 1.5, 1.0 * 1.5);
+  ServeOptions opt;
+  opt.workers = 1;
+  Controller ctl(opt);
+  SolveResponse cold = ctl.submit(verify::Scenario(base)).get();
+  ASSERT_EQ(cold.status, Status::kOk);
+  SolveResponse warm = ctl.submit(verify::Scenario(scaled)).get();
+  ASSERT_EQ(warm.status, Status::kOk);
+  EXPECT_TRUE(warm.warm_start_applied);
+  EXPECT_LT(warm.iterations, cold.iterations);
+  EXPECT_LE(warm.iterations, 100u);  // first check_every boundary
+}
+
+TEST(Serve, QueueFullShedsAndPriorityEvictsTheYoungestLowPriority) {
+  ServeOptions opt;
+  opt.workers = 1;
+  opt.queue_capacity = 2;
+  opt.start_paused = true;  // park the worker: admission is deterministic
+  Controller ctl(opt);
+  const std::string wire = verify::serialize_repro(birth_death(2.0, 1.0));
+
+  auto f1 = ctl.submit(wire, Priority::kNormal);
+  auto f2 = ctl.submit(wire, Priority::kNormal);
+  EXPECT_EQ(ctl.queue_depth(), 2u);
+
+  // Queue full + no lower-priority victim => the incoming request sheds.
+  SolveResponse shed = ctl.submit(wire, Priority::kNormal).get();
+  EXPECT_EQ(shed.status, Status::kShed);
+  EXPECT_EQ(shed.error, "queue full");
+
+  // An interactive request evicts the YOUNGEST normal entry (f2), not f1.
+  auto f3 = ctl.submit(wire, Priority::kInteractive);
+  SolveResponse evicted = f2.get();
+  EXPECT_EQ(evicted.status, Status::kShed);
+  EXPECT_EQ(evicted.error, "evicted by a higher-priority request");
+  EXPECT_EQ(ctl.queue_depth(), 2u);
+
+  ctl.resume();
+  EXPECT_EQ(f1.get().status, Status::kOk);
+  EXPECT_EQ(f3.get().status, Status::kOk);
+
+  const ServeStats s = ctl.stats();
+  EXPECT_EQ(s.shed, 2u);
+  EXPECT_EQ(s.queue_evicted, 1u);
+  EXPECT_EQ(s.completed, 2u);
+}
+
+TEST(Serve, MalformedWireRequestsAreInvalidNotQueued) {
+  ServeOptions opt;
+  opt.workers = 1;
+  Controller ctl(opt);
+  SolveResponse bad = ctl.submit("{not json").get();
+  EXPECT_EQ(bad.status, Status::kInvalid);
+  EXPECT_NE(bad.error.find("json:"), std::string::npos);
+  SolveResponse bad2 = ctl.submit("{\"schema\": \"nope/9\"}").get();
+  EXPECT_EQ(bad2.status, Status::kInvalid);
+  const ServeStats s = ctl.stats();
+  EXPECT_EQ(s.invalid, 2u);
+  EXPECT_EQ(s.submitted, 2u);
+}
+
+TEST(Serve, ResponsesAreBitIdenticalAcrossThreadBudgetsAndWorkerCounts) {
+  // The InlineRegion contract: a solve inside the daemon takes the serial
+  // path whatever CMESOLVE_THREADS resolves to, so responses are bitwise
+  // stable across thread budgets AND worker-pool sizes.
+  const std::string wire = verify::serialize_repro(birth_death(3.0, 1.25));
+  std::vector<real_t> reference;
+  for (const int threads : {1, 8}) {
+    util::set_max_threads(threads);
+    for (const int workers : {1, 4}) {
+      ServeOptions opt;
+      opt.workers = workers;
+      Controller ctl(opt);
+      SolveResponse r = ctl.submit(wire).get();
+      ASSERT_EQ(r.status, Status::kOk);
+      if (reference.empty()) {
+        reference = r.p;
+      } else {
+        EXPECT_TRUE(bitwise_equal(r.p, reference))
+            << "threads=" << threads << " workers=" << workers;
+      }
+    }
+  }
+  util::set_max_threads(0);
+}
+
+TEST(Serve, AbsorbingScenarioFailsWithTheSolverDiagnostic) {
+  // Pure-death chain from X=40: state 0 is absorbing => zero diagonal.
+  verify::Scenario sc = birth_death(2.0, 1.0);
+  sc.reactions.erase(sc.reactions.begin());  // drop birth
+  sc.initial = {40};
+  ServeOptions opt;
+  opt.workers = 1;
+  Controller ctl(opt);
+  SolveResponse r = ctl.submit(verify::Scenario(sc)).get();
+  EXPECT_EQ(r.status, Status::kFailed);
+  EXPECT_NE(r.error.find("zero diagonal"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Load harness
+// ---------------------------------------------------------------------------
+
+TEST(ServeLoad, ZipfTraceIsDeterministicAndSkewed) {
+  const auto t1 = zipf_trace(16, 1.1, 500, 7);
+  const auto t2 = zipf_trace(16, 1.1, 500, 7);
+  EXPECT_EQ(t1, t2);
+  std::vector<int> histo(16, 0);
+  for (const std::size_t r : t1) {
+    ASSERT_LT(r, 16u);
+    ++histo[r];
+  }
+  // Rank 0 must dominate the tail rank under s=1.1.
+  EXPECT_GT(histo[0], histo[15] * 2);
+}
+
+TEST(ServeLoad, ClosedLoopDeterministicModeServesEveryRequest) {
+  ServeOptions sopt;
+  sopt.workers = 1;
+  Controller ctl(sopt);
+  std::vector<SweepFamily> fams;
+  fams.push_back(make_sweep_family(birth_death(2.0, 1.0), 6, 0.2, 11));
+  LoadOptions lopt;
+  lopt.requests = 40;
+  lopt.clients = 1;
+  lopt.think_seconds = 0.0;
+  lopt.seed = 11;
+  const LoadReport rep = run_closed_loop(ctl, fams, lopt);
+  EXPECT_EQ(rep.requests, 40u);
+  EXPECT_EQ(rep.ok, 40u);
+  EXPECT_EQ(rep.shed + rep.failed + rep.invalid, 0u);
+  // 6 variants, 40 Zipf-skewed requests: most are repeats.
+  EXPECT_GT(rep.cache_hits, 20u);
+  EXPECT_GE(rep.warm_starts + rep.cold_solves, 1u);
+  EXPECT_EQ(rep.cache_hits + rep.warm_starts + rep.cold_solves, rep.ok);
+}
+
+// ---------------------------------------------------------------------------
+// Bugfix regressions: transient truncation accounting
+// ---------------------------------------------------------------------------
+
+sparse::Csr two_state(real_t up, real_t down) {
+  sparse::Coo c;
+  c.nrows = c.ncols = 2;
+  c.add(0, 0, -up);
+  c.add(1, 0, up);
+  c.add(0, 1, down);
+  c.add(1, 1, -down);
+  return sparse::csr_from_coo(std::move(c));
+}
+
+TEST(TransientRegression, EpsBelowTheMassFloorTerminatesViaTailExhaustion) {
+  // The accumulated Poisson mass carries ~1e-12 of rounding error, so with
+  // eps = 0 the `mass >= 1 - eps` test can never fire. Before the fix this
+  // spun all the way to max_terms doing zero-weight SpMVs and then reported
+  // the complete series as truncated_early.
+  const sparse::Csr a = two_state(2.0, 1.0);
+  const solver::CsrOperator op(a);
+  std::vector<real_t> p = {1.0, 0.0};
+  solver::TransientOptions opt;
+  opt.eps = 0.0;
+  opt.max_terms = 100'000;
+  const auto res = solver::transient_solve(op, 5.0, std::span<real_t>(p), opt);
+  EXPECT_TRUE(res.tail_exhausted);
+  EXPECT_FALSE(res.truncated_early);
+  // lambda*t ~ 10: the series is numerically complete within a few hundred
+  // terms, nowhere near the cap.
+  EXPECT_LT(res.matvecs, 1000u);
+  EXPECT_NEAR(res.covered_mass, 1.0, 1e-9);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+  // And the answer matches the analytic stationary limit at large t.
+  EXPECT_NEAR(p[0], 1.0 / 3.0, 1e-6);
+}
+
+TEST(TransientRegression, PartialTruncationReportsCoveredMassAndRenormalizes) {
+  const sparse::Csr a = two_state(2.0, 1.0);
+  const solver::CsrOperator op(a);
+  std::vector<real_t> p = {1.0, 0.0};
+  solver::TransientOptions opt;
+  opt.max_terms = 30;  // Poisson mean ~60: cut mid-bulk
+  const auto res = solver::transient_solve(op, 20.0, std::span<real_t>(p), opt);
+  EXPECT_TRUE(res.truncated_early);
+  EXPECT_FALSE(res.tail_exhausted);
+  EXPECT_GT(res.covered_mass, 0.0);
+  EXPECT_LT(res.covered_mass, 0.9);
+  // The truncated series is renormalized by the covered mass: still a
+  // proper distribution.
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+}
+
+TEST(TransientRegression, HeadUnderflowBeforeTheBulkLeavesPUntouched) {
+  // max_terms far below the Poisson mean: every computed weight underflows
+  // (log w_k ~ -m at small k), covered mass is exactly 0, and p must come
+  // back unchanged — NOT renormalized garbage, and NOT tail_exhausted
+  // (the guard requires k past the mean so a zero HEAD weight cannot end
+  // the series).
+  const sparse::Csr a = two_state(2.0, 1.0);
+  const solver::CsrOperator op(a);
+  std::vector<real_t> p = {0.25, 0.75};
+  solver::TransientOptions opt;
+  opt.max_terms = 5;  // mean lambda*t ~ 2000
+  const auto res =
+      solver::transient_solve(op, 700.0, std::span<real_t>(p), opt);
+  EXPECT_TRUE(res.truncated_early);
+  EXPECT_FALSE(res.tail_exhausted);
+  EXPECT_EQ(res.covered_mass, 0.0);
+  EXPECT_EQ(p[0], 0.25);
+  EXPECT_EQ(p[1], 0.75);
+}
+
+// ---------------------------------------------------------------------------
+// Bugfix regressions: hardened JSON reader / wire limits
+// ---------------------------------------------------------------------------
+
+TEST(JsonRegression, NestingBombIsRejectedNotAStackOverflow) {
+  // 5000 unbalanced '[' used to recurse 5000 frames deep; the default cap
+  // (256) now rejects it with a diagnostic.
+  const std::string bomb(5000, '[');
+  try {
+    (void)verify::parse_json(bomb);
+    FAIL() << "expected rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting deeper than 256"),
+              std::string::npos);
+  }
+}
+
+TEST(JsonRegression, WireLimitsCapDepthAtTwentyFour) {
+  std::string deep;
+  for (int i = 0; i < 30; ++i) deep += "[";
+  for (int i = 0; i < 30; ++i) deep += "]";
+  EXPECT_NO_THROW((void)verify::parse_json(deep));  // default cap: fine
+  EXPECT_THROW((void)verify::parse_json(deep, verify::kWireJsonLimits),
+               std::runtime_error);
+}
+
+TEST(JsonRegression, DuplicateKeysRejectedOnTheWirePreservedByDefault) {
+  const std::string doc = R"({"rate": 1, "rate": 1e9})";
+  // Default parser preserves duplicates — the report schema oracle counts
+  // them itself.
+  const verify::JsonValue v = verify::parse_json(doc);
+  EXPECT_EQ(v.count("rate"), 2u);
+  // Wire traffic rejects them: {"rate":1,"rate":1e9} would otherwise bind
+  // the first and silently drop the second.
+  verify::JsonLimits lim;
+  lim.reject_duplicate_keys = true;
+  try {
+    (void)verify::parse_json(doc, lim);
+    FAIL() << "expected rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate object key \"rate\""),
+              std::string::npos);
+  }
+}
+
+TEST(JsonRegression, ParseErrorsCarryLineAndColumn) {
+  const std::string doc = "{\n  \"a\": 1,\n  \"b\": oops\n}";
+  try {
+    (void)verify::parse_json(doc);
+    FAIL() << "expected rejection";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("column"), std::string::npos) << msg;
+  }
+}
+
+TEST(JsonRegression, TrailingGarbageIsRejected) {
+  EXPECT_THROW((void)verify::parse_json("{} trailing"), std::runtime_error);
+  EXPECT_THROW((void)verify::parse_json("[1,2,3] 4"), std::runtime_error);
+  EXPECT_NO_THROW((void)verify::parse_json("{}  \n"));
+}
+
+TEST(JsonRegression, SizeCapBoundsUntrustedInput) {
+  verify::JsonLimits lim;
+  lim.max_bytes = 16;
+  EXPECT_NO_THROW((void)verify::parse_json("[1, 2, 3]", lim));
+  try {
+    (void)verify::parse_json("[1, 2, 3, 4, 5, 6]", lim);
+    FAIL() << "expected rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds the 16-byte limit"),
+              std::string::npos);
+  }
+}
+
+TEST(JsonRegression, ParseReproEnforcesWireLimitsEndToEnd) {
+  // A canonical document round-trips fine...
+  const std::string good = verify::serialize_repro(birth_death(2.0, 1.0));
+  EXPECT_NO_THROW((void)verify::parse_repro(good));
+  // ...a duplicated top-level key does not.
+  std::string dup = good;
+  const std::string needle = "\"seed\": 0,";
+  const auto pos = dup.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  dup.insert(pos, "\"seed\": 7,\n  ");
+  EXPECT_THROW((void)verify::parse_repro(dup), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Bugfix regressions: warm_restart fallback instead of size-mismatch UB
+// ---------------------------------------------------------------------------
+
+TEST(WarmRestartRegression, ValidRemapStillScattersAndNormalizes) {
+  const std::vector<real_t> prev = {0.2, 0.6, 0.2};
+  const std::vector<index_t> remap = {0, 2, -1};  // state 1 -> 2, last pruned
+  std::vector<real_t> out(4, -1.0);
+  EXPECT_TRUE(solver::warm_restart(prev, remap, out));
+  EXPECT_NEAR(out[0], 0.25, 1e-15);
+  EXPECT_NEAR(out[1], 0.0, 1e-15);
+  EXPECT_NEAR(out[2], 0.75, 1e-15);
+  EXPECT_NEAR(out[3], 0.0, 1e-15);
+}
+
+TEST(WarmRestartRegression, LengthMismatchFallsBackToUniform) {
+  // A cached vector from a different FSP round (pruned/expanded set): the
+  // remap no longer matches. Before the fix this was an assert in debug
+  // builds and out-of-bounds UB in release.
+  const std::vector<real_t> prev = {0.5, 0.5};
+  const std::vector<index_t> remap = {0, 1, 2};  // stale: 3 entries
+  std::vector<real_t> out(4, -1.0);
+  EXPECT_FALSE(solver::warm_restart(prev, remap, out));
+  for (const real_t v : out) EXPECT_EQ(v, 0.25);
+}
+
+TEST(WarmRestartRegression, OutOfRangeTargetFallsBackToUniform) {
+  const std::vector<real_t> prev = {0.5, 0.5};
+  const std::vector<index_t> remap = {0, 7};  // 7 is outside out
+  std::vector<real_t> out(3, -1.0);
+  EXPECT_FALSE(solver::warm_restart(prev, remap, out));
+  for (const real_t v : out) EXPECT_NEAR(v, 1.0 / 3.0, 1e-15);
+}
+
+TEST(WarmRestartRegression, AllMassDroppedFallsBackToUniform) {
+  // Every surviving entry pruned: the scatter carries zero probability and
+  // a normalize would be a silent no-op on the zero vector.
+  const std::vector<real_t> prev = {0.5, 0.5};
+  const std::vector<index_t> remap = {-1, -1};
+  std::vector<real_t> out(5, 0.0);
+  EXPECT_FALSE(solver::warm_restart(prev, remap, out));
+  for (const real_t v : out) EXPECT_EQ(v, 0.2);
+}
+
+TEST(WarmRestartRegression, ServeRecordsWarmStartAppliedHonestly) {
+  // A cache seed that cannot fit (different max_states => different family,
+  // so it is never offered) — here we check the response flag through the
+  // public path: first solve cold, near-miss warm, and the flags disagree.
+  ServeOptions opt;
+  opt.workers = 1;
+  Controller ctl(opt);
+  SolveResponse cold = ctl.submit(verify::Scenario(birth_death(2.0, 1.0))).get();
+  ASSERT_EQ(cold.status, Status::kOk);
+  EXPECT_FALSE(cold.warm_start_applied);
+  EXPECT_LT(cold.warm_dist2, 0.0);
+  SolveResponse warm =
+      ctl.submit(verify::Scenario(birth_death(2.1, 1.0))).get();
+  ASSERT_EQ(warm.status, Status::kOk);
+  EXPECT_TRUE(warm.warm_start_applied);
+  EXPECT_GE(warm.warm_dist2, 0.0);
+}
+
+}  // namespace
+}  // namespace cmesolve::serve
