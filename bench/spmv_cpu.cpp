@@ -19,6 +19,7 @@
 #include "core/rate_matrix.hpp"
 #include "core/state_space.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "solver/jacobi.hpp"
 #include "solver/operators.hpp"
 #include "sparse/csr.hpp"
@@ -184,6 +185,33 @@ int main(int argc, char** argv) {
   LedgerReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+
+  // Measured DRAM attribution for the CSR sweep: a hardware-counted window
+  // (LLC misses x 64-byte lines) next to google-benchmark's wall-clock
+  // numbers, the same crosscheck the other benches print. Counter values
+  // vary run to run, so the gauge is volatile.
+  obs::PerfGroup perf_group;
+  if (perf_group.available()) {
+    std::vector<real_t> x(static_cast<std::size_t>(a.ncols),
+                          1.0 / static_cast<real_t>(a.ncols));
+    std::vector<real_t> y(static_cast<std::size_t>(a.nrows));
+    constexpr int kReps = 16;
+    perf_group.start();
+    for (int i = 0; i < kReps; ++i) sparse::spmv(a, x, y);
+    const obs::PerfSample s = perf_group.stop();
+    if (s.available) {
+      const auto bytes = s.dram_bytes() / kReps;
+      std::printf(
+          "measured DRAM/sweep (LLC misses x 64): csr %.2f MB "
+          "(ipc %.2f over %d sweeps)\n",
+          static_cast<double>(bytes) / 1e6, s.ipc(), kReps);
+      obs::gauge("spmv_cpu.measured_csr_dram_bytes",
+                 static_cast<double>(bytes), /*is_volatile=*/true);
+    }
+  } else {
+    std::printf("measured DRAM/sweep: hardware counters unavailable\n");
+  }
+
   obs::flush_outputs();
   return 0;
 }

@@ -23,8 +23,10 @@
 //     to eliminate — the number is printed as advisory there;
 //   * modeled: stencil DRAM bytes <= 0.5x the ELL+DIA hybrid's.
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -38,6 +40,7 @@
 #include "solver/operators.hpp"
 #include "solver/stencil_operator.hpp"
 #include "solver/vector_ops.hpp"
+#include "util/simd.hpp"
 #include "util/table.hpp"
 
 using namespace cmesolve;
@@ -158,6 +161,8 @@ int main(int argc, char** argv) {
   TextTable table({"network", "rows", "box", "nnz/row", "CSR GF/s",
                    "recomp GF/s", "cache GF/s", "speedup", "DRAM st/hyb"});
   bool parity_ok = true;
+  bool simd_bitwise_ok = true;
+  real_t simd_speedup = 0.0;  // active ISA vs forced-scalar, largest model
   real_t gate_speedup = 0.0;
   real_t gate_bytes_ratio = std::numeric_limits<real_t>::infinity();
   std::string gate_model;
@@ -196,6 +201,30 @@ int main(int argc, char** argv) {
       parity = std::max(parity, max_rel_diff(y_csr, y_stencil));
     }
     parity_ok = parity_ok && parity <= kParityGate;
+
+    // SIMD dispatch parity gate: the active ISA's sweep must be BITWISE the
+    // forced-scalar one in both stencil modes (the kernel layer vectorizes
+    // across states, never inside a row's reduction, so the bits cannot
+    // differ — this catches any kernel that breaks that contract).
+    bool simd_bitwise = true;
+    {
+      const util::simd::Isa active = util::simd::active_isa();
+      std::vector<real_t> y_scalar(static_cast<std::size_t>(box));
+      for (const auto* op : {&recompute, &cached}) {
+        util::simd::force_isa(util::simd::Isa::kScalar);
+        op->multiply(x_box, y_scalar);
+        util::simd::force_isa(active);
+        op->multiply(x_box, y_box);
+        for (index_t i = 0; i < box; ++i) {
+          const auto iu = static_cast<std::size_t>(i);
+          simd_bitwise = simd_bitwise &&
+                         std::bit_cast<std::uint64_t>(y_scalar[iu]) ==
+                             std::bit_cast<std::uint64_t>(y_box[iu]);
+        }
+      }
+      util::simd::reset_forced_isa();
+    }
+    simd_bitwise_ok = simd_bitwise_ok && simd_bitwise;
 
     // Measured host sweeps. Effective bytes per sweep: CSR streams values,
     // column indices, and row pointers on top of x and y; recompute touches
@@ -239,6 +268,15 @@ int main(int argc, char** argv) {
       gate_speedup = speedup;
       gate_bytes_ratio = bytes_ratio;
       gate_working_set = csr_bytes;
+      // Advisory SIMD dispatch speedup on the gate model: the cached sweep
+      // under the active ISA vs forced scalar. The single-RHS sweep is
+      // memory-bound, so this is informational, not gated — the batched
+      // operator (bench/ensemble_batch) carries the enforced SIMD gate.
+      util::simd::force_isa(util::simd::Isa::kScalar);
+      const auto m_scalar =
+          measure_sweeps(cached, x_box, y_box, cache_bytes, nullptr);
+      util::simd::reset_forced_isa();
+      simd_speedup = m_scalar.seconds / m_cache.seconds;
     }
 
     table.add_row({c.name, TextTable::count(n), TextTable::count(box),
@@ -298,21 +336,28 @@ int main(int argc, char** argv) {
       "gates on %s (%d rows, CSR working set %.1f MB):\n"
       "  parity <= %.0e everywhere          %s\n"
       "  measured speedup %.2fx >= %.1fx      %s\n"
-      "  modeled DRAM ratio %.3f <= %.2f     %s\n",
+      "  modeled DRAM ratio %.3f <= %.2f     %s\n"
+      "  simd dispatch (%s) bitwise == scalar  %s\n"
+      "  simd sweep speedup %.2fx vs scalar   advisory (memory-bound)\n",
       gate_model.c_str(), gate_rows,
       static_cast<real_t>(gate_working_set) / 1e6, kParityGate,
       parity_ok ? "PASS" : "FAIL", gate_speedup, kSpeedupGate,
       !memory_bound ? "advisory (cache-resident)"
       : gate_speedup >= kSpeedupGate ? "PASS"
                                      : "FAIL",
-      gate_bytes_ratio, kBytesGate, bytes_ok ? "PASS" : "FAIL");
+      gate_bytes_ratio, kBytesGate, bytes_ok ? "PASS" : "FAIL",
+      util::simd::active_isa_name(), simd_bitwise_ok ? "PASS" : "FAIL",
+      simd_speedup);
 
   obs::gauge("spmv_mf.gate.speedup", gate_speedup, /*is_volatile=*/true);
   obs::gauge("spmv_mf.gate.dram_ratio", gate_bytes_ratio);
+  // Deterministic AND machine-portable: 1.0 on every ISA by construction.
+  obs::gauge("spmv_mf.gate.simd_bitwise", simd_bitwise_ok ? 1.0 : 0.0);
+  obs::gauge("spmv_mf.gate.simd_speedup", simd_speedup, /*is_volatile=*/true);
   obs::gauge("spmv_mf.perf_available", perf_ok ? 1.0 : 0.0,
              /*is_volatile=*/true);
 
-  const bool ok = parity_ok && speedup_ok && bytes_ok;
+  const bool ok = parity_ok && simd_bitwise_ok && speedup_ok && bytes_ok;
   std::cout << (ok ? "spmv_matrix_free: PASS" : "spmv_matrix_free: FAIL")
             << "\n";
   obs::flush_outputs();  // writes the run report when CMESOLVE_REPORT is set

@@ -14,6 +14,7 @@
 #include "solver/operators.hpp"
 #include "solver/stencil_operator.hpp"
 #include "solver/vector_ops.hpp"
+#include "util/aligned_vector.hpp"
 
 namespace cmesolve::fsp {
 
@@ -73,7 +74,9 @@ class RoundSolver {
     if (enabled_) {
       if (std::unique_ptr<solver::MaskedStencilOperator> op =
               make_operator(space, ret)) {
-        std::vector<real_t> pbox(static_cast<std::size_t>(op->nrows()));
+        // Jacobi iterate over the box: 64-byte aligned like the rest of the
+        // solver state so the SIMD kernels start on a vector boundary.
+        util::aligned_vector<real_t> pbox(static_cast<std::size_t>(op->nrows()));
         op->scatter_from_members(p, pbox);
         const auto r =
             solver::jacobi_solve(*op, op->inf_norm(), pbox, opt_.jacobi);
@@ -90,8 +93,8 @@ class RoundSolver {
         if (opt_.device != nullptr) {
           // The Table IV economics of this round: one simulated stencil
           // SpMV over the box (the kernel a matrix-free GPU sweep runs).
-          std::vector<real_t> xin(pbox.begin(), pbox.end());
-          std::vector<real_t> xout(pbox.size());
+          util::aligned_vector<real_t> xin(pbox.begin(), pbox.end());
+          util::aligned_vector<real_t> xout(pbox.size());
           const auto sweep = gpusim::simulate_spmv_stencil(
               *opt_.device, *stencil_, xin, xout, opt_.sim);
           round.sim_sweep_seconds = sweep.seconds;
@@ -108,8 +111,8 @@ class RoundSolver {
     if (opt_.device != nullptr) {
       // One simulated GPU Jacobi sweep on the warped ELL+DIA layout.
       const solver::WarpedEllDiaOperator wop(assembly.a);
-      std::vector<real_t> xin(p.begin(), p.end());
-      std::vector<real_t> xout(p.size());
+      util::aligned_vector<real_t> xin(p.begin(), p.end());
+      util::aligned_vector<real_t> xout(p.size());
       const auto sweep = gpusim::simulate_jacobi_sweep(
           *opt_.device, wop.gpu_hybrid(), xin, xout, opt_.sim);
       round.sim_sweep_seconds = sweep.seconds;

@@ -27,6 +27,7 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 
 #ifndef CMESOLVE_VERSION
 #define CMESOLVE_VERSION "0.0.0"
@@ -407,7 +408,7 @@ void write_metric_sections(JsonWriter& w,
 bool is_fixed_provenance_key(const std::string& key) {
   return key == "version" || key == "git" || key == "threads" ||
          key == "openmp" || key == "threads_enabled" ||
-         key == "perf_available";
+         key == "perf_available" || key == "simd";
 }
 
 void write_provenance(JsonWriter& w,
@@ -427,6 +428,9 @@ void write_provenance(JsonWriter& w,
   w.kv("threads_enabled", false);
 #endif
   w.kv("perf_available", perf_available());
+  // The SIMD ISA the kernel dispatcher selected (detected or forced via
+  // CMESOLVE_SIMD) — resolved at report time, after any test overrides.
+  w.kv("simd", std::string_view(util::simd::active_isa_name()));
   for (const auto& [key, value] : context) {
     if (is_fixed_provenance_key(key)) continue;
     w.kv(key, std::string_view(value));

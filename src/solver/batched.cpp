@@ -12,7 +12,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "solver/vector_ops.hpp"
+#include "util/aligned_vector.hpp"
 #include "util/parallel.hpp"
+#include "util/simd_kernels.hpp"
 #include "util/timer.hpp"
 
 namespace cmesolve::solver {
@@ -109,13 +111,11 @@ void normalize_lanes(std::span<real_t> x, std::size_t n, int k,
   real_t* p = x.data();
   const real_t* pi = inv.data();
   const std::uint8_t* ps = scale_lane.data();
-  util::parallel_for(n, [p, pi, ps, kk](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) {
-      real_t* row = p + i * kk;
-      for (std::size_t q = 0; q < kk; ++q) {
-        if (ps[q]) row[q] *= pi[q];
-      }
-    }
+  // Lane-masked rescale through the SIMD kernel table: scaled lanes take
+  // the identical per-element multiply, skipped lanes keep their bits.
+  const util::simdk::KernelOps& ko = util::simdk::kernels();
+  util::parallel_for(n, [p, pi, ps, kk, &ko](std::size_t b, std::size_t e) {
+    ko.lane_scale(p + b * kk, e - b, kk, pi, ps);
   });
 }
 
@@ -275,75 +275,37 @@ void BatchedStencilOperator::multiply_active(std::span<const real_t> x,
   // Per-row accumulation in reaction order within the owning chunk; lane
   // k's terms are (coef*u)*x — the exact cached single-RHS values
   // (skipping u == 0 only drops exact-zero addends, which cannot flip an
-  // accumulator that is never -0.0). The lane loop is compile-time for the
-  // common widths so it vectorizes across the batch; lanes never mix, so
-  // every variant produces the same bits for a computed lane.
-  const auto sweep = [&](auto width, std::size_t cb, std::size_t ce) {
-    constexpr int kW = decltype(width)::value;  // 0 = runtime kk / lane list
-    std::fill(y.begin() + static_cast<std::ptrdiff_t>(cb * kk),
-              y.begin() + static_cast<std::ptrdiff_t>(ce * kk), 0.0);
-    // x, y, the unit cache and the coefficient table are distinct
-    // allocations (multiply is never in-place), so the lane loop can
-    // vectorize without runtime overlap checks.
-    const real_t* __restrict xv = x.data();
-    real_t* __restrict yv = y.data();
+  // accumulator that is never -0.0). The sweep runs through the explicit
+  // SIMD kernel table, vectorized across the k lanes; lanes never mix, so
+  // every ISA produces the same bits for a computed lane.
+  //
+  // Lane freezing maps onto the SIMD path by zeroing the frozen lanes'
+  // coefficients: a frozen lane accumulates (0 * u) * x = +0 into its
+  // zero-filled y entries (signed-zero addition cannot flip them), while
+  // active lanes see the identical multiply/add chain as the dense sweep.
+  util::aligned_vector<real_t> masked_coef;
+  const real_t* coef = coef_.data();
+  if (!all) {
+    masked_coef.assign(coef_.begin(), coef_.end());
+    std::vector<std::uint8_t> act(kk, 0);
+    for (const int q : lanes) act[static_cast<std::size_t>(q)] = 1;
     for (std::size_t r = 0; r < rx.size(); ++r) {
-      const std::int64_t s = rx[r].stride;
-      const std::int64_t lo = std::max<std::int64_t>(
-          static_cast<std::int64_t>(cb), s > 0 ? s : 0);
-      const std::int64_t hi = std::min<std::int64_t>(
-          static_cast<std::int64_t>(ce), s < 0 ? n + s : n);
-      const real_t* __restrict ck = cache + r * static_cast<std::size_t>(n);
-      const real_t* __restrict cf = coef_.data() + r * kk;
-      for (std::int64_t i = lo; i < hi; ++i) {
-        const real_t u = ck[i - s];
-        if (u == 0.0) continue;
-        const real_t* __restrict xs =
-            xv + static_cast<std::size_t>(i - s) * kk;
-        real_t* __restrict yd = yv + static_cast<std::size_t>(i) * kk;
-        if constexpr (kW > 0) {
-          for (int q = 0; q < kW; ++q) {
-            yd[q] += (cf[q] * u) * xs[q];
-          }
-        } else if (all) {
-          for (std::size_t q = 0; q < kk; ++q) {
-            yd[q] += (cf[q] * u) * xs[q];
-          }
-        } else {
-          for (const int q : lanes) {
-            yd[q] += (cf[q] * u) * xs[q];
-          }
-        }
+      for (std::size_t q = 0; q < kk; ++q) {
+        if (!act[q]) masked_coef[r * kk + q] = 0.0;
       }
     }
-  };
+    coef = masked_coef.data();
+  }
+  std::vector<std::int64_t> strides(rx.size());
+  for (std::size_t r = 0; r < rx.size(); ++r) strides[r] = rx[r].stride;
+  const util::simdk::BatchedSweepArgs args{
+      x.data(), y.data(), cache, coef, strides.data(), rx.size(), n, kk};
+  const util::simdk::KernelOps& KO = util::simdk::kernels();
   util::parallel_for(
       static_cast<std::size_t>(n),
       [&](std::size_t cb, std::size_t ce) {
-        if (!all) {
-          sweep(std::integral_constant<int, 0>{}, cb, ce);
-          return;
-        }
-        switch (kk) {
-          case 1:
-            sweep(std::integral_constant<int, 1>{}, cb, ce);
-            break;
-          case 2:
-            sweep(std::integral_constant<int, 2>{}, cb, ce);
-            break;
-          case 4:
-            sweep(std::integral_constant<int, 4>{}, cb, ce);
-            break;
-          case 8:
-            sweep(std::integral_constant<int, 8>{}, cb, ce);
-            break;
-          case 16:
-            sweep(std::integral_constant<int, 16>{}, cb, ce);
-            break;
-          default:
-            sweep(std::integral_constant<int, 0>{}, cb, ce);
-            break;
-        }
+        KO.batched_sweep(args, static_cast<std::int64_t>(cb),
+                         static_cast<std::int64_t>(ce));
       },
       grain);
 }
@@ -365,9 +327,12 @@ std::vector<JacobiResult> batched_jacobi_solve(const BatchedStencilOperator& op,
     }
   }
 
-  std::vector<real_t> next(n * kk);
-  std::vector<real_t> resid(n * kk);
+  // 64-byte aligned solver state, matching jacobi_solve: the interleaved
+  // buffers are streamed by the SIMD scale/swap and residual kernels.
+  util::aligned_vector<real_t> next(n * kk);
+  util::aligned_vector<real_t> resid(n * kk);
   const real_t omega = opt.damping;
+  const util::simdk::KernelOps& ko = util::simdk::kernels();
 
   CMESOLVE_TRACE_SPAN("jacobi.batched_solve");
   WallTimer timer;
@@ -421,56 +386,42 @@ std::vector<JacobiResult> batched_jacobi_solve(const BatchedStencilOperator& op,
       // frozen lane's elements are never read or written, which leaves its
       // x untouched (the same outcome the copy-through would produce).
       if (all_active) {
-        // Fused scale + swap: one pass computes the update and exchanges
-        // it with x (same expressions and element order as the two-pass
-        // form, so the bits cannot differ; it just touches memory once).
+        // Fused scale + swap through the SIMD kernel table: one pass
+        // computes the update and exchanges it with x (same expressions and
+        // element order as the two-pass form, so the bits cannot differ; it
+        // just touches memory once). The damped formula is a separate
+        // kernel — at omega == 1 it is NOT bitwise the undamped one.
         if (omega == 1.0) {
-          util::parallel_for(
-              n * kk, [pn, px, pd](std::size_t b, std::size_t e) {
-                for (std::size_t j = b; j < e; ++j) {
-                  const real_t v = -pn[j] / pd[j];
-                  pn[j] = px[j];
-                  px[j] = v;
-                }
-              });
+          util::parallel_for(n * kk,
+                             [pn, px, pd, &ko](std::size_t b, std::size_t e) {
+                               ko.scale_swap(px + b, pn + b, pd + b, e - b);
+                             });
         } else {
           util::parallel_for(
-              n * kk, [pn, px, pd, omega](std::size_t b, std::size_t e) {
-                for (std::size_t j = b; j < e; ++j) {
-                  const real_t v = (1.0 - omega) * px[j] - omega * pn[j] / pd[j];
-                  pn[j] = px[j];
-                  px[j] = v;
-                }
+              n * kk, [pn, px, pd, omega, &ko](std::size_t b, std::size_t e) {
+                ko.scale_swap_damped(px + b, pn + b, pd + b, omega, e - b);
               });
         }
       } else {
-        const std::span<const int> lanes = lane_list;
+        // Lane-masked scale + swap: active lanes take the exact update and
+        // swap, frozen lanes keep their x bits untouched (the SIMD path
+        // computes-then-blends; a frozen lane's quotient is finite — the
+        // diagonal is nonzero everywhere — and discarded by the blend, and
+        // its pn slot is dead until the lane reactivates, which never
+        // happens). Matches the old lane-list iteration bit for bit.
+        const std::uint8_t* pa = active.data();
         if (omega == 1.0) {
-          util::parallel_for(n, [pn, px, pd, lanes, kk](std::size_t b,
-                                                        std::size_t e) {
-            for (std::size_t i = b; i < e; ++i) {
-              for (const int q : lanes) {
-                const std::size_t j = i * kk + static_cast<std::size_t>(q);
-                const real_t v = -pn[j] / pd[j];
-                pn[j] = px[j];
-                px[j] = v;
-              }
-            }
-          });
+          util::parallel_for(
+              n, [pn, px, pd, pa, kk, &ko](std::size_t b, std::size_t e) {
+                ko.lane_scale_swap(px + b * kk, pn + b * kk, pd + b * kk,
+                                   e - b, kk, pa);
+              });
         } else {
           util::parallel_for(
-              n, [pn, px, pd, lanes, omega, kk](std::size_t b,
-                                                std::size_t e) {
-                for (std::size_t i = b; i < e; ++i) {
-                  for (const int q : lanes) {
-                    const std::size_t j =
-                        i * kk + static_cast<std::size_t>(q);
-                    const real_t v =
-                        (1.0 - omega) * px[j] - omega * pn[j] / pd[j];
-                    pn[j] = px[j];
-                    px[j] = v;
-                  }
-                }
+              n,
+              [pn, px, pd, pa, omega, kk, &ko](std::size_t b, std::size_t e) {
+                ko.lane_scale_swap_damped(px + b * kk, pn + b * kk,
+                                          pd + b * kk, omega, e - b, kk, pa);
               });
         }
       }
@@ -497,9 +448,10 @@ std::vector<JacobiResult> batched_jacobi_solve(const BatchedStencilOperator& op,
         real_t* pr = resid.data();
         const real_t* px = x.data();
         const real_t* pd = d.data();
-        util::parallel_for(n * kk, [pr, px, pd](std::size_t b, std::size_t e) {
-          for (std::size_t i = b; i < e; ++i) pr[i] += pd[i] * px[i];
-        });
+        util::parallel_for(n * kk,
+                           [pr, px, pd, &ko](std::size_t b, std::size_t e) {
+                             ko.cmul_add(pr + b, pd + b, px + b, e - b);
+                           });
       }
       const auto xn = lane_inf(x, n, k);
       const auto rn = lane_inf(resid, n, k);
@@ -783,8 +735,10 @@ EnsembleResult solve_ensemble(const core::StencilTable& base,
                                                          q)])];
       }
       const BatchedStencilOperator op(*structure, block_rates);
-      std::vector<real_t> x(n * static_cast<std::size_t>(width));
-      std::vector<real_t> g(n);
+      // Interleaved block iterate and the per-point gather buffer are SIMD
+      // kernel operands: keep them 64-byte aligned like the solver state.
+      util::aligned_vector<real_t> x(n * static_cast<std::size_t>(width));
+      util::aligned_vector<real_t> g(n);
       for (int q = 0; q < width; ++q) {
         const int point = out.order[b0 + static_cast<std::size_t>(q)];
         guess_for(point, g);

@@ -38,6 +38,7 @@
 #include "solver/gmres.hpp"
 #include "solver/jacobi.hpp"
 #include "solver/stencil_operator.hpp"
+#include "util/aligned_vector.hpp"
 #include "util/types.hpp"
 
 namespace cmesolve::solver {
@@ -128,9 +129,11 @@ class BatchedStencilOperator {
  private:
   const EnsembleStructure* structure_;
   int batch_ = 0;
-  std::vector<real_t> coef_;       ///< [compiled reaction r][point k]
-  std::vector<real_t> diag_;       ///< interleaved rows x batch
-  std::vector<real_t> inf_norms_;  ///< per point
+  /// 64-byte aligned: coef_ rows and the interleaved diagonal are streamed
+  /// by the SIMD batched-sweep and lane kernels.
+  util::aligned_vector<real_t> coef_;  ///< [compiled reaction r][point k]
+  util::aligned_vector<real_t> diag_;  ///< interleaved rows x batch
+  std::vector<real_t> inf_norms_;      ///< per point
 };
 
 /// Blocked Jacobi over all lanes of a BatchedStencilOperator with

@@ -9,6 +9,7 @@
 #include "solver/vector_ops.hpp"
 #include "util/binomial.hpp"
 #include "util/parallel.hpp"
+#include "util/simd_kernels.hpp"
 
 namespace cmesolve::solver {
 
@@ -257,7 +258,7 @@ void StencilOperator::compile() {
 
 void StencilOperator::sweep_recompute(std::span<const real_t> x,
                                       std::span<real_t> y,
-                                      std::vector<real_t>* cache_out) const {
+                                      aligned_vector<real_t>* cache_out) const {
   const Program& P = *program_;
   const auto n = static_cast<std::size_t>(table_.box_rows());
   const std::int64_t rf = P.rf;
@@ -288,6 +289,14 @@ void StencilOperator::sweep_recompute(std::span<const real_t> x,
 
   const core::StencilTable& t = table_;
   const int m = t.num_free();
+  // Explicit SIMD kernel table, resolved once per sweep. Each contiguous
+  // y-accumulate window below routes through it; every ISA's table runs
+  // the identical per-element multiply-then-add chain (vectorized across
+  // rows, never inside a row's reduction), so the sweep stays bitwise
+  // identical under CMESOLVE_SIMD and at any thread count. The ck cache
+  // fills stay inline: multiply-only chains are contraction-immune and
+  // dispatch-independent.
+  const util::simdk::KernelOps& KO = util::simdk::kernels();
 
   util::parallel_for(
       n,
@@ -447,9 +456,8 @@ void StencilOperator::sweep_recompute(std::span<const real_t> x,
                 if (ck) {
                   for (std::int64_t u = 0; u < cnt; ++u) ck[s0 + u] = coef;
                 } else {
-                  for (std::int64_t u = 0; u < cnt; ++u) {
-                    yv[b0 + u] += coef * xv[s0 + u];
-                  }
+                  KO.axpy(yv + b0, xv + s0, coef,
+                          static_cast<std::size_t>(cnt));
                 }
                 continue;
               }
@@ -471,10 +479,10 @@ void StencilOperator::sweep_recompute(std::span<const real_t> x,
                   for (std::int64_t u = ulo; u < uhi; ++u) {
                     ck[s0 + u] = rate * (prefix * cf[u]);
                   }
-                } else {
-                  for (std::int64_t u = ulo; u < uhi; ++u) {
-                    yv[tbase + u] += rate * (prefix * cf[u]) * xv[s0 + u];
-                  }
+                } else if (uhi > ulo) {
+                  KO.scaled_cmul_add(yv + tbase + ulo, cf + ulo,
+                                     xv + s0 + ulo, rate, prefix,
+                                     static_cast<std::size_t>(uhi - ulo));
                 }
                 continue;
               }
@@ -496,9 +504,9 @@ void StencilOperator::sweep_recompute(std::span<const real_t> x,
                       ck[src0 + u] = rate * (kj * tw[u]);
                     }
                   } else {
-                    for (std::int64_t u = tlo; u < thi; ++u) {
-                      yv[dst0 + u] += rate * (kj * tw[u]) * xv[src0 + u];
-                    }
+                    KO.scaled_cmul_add(yv + dst0 + tlo, tw + tlo,
+                                       xv + src0 + tlo, rate, kj,
+                                       static_cast<std::size_t>(thi - tlo));
                   }
                 } else if (tf) {
                   std::int32_t arg = base[tf->sp] + tf->shift +
@@ -519,9 +527,8 @@ void StencilOperator::sweep_recompute(std::span<const real_t> x,
                       ck[src0 + u] = coef;
                     }
                   } else {
-                    for (std::int64_t u = tlo; u < thi; ++u) {
-                      yv[dst0 + u] += coef * xv[src0 + u];
-                    }
+                    KO.axpy(yv + dst0 + tlo, xv + src0 + tlo, coef,
+                            static_cast<std::size_t>(thi - tlo));
                   }
                 }
               }
@@ -546,10 +553,10 @@ void StencilOperator::sweep_recompute(std::span<const real_t> x,
                   for (std::int64_t u = lo; u < hi; ++u) {
                     ck[src0 + u] = rate * (prefix * cf[u]);
                   }
-                } else {
-                  for (std::int64_t u = lo; u < hi; ++u) {
-                    yv[dst0 + u] += rate * (prefix * cf[u]) * xv[src0 + u];
-                  }
+                } else if (hi > lo) {
+                  KO.scaled_cmul_add(yv + dst0 + lo, cf + lo, xv + src0 + lo,
+                                     rate, prefix,
+                                     static_cast<std::size_t>(hi - lo));
                 }
                 continue;
               }
@@ -576,9 +583,8 @@ void StencilOperator::sweep_recompute(std::span<const real_t> x,
                     ck[src0 + u] = coef;
                   }
                 } else {
-                  for (std::int64_t u = lo; u < hi; ++u) {
-                    yv[dst0 + u] += coef * xv[src0 + u];
-                  }
+                  KO.axpy(yv + dst0 + lo, xv + src0 + lo, coef,
+                          static_cast<std::size_t>(hi - lo));
                 }
               } else if (nt == 1) {
                 const Program::Factor& f = r.t_factors[0];
@@ -594,9 +600,9 @@ void StencilOperator::sweep_recompute(std::span<const real_t> x,
                       ck[src0 + u] = rate * (kj * tw[u]);
                     }
                   } else {
-                    for (std::int64_t u = lo; u < hi; ++u) {
-                      yv[dst0 + u] += rate * (kj * tw[u]) * xv[src0 + u];
-                    }
+                    KO.scaled_cmul_add(yv + dst0 + lo, tw + lo,
+                                       xv + src0 + lo, rate, kj,
+                                       static_cast<std::size_t>(hi - lo));
                   }
                 } else {
                   std::int32_t arg = arg0 + st * static_cast<std::int32_t>(lo);
@@ -648,6 +654,7 @@ void StencilOperator::sweep_cached(std::span<const real_t> x,
                                    std::span<real_t> y) const {
   const Program& P = *program_;
   const auto n = static_cast<std::int64_t>(table_.box_rows());
+  const util::simdk::KernelOps& KO = util::simdk::kernels();
   util::parallel_for(
       static_cast<std::size_t>(n),
       [&](std::size_t cb, std::size_t ce) {
@@ -655,7 +662,9 @@ void StencilOperator::sweep_cached(std::span<const real_t> x,
                   y.begin() + static_cast<std::ptrdiff_t>(ce), 0.0);
         // Per-row accumulation order is the reaction order for every
         // chunking, matching the recompute sweep (cached zeros where that
-        // sweep skips change nothing).
+        // sweep skips change nothing). Each reaction's window is a
+        // contiguous shifted multiply-add — the explicit-SIMD cmul_add
+        // kernel, vectorized across rows.
         const real_t* xv = x.data();
         real_t* yv = y.data();
         for (std::size_t k = 0; k < P.rx.size(); ++k) {
@@ -665,10 +674,10 @@ void StencilOperator::sweep_cached(std::span<const real_t> x,
                                      s > 0 ? s : 0);
           const std::int64_t hi = std::min<std::int64_t>(
               static_cast<std::int64_t>(ce), s < 0 ? n + s : n);
+          if (hi <= lo) continue;
           const real_t* ck = cache_.data() + k * static_cast<std::size_t>(n);
-          for (std::int64_t i = lo; i < hi; ++i) {
-            yv[i] += ck[i - s] * xv[i - s];
-          }
+          KO.cmul_add(yv + lo, ck + lo - s, xv + lo - s,
+                      static_cast<std::size_t>(hi - lo));
         }
       },
       kSweepGrain);
@@ -830,6 +839,7 @@ void MaskedStencilOperator::multiply(std::span<const real_t> x,
   CMESOLVE_TRACE_SPAN("stencil.sweep");
   const auto& rx = table_->reactions();
   const auto n = static_cast<std::int64_t>(table_->box_rows());
+  const util::simdk::KernelOps& KO = util::simdk::kernels();
   util::parallel_for(
       static_cast<std::size_t>(n),
       [&](std::size_t cb, std::size_t ce) {
@@ -844,10 +854,10 @@ void MaskedStencilOperator::multiply(std::span<const real_t> x,
                                      s > 0 ? s : 0);
           const std::int64_t hi = std::min<std::int64_t>(
               static_cast<std::int64_t>(ce), s < 0 ? n + s : n);
+          if (hi <= lo) continue;
           const real_t* ck = cache_.data() + k * static_cast<std::size_t>(n);
-          for (std::int64_t i = lo; i < hi; ++i) {
-            yv[i] += ck[i - s] * xv[i - s];
-          }
+          KO.cmul_add(yv + lo, ck + lo - s, xv + lo - s,
+                      static_cast<std::size_t>(hi - lo));
         }
       },
       kSweepGrain);

@@ -15,6 +15,7 @@
 #include <span>
 
 #include "util/parallel.hpp"
+#include "util/simd_kernels.hpp"
 #include "util/types.hpp"
 
 namespace cmesolve::solver {
@@ -76,20 +77,28 @@ inline constexpr std::size_t kReduceChunk = 8192;
       [](real_t x, real_t y) { return x + y; });
 }
 
-/// y += alpha * x
+/// y += alpha * x. Elementwise passes route through the explicit SIMD
+/// kernel table (util/simd_kernels.hpp): the per-element operation chain
+/// is identical at every vector width, so results stay bit-identical under
+/// CMESOLVE_SIMD forcing. The reductions above deliberately do NOT — SIMD
+/// across a reduction changes the association, which the fixed-chunk
+/// determinism contract forbids.
 inline void axpy(real_t alpha, std::span<const real_t> x, std::span<real_t> y) {
   assert(x.size() == y.size());
   const real_t* px = x.data();
   real_t* py = y.data();
-  util::parallel_for(x.size(), [alpha, px, py](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) py[i] += alpha * px[i];
-  });
+  const util::simdk::KernelOps& ko = util::simdk::kernels();
+  util::parallel_for(x.size(),
+                     [alpha, px, py, &ko](std::size_t b, std::size_t e) {
+                       ko.axpy(py + b, px + b, alpha, e - b);
+                     });
 }
 
 inline void scale(std::span<real_t> v, real_t alpha) {
   real_t* p = v.data();
-  util::parallel_for(v.size(), [alpha, p](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) p[i] *= alpha;
+  const util::simdk::KernelOps& ko = util::simdk::kernels();
+  util::parallel_for(v.size(), [alpha, p, &ko](std::size_t b, std::size_t e) {
+    ko.scale(p + b, alpha, e - b);
   });
 }
 

@@ -46,3 +46,10 @@ template <class T>
 using aligned_vector = std::vector<T, AlignedAllocator<T>>;
 
 }  // namespace cmesolve
+
+namespace cmesolve::util {
+/// util-qualified alias: the solver-state audit (x/next/resid and the
+/// batched interleaved buffer) names this as util::aligned_vector.
+template <class T>
+using aligned_vector = ::cmesolve::aligned_vector<T>;
+}  // namespace cmesolve::util

@@ -1,0 +1,241 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/simd_kernels.hpp"
+
+// Per-ISA kernel tables. CMake defines CMESOLVE_SIMD_HAVE_<ISA> exactly
+// when it compiles the matching simd_kernels_<isa>.cpp TU with the ISA's
+// flags, so these externs always have a definition behind them.
+namespace cmesolve::util::simdk {
+namespace scalar {
+extern const KernelOps kOps;
+}
+#if defined(CMESOLVE_SIMD_HAVE_SSE2)
+namespace sse2 {
+extern const KernelOps kOps;
+}
+#endif
+#if defined(CMESOLVE_SIMD_HAVE_AVX2)
+namespace avx2 {
+extern const KernelOps kOps;
+}
+#endif
+#if defined(CMESOLVE_SIMD_HAVE_AVX512)
+namespace avx512 {
+extern const KernelOps kOps;
+}
+#endif
+#if defined(CMESOLVE_SIMD_HAVE_NEON)
+namespace neon {
+extern const KernelOps kOps;
+}
+#endif
+}  // namespace cmesolve::util::simdk
+
+namespace cmesolve::util::simd {
+namespace {
+
+// Dispatch state. g_forced is the programmatic override (tests); g_auto
+// caches the one-time environment/CPUID resolution. Both are plain enum
+// values packed into ints so the hot path is two relaxed loads.
+constexpr int kUnset = -1;
+std::atomic<int> g_forced{kUnset};
+std::atomic<int> g_auto{kUnset};
+
+bool cpu_supports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case Isa::kSse2:
+      return __builtin_cpu_supports("sse2") != 0;
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0 &&
+             __builtin_cpu_supports("fma") != 0;
+    case Isa::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0;
+#endif
+#if defined(__aarch64__)
+    case Isa::kNeon:
+      return true;  // mandatory on aarch64
+#endif
+    default:
+      return false;
+  }
+}
+
+std::vector<Isa> probe_compiled() {
+  std::vector<Isa> out;
+  out.push_back(Isa::kScalar);
+#if defined(CMESOLVE_SIMD_HAVE_NEON)
+  if (cpu_supports(Isa::kNeon)) out.push_back(Isa::kNeon);
+#endif
+#if defined(CMESOLVE_SIMD_HAVE_SSE2)
+  if (cpu_supports(Isa::kSse2)) out.push_back(Isa::kSse2);
+#endif
+#if defined(CMESOLVE_SIMD_HAVE_AVX2)
+  if (cpu_supports(Isa::kAvx2)) out.push_back(Isa::kAvx2);
+#endif
+#if defined(CMESOLVE_SIMD_HAVE_AVX512)
+  if (cpu_supports(Isa::kAvx512)) out.push_back(Isa::kAvx512);
+#endif
+  return out;
+}
+
+bool is_available(Isa isa) {
+  for (Isa have : compiled_isas()) {
+    if (have == isa) return true;
+  }
+  return false;
+}
+
+/// Widest available ISA not exceeding `want` (compiled_isas is ascending;
+/// kScalar is always in it).
+Isa clamp_to_available(Isa want) {
+  Isa best = Isa::kScalar;
+  for (Isa have : compiled_isas()) {
+    if (static_cast<int>(have) <= static_cast<int>(want)) best = have;
+  }
+  return best;
+}
+
+/// One-time CMESOLVE_SIMD / CPUID resolution (no force_isa override).
+Isa resolve_auto() {
+  int cached = g_auto.load(std::memory_order_acquire);
+  if (cached != kUnset) return static_cast<Isa>(cached);
+
+  Isa pick = detected_isa();
+  if (const char* env = std::getenv("CMESOLVE_SIMD");
+      env != nullptr && env[0] != '\0') {
+    Isa want{};
+    if (parse_isa(env, want)) {
+      const Isa got = clamp_to_available(want);
+      if (got != want) {
+        std::fprintf(stderr,
+                     "cmesolve: CMESOLVE_SIMD=%s is not available in this "
+                     "build/CPU; using %s\n",
+                     env, to_string(got));
+      }
+      pick = got;
+    } else if (std::string_view(env) != "auto") {
+      std::fprintf(stderr,
+                   "cmesolve: unknown CMESOLVE_SIMD=%s (want "
+                   "scalar|sse2|avx2|avx512|neon|auto); using auto (%s)\n",
+                   env, to_string(pick));
+    }
+  }
+  int expected = kUnset;
+  g_auto.compare_exchange_strong(expected, static_cast<int>(pick),
+                                 std::memory_order_acq_rel);
+  return static_cast<Isa>(g_auto.load(std::memory_order_acquire));
+}
+
+}  // namespace
+
+const char* to_string(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kNeon:
+      return "neon";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+int isa_width(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar:
+      return 1;
+    case Isa::kNeon:
+    case Isa::kSse2:
+      return 2;
+    case Isa::kAvx2:
+      return 4;
+    case Isa::kAvx512:
+      return 8;
+  }
+  return 1;
+}
+
+bool parse_isa(std::string_view text, Isa& out) noexcept {
+  if (text == "scalar") {
+    out = Isa::kScalar;
+  } else if (text == "neon") {
+    out = Isa::kNeon;
+  } else if (text == "sse2") {
+    out = Isa::kSse2;
+  } else if (text == "avx2") {
+    out = Isa::kAvx2;
+  } else if (text == "avx512") {
+    out = Isa::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const std::vector<Isa>& compiled_isas() {
+  static const std::vector<Isa> isas = probe_compiled();
+  return isas;
+}
+
+Isa detected_isa() { return compiled_isas().back(); }
+
+Isa active_isa() {
+  const int forced = g_forced.load(std::memory_order_acquire);
+  if (forced != kUnset) return static_cast<Isa>(forced);
+  return resolve_auto();
+}
+
+const char* active_isa_name() { return to_string(active_isa()); }
+
+bool force_isa(Isa isa) {
+  if (!is_available(isa)) return false;
+  g_forced.store(static_cast<int>(isa), std::memory_order_release);
+  return true;
+}
+
+void reset_forced_isa() {
+  g_forced.store(kUnset, std::memory_order_release);
+  g_auto.store(kUnset, std::memory_order_release);
+}
+
+}  // namespace cmesolve::util::simd
+
+namespace cmesolve::util::simdk {
+
+const KernelOps& kernels_for(simd::Isa isa) {
+  switch (isa) {
+#if defined(CMESOLVE_SIMD_HAVE_SSE2)
+    case simd::Isa::kSse2:
+      return sse2::kOps;
+#endif
+#if defined(CMESOLVE_SIMD_HAVE_AVX2)
+    case simd::Isa::kAvx2:
+      return avx2::kOps;
+#endif
+#if defined(CMESOLVE_SIMD_HAVE_AVX512)
+    case simd::Isa::kAvx512:
+      return avx512::kOps;
+#endif
+#if defined(CMESOLVE_SIMD_HAVE_NEON)
+    case simd::Isa::kNeon:
+      return neon::kOps;
+#endif
+    default:
+      return scalar::kOps;
+  }
+}
+
+const KernelOps& kernels() { return kernels_for(simd::active_isa()); }
+
+}  // namespace cmesolve::util::simdk

@@ -1,0 +1,10 @@
+// AVX2 (4-wide) kernel table. Compiled with -mavx2 -mfma -ffp-contract=off:
+// FMA is enabled so VecAvx2::fmadd exists for throughput experiments, but
+// contraction is off so the kernels' explicit mul-then-add chains are never
+// fused behind the scalar reference's back.
+#if defined(__AVX2__)
+#define CMESOLVE_SIMD_TU_NS avx2
+#define CMESOLVE_SIMD_TU_ISA kAvx2
+#define CMESOLVE_SIMD_TU_VEC VecAvx2
+#include "util/simd_kernels_impl.hpp"
+#endif

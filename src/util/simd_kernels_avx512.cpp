@@ -1,0 +1,7 @@
+// AVX-512 (8-wide) kernel table. Compiled with -mavx512f -ffp-contract=off.
+#if defined(__AVX512F__)
+#define CMESOLVE_SIMD_TU_NS avx512
+#define CMESOLVE_SIMD_TU_ISA kAvx512
+#define CMESOLVE_SIMD_TU_VEC VecAvx512
+#include "util/simd_kernels_impl.hpp"
+#endif

@@ -1,0 +1,9 @@
+// NEON (2-wide, aarch64 baseline) kernel table. Compiled with
+// -ffp-contract=off; no extra -m flag needed — NEON is mandatory on
+// aarch64.
+#if defined(__ARM_NEON) && defined(__aarch64__)
+#define CMESOLVE_SIMD_TU_NS neon
+#define CMESOLVE_SIMD_TU_ISA kNeon
+#define CMESOLVE_SIMD_TU_VEC VecNeon
+#include "util/simd_kernels_impl.hpp"
+#endif

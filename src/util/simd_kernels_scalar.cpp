@@ -1,0 +1,8 @@
+// Scalar (width-1) kernel table — the bitwise reference every vector ISA
+// must match, and the fallback auto-dispatch uses when nothing wider is
+// available. Compiled with -ffp-contract=off like every kernel TU, so the
+// reference itself never silently fuses a*b+c.
+#define CMESOLVE_SIMD_TU_NS scalar
+#define CMESOLVE_SIMD_TU_ISA kScalar
+#define CMESOLVE_SIMD_TU_VEC VecScalar
+#include "util/simd_kernels_impl.hpp"

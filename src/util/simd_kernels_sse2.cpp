@@ -1,0 +1,7 @@
+// SSE2 (2-wide) kernel table. Compiled with -msse2 -ffp-contract=off.
+#if defined(__SSE2__)
+#define CMESOLVE_SIMD_TU_NS sse2
+#define CMESOLVE_SIMD_TU_ISA kSse2
+#define CMESOLVE_SIMD_TU_VEC VecSse2
+#include "util/simd_kernels_impl.hpp"
+#endif

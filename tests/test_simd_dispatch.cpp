@@ -1,0 +1,245 @@
+// Runtime SIMD dispatch: selection mechanics and the cross-ISA bitwise
+// parity contract.
+//
+// The explicit kernel layer (util/simd_kernels.hpp) promises that every
+// compiled ISA table — scalar, SSE2, AVX2, AVX-512, NEON — produces the
+// SAME BITS: vectorization runs across independent states or lanes, never
+// inside a row's reduction, and every TU compiles with -ffp-contract=off.
+// This suite pins that promise the same way test_parallel_determinism pins
+// the thread-count contract: the fuzzer's adversarial scenario families are
+// solved to a stationary vector under every compiled ISA at 1 and 8
+// threads, and every solution entry, stop reason, iteration count and
+// flight-recorder signature must compare EXACTLY against the forced-scalar
+// single-thread reference.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "solver/batched.hpp"
+#include "solver/jacobi.hpp"
+#include "solver/stencil_operator.hpp"
+#include "solver/vector_ops.hpp"
+#include "util/parallel.hpp"
+#include "util/simd.hpp"
+#include "util/simd_kernels.hpp"
+#include "verify/scenario.hpp"
+
+namespace cmesolve {
+namespace {
+
+namespace simd = util::simd;
+
+/// RAII thread-budget override; restores auto-detection on scope exit.
+class ThreadBudget {
+ public:
+  explicit ThreadBudget(int n) { util::set_max_threads(n); }
+  ~ThreadBudget() { util::set_max_threads(0); }
+  ThreadBudget(const ThreadBudget&) = delete;
+  ThreadBudget& operator=(const ThreadBudget&) = delete;
+};
+
+/// RAII ISA override; always lands back on auto-dispatch.
+class ForcedIsa {
+ public:
+  explicit ForcedIsa(simd::Isa isa) : ok_(simd::force_isa(isa)) {}
+  ~ForcedIsa() { simd::reset_forced_isa(); }
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  ForcedIsa(const ForcedIsa&) = delete;
+  ForcedIsa& operator=(const ForcedIsa&) = delete;
+
+ private:
+  bool ok_;
+};
+
+TEST(SimdDispatch, ParseRoundTripsEveryIsaName) {
+  for (const simd::Isa isa : simd::compiled_isas()) {
+    simd::Isa parsed{};
+    ASSERT_TRUE(simd::parse_isa(simd::to_string(isa), parsed))
+        << simd::to_string(isa);
+    EXPECT_EQ(parsed, isa);
+  }
+  simd::Isa out{};
+  EXPECT_FALSE(simd::parse_isa("pentium-mmx", out));
+  EXPECT_FALSE(simd::parse_isa("", out));
+}
+
+TEST(SimdDispatch, CompiledIsasStartAtScalarAndWidenMonotonically) {
+  const auto& isas = simd::compiled_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), simd::Isa::kScalar);
+  int prev = 0;
+  for (const simd::Isa isa : isas) {
+    EXPECT_GE(simd::isa_width(isa), prev);
+    prev = simd::isa_width(isa);
+  }
+  EXPECT_EQ(simd::isa_width(simd::Isa::kScalar), 1);
+}
+
+TEST(SimdDispatch, KernelTableMatchesEveryCompiledIsa) {
+  for (const simd::Isa isa : simd::compiled_isas()) {
+    const util::simdk::KernelOps& ops = util::simdk::kernels_for(isa);
+    EXPECT_EQ(ops.isa, isa);
+    EXPECT_EQ(ops.width, simd::isa_width(isa));
+    EXPECT_STREQ(ops.name, simd::to_string(isa));
+  }
+}
+
+TEST(SimdDispatch, ForceSelectsAndResetRestoresAuto) {
+  const simd::Isa detected = simd::active_isa();
+  {
+    ForcedIsa f(simd::Isa::kScalar);
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ(simd::active_isa(), simd::Isa::kScalar);
+    EXPECT_STREQ(simd::active_isa_name(), "scalar");
+  }
+  EXPECT_EQ(simd::active_isa(), detected);
+}
+
+TEST(SimdDispatch, EnvVarForcesScalarAndUnknownFallsBackToAuto) {
+  // CI runs this suite with CMESOLVE_SIMD already exported; park the outer
+  // value so the auto-pick baseline is the true CPUID choice, and restore
+  // it on the way out for the tests that follow.
+  const char* outer_env = ::getenv("CMESOLVE_SIMD");
+  const std::string outer = outer_env ? outer_env : "";
+  ::unsetenv("CMESOLVE_SIMD");
+  simd::reset_forced_isa();
+  const simd::Isa detected = simd::active_isa();
+  ::setenv("CMESOLVE_SIMD", "scalar", 1);
+  simd::reset_forced_isa();  // drops the cached auto pick -> env re-read
+  EXPECT_EQ(simd::active_isa(), simd::Isa::kScalar);
+
+  ::setenv("CMESOLVE_SIMD", "vliw-itanium", 1);
+  simd::reset_forced_isa();
+  EXPECT_EQ(simd::active_isa(), detected);  // warn + auto, never a throw
+
+  ::unsetenv("CMESOLVE_SIMD");
+  simd::reset_forced_isa();
+  EXPECT_EQ(simd::active_isa(), detected);
+
+  if (outer_env != nullptr) ::setenv("CMESOLVE_SIMD", outer.c_str(), 1);
+  simd::reset_forced_isa();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-ISA parity on the fuzzer's scenario families.
+// ---------------------------------------------------------------------------
+
+struct SolveRun {
+  std::vector<real_t> x;
+  solver::JacobiResult res;
+  std::uint64_t flight_sig = 0;
+};
+
+/// Full stencil-path Jacobi solve of one scenario with the flight recorder
+/// capturing the residual stream. Bounded iterations: parity cares that
+/// every ISA walks the SAME trajectory, converged or not.
+SolveRun solve_scenario(const verify::Scenario& sc) {
+  const auto net = verify::build_network(sc);
+  const solver::StencilOperator op(net, sc.initial);
+  solver::JacobiOptions jopt;
+  jopt.eps = sc.jacobi_eps;
+  jopt.stagnation_eps = sc.jacobi_stagnation_eps;
+  jopt.max_iterations = 2000;
+  jopt.damping = sc.jacobi_damping;
+
+  SolveRun out;
+  out.x.resize(static_cast<std::size_t>(op.nrows()));
+  solver::fill_uniform(out.x);
+  auto& flight = obs::FlightRecorder::instance();
+  flight.enable();
+  out.res = solver::jacobi_solve(op, op.inf_norm(), out.x, jopt);
+  out.flight_sig = flight.content_signature();
+  flight.disable();
+  return out;
+}
+
+bool bitwise_equal(const std::vector<real_t>& a, const std::vector<real_t>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(real_t)) == 0);
+}
+
+TEST(SimdDispatchParity, ScenarioFamiliesMatchScalarAtEveryIsaAndThreadCount) {
+  // Seeds 0..7 cycle the generator's archetype list, so every adversarial
+  // family is represented at least once.
+  const std::size_t families = verify::scenario_archetypes().size();
+  for (std::uint64_t seed = 0; seed < std::max<std::size_t>(families, 8);
+       ++seed) {
+    const verify::Scenario sc = verify::random_scenario(seed);
+    if (sc.expect != verify::Expectation::kSteadyState) continue;
+
+    SolveRun ref;
+    {
+      ThreadBudget serial(1);
+      ForcedIsa scalar(simd::Isa::kScalar);
+      ASSERT_TRUE(scalar.ok());
+      ref = solve_scenario(sc);
+    }
+    for (const simd::Isa isa : simd::compiled_isas()) {
+      for (const int threads : {1, 8}) {
+        ThreadBudget budget(threads);
+        ForcedIsa forced(isa);
+        if (!forced.ok()) continue;  // compiled in, CPU lacks it
+        const SolveRun run = solve_scenario(sc);
+        const std::string ctx = sc.name + " isa=" + simd::to_string(isa) +
+                                " threads=" + std::to_string(threads);
+        EXPECT_TRUE(bitwise_equal(run.x, ref.x)) << ctx;
+        EXPECT_EQ(run.res.iterations, ref.res.iterations) << ctx;
+        EXPECT_EQ(run.res.reason, ref.res.reason) << ctx;
+        // residual is part of the trajectory, so bitwise too
+        EXPECT_EQ(run.res.residual, ref.res.residual) << ctx;
+        EXPECT_EQ(run.flight_sig, ref.flight_sig) << ctx;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatchParity, BatchedLanesMatchScalarAtEveryIsa) {
+  // Batched operator over one scenario network with K=5 perturbed rate
+  // sets: an odd width exercises the vector body AND the scalar lane tail
+  // in the same sweep.
+  const verify::Scenario sc = verify::random_scenario(3);
+  const auto net = verify::build_network(sc);
+  const solver::StencilOperator anchor(net, sc.initial);
+  const solver::EnsembleStructure structure(anchor.table());
+  constexpr int kLanes = 5;
+  std::vector<std::vector<real_t>> rates;
+  for (int j = 0; j < kLanes; ++j) {
+    std::vector<real_t> rj;
+    for (int r = 0; r < net.num_reactions(); ++r) {
+      rj.push_back(net.reaction(r).rate * (1.0 + 0.125 * j));
+    }
+    rates.push_back(std::move(rj));
+  }
+  const solver::BatchedStencilOperator bop(structure, rates);
+  const auto n = static_cast<std::size_t>(anchor.nrows());
+  std::vector<real_t> x(n * kLanes);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 1.0 / static_cast<real_t>(3 + (i % 17));
+  }
+  std::vector<real_t> y(n * kLanes);
+  std::vector<real_t> y_ref(n * kLanes);
+  {
+    ForcedIsa scalar(simd::Isa::kScalar);
+    ASSERT_TRUE(scalar.ok());
+    bop.multiply(x, y_ref);
+  }
+  for (const simd::Isa isa : simd::compiled_isas()) {
+    for (const int threads : {1, 8}) {
+      ThreadBudget budget(threads);
+      ForcedIsa forced(isa);
+      if (!forced.ok()) continue;
+      bop.multiply(x, y);
+      EXPECT_TRUE(bitwise_equal(y, y_ref))
+          << "isa=" << simd::to_string(isa) << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cmesolve

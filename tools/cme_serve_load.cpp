@@ -33,6 +33,7 @@
 #include "obs/report.hpp"
 #include "serve/controller.hpp"
 #include "serve/workload.hpp"
+#include "util/simd.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -148,6 +149,7 @@ int main(int argc, char** argv) {
   t.add_row({"cache entries", TextTable::count(static_cast<long long>(stats.cache.entries))});
   t.add_row({"cache evictions", TextTable::count(static_cast<long long>(stats.cache.evictions))});
   t.add_row({"queue evictions", TextTable::count(static_cast<long long>(stats.queue_evicted))});
+  t.add_row({"simd isa", util::simd::active_isa_name()});
   std::fputs(t.render().c_str(), stdout);
 
   obs::flush_outputs();
