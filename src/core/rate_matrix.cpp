@@ -267,6 +267,73 @@ ProjectedRateMatrix::Assembly ProjectedRateMatrix::assemble(
   return out;
 }
 
+ProjectedRateMatrix::Assembly ProjectedRateMatrix::assemble_absorbing(
+    const DynamicStateSpace& space) const {
+  CMESOLVE_TRACE_SPAN("core.projected.assemble_absorbing");
+  const index_t n = space.size();
+  if (cached_states() != n) {
+    throw std::logic_error(
+        "ProjectedRateMatrix::assemble_absorbing: stencil cache out of "
+        "sync; call extend()/compact() after every space mutation");
+  }
+  const auto ns = static_cast<std::size_t>(num_species_);
+
+  Assembly out;
+  out.outflow.assign(static_cast<std::size_t>(n), 0.0);
+
+  const index_t nchunks = n > 0 ? (n + kAssemblyChunk - 1) / kAssemblyChunk : 0;
+  std::vector<sparse::Coo> parts(static_cast<std::size_t>(nchunks));
+
+  util::parallel_tasks(static_cast<int>(nchunks), [&](int c) {
+    const index_t j0 = static_cast<index_t>(c) * kAssemblyChunk;
+    const index_t j1 = std::min<index_t>(j0 + kAssemblyChunk, n);
+    sparse::Coo& part = parts[static_cast<std::size_t>(c)];
+    part.reserve(stencil_ptr_[static_cast<std::size_t>(j1)] -
+                 stencil_ptr_[static_cast<std::size_t>(j0)] +
+                 static_cast<std::size_t>(j1 - j0));
+    State next(ns);
+    for (index_t j = j0; j < j1; ++j) {
+      const std::size_t b = stencil_ptr_[static_cast<std::size_t>(j)];
+      const std::size_t e = stencil_ptr_[static_cast<std::size_t>(j) + 1];
+      real_t leaked = 0.0;
+      for (std::size_t s = b; s < e; ++s) {
+        for (std::size_t sp = 0; sp < ns; ++sp) {
+          next[sp] = succ_state_[s * ns + sp];
+        }
+        const real_t a = succ_rate_[s];
+        const index_t i = space.find(next);
+        if (i >= 0) {
+          part.add(i, j, a);
+        } else {
+          leaked += a;
+        }
+      }
+      // The leak stays in the diagonal (column sums to -leaked): dropped
+      // flux is absorbed by the implicit sink state, never redirected.
+      part.add(j, j, -total_rate_[static_cast<std::size_t>(j)]);
+      out.outflow[static_cast<std::size_t>(j)] = leaked;
+    }
+  });
+
+  sparse::Coo coo;
+  coo.nrows = n;
+  coo.ncols = n;
+  std::size_t total = 0;
+  for (const sparse::Coo& part : parts) total += part.nnz();
+  coo.reserve(total);
+  for (sparse::Coo& part : parts) {
+    coo.row.insert(coo.row.end(), part.row.begin(), part.row.end());
+    coo.col.insert(coo.col.end(), part.col.begin(), part.col.end());
+    coo.val.insert(coo.val.end(), part.val.begin(), part.val.end());
+    part = sparse::Coo{};
+  }
+  out.a = sparse::csr_from_coo(std::move(coo));
+  obs::count("core.projected.assemblies");
+  obs::gauge("core.projected.last.rows", static_cast<real_t>(out.a.nrows));
+  obs::gauge("core.projected.last.nnz", static_cast<real_t>(out.a.nnz()));
+  return out;
+}
+
 void ProjectedRateMatrix::out_of_set_successors(const DynamicStateSpace& space,
                                                 index_t j,
                                                 std::vector<State>& out) const {

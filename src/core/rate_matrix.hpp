@@ -66,6 +66,15 @@ class ProjectedRateMatrix {
   [[nodiscard]] Assembly assemble(const DynamicStateSpace& space,
                                   index_t return_state) const;
 
+  /// Assemble the TRANSIENT projection (Munsky & Khammash's original FSP):
+  /// flux into non-member states is dropped instead of redirected, so
+  /// column j sums to -outflow[j] and the generator is sub-stochastic. The
+  /// mass a transient propagation loses, 1 - ||P(t)||_1, is then exactly
+  /// the accumulated sink mass, which the FSP transient theorem turns into
+  /// a uniform-in-time error bound.
+  [[nodiscard]] Assembly assemble_absorbing(
+      const DynamicStateSpace& space) const;
+
   /// Successor states of member j that are NOT members (boundary-expansion
   /// candidates). Appends to `out`.
   void out_of_set_successors(const DynamicStateSpace& space, index_t j,

@@ -456,6 +456,154 @@ FspResult solve_adaptive(const core::ReactionNetwork& network,
                    converged,        std::move(rounds), total_iters};
 }
 
+TransientFspResult solve_transient(const core::ReactionNetwork& network,
+                                   const core::State& initial,
+                                   std::span<const real_t> t_grid,
+                                   const TransientFspOptions& opt) {
+  CMESOLVE_TRACE_SPAN("fsp.solve_transient");
+  if (opt.max_rounds < 1) {
+    throw std::invalid_argument("solve_transient: max_rounds must be >= 1");
+  }
+  real_t prev_t = 0.0;
+  for (const real_t t : t_grid) {
+    if (t < prev_t) {
+      throw std::invalid_argument(
+          "solve_transient: t_grid must be ascending and non-negative");
+    }
+    prev_t = t;
+  }
+
+  core::DynamicStateSpace space(network, initial);
+  space.grow_bfs(std::min(opt.seed_states, opt.max_states));
+  core::ProjectedRateMatrix matrix(network);
+  matrix.extend(space);
+
+  // The lost mass IS the error bound: never wash it out.
+  solver::TransientOptions uopt = opt.uniformization;
+  uopt.renormalize = false;
+  solver::KrylovExpmOptions kopt = opt.krylov;
+  kopt.renormalize = false;
+
+  std::vector<TransientFspRound> rounds;
+  std::uint64_t total_matvecs = 0;
+  bool converged = false;
+  real_t bound = t_grid.empty() ? 0.0
+                                : std::numeric_limits<real_t>::infinity();
+  std::vector<std::vector<real_t>> marginals;
+  std::vector<real_t> sinks;
+
+  for (int round = 1; round <= opt.max_rounds && !t_grid.empty(); ++round) {
+    const index_t n = space.size();
+    const auto rs = matrix.assemble_absorbing(space);
+    const solver::CsrOperator op(rs.a);
+
+    std::vector<real_t> p(static_cast<std::size_t>(n), 0.0);
+    const index_t root = space.find(initial);
+    if (root < 0) {
+      throw std::logic_error("solve_transient: initial state not a member");
+    }
+    p[static_cast<std::size_t>(root)] = 1.0;
+
+    marginals.assign(t_grid.size(), {});
+    sinks.assign(t_grid.size(), 0.0);
+    std::uint64_t matvecs = 0;
+    if (opt.engine == TransientEngine::kUniformization) {
+      const auto r = solver::transient_solve_grid(
+          op, t_grid, std::span<real_t>(p),
+          [&](std::size_t i, std::span<const real_t> pi) {
+            marginals[i].assign(pi.begin(), pi.end());
+            sinks[i] = std::max<real_t>(0.0, 1.0 - solver::norm_l1(pi));
+          },
+          uopt);
+      matvecs = r.matvecs;
+    } else {
+      // Krylov has no native checkpoint grid: chain segment solves, which
+      // is exactly the semigroup property the test suite pins.
+      real_t from = 0.0;
+      for (std::size_t i = 0; i < t_grid.size(); ++i) {
+        const auto r = solver::krylov_expm_solve(
+            op, t_grid[i] - from, std::span<real_t>(p), kopt);
+        from = t_grid[i];
+        matvecs += r.matvecs;
+        marginals[i].assign(p.begin(), p.end());
+        sinks[i] = std::max<real_t>(0.0, 1.0 - solver::norm_l1(p));
+      }
+    }
+    total_matvecs += matvecs;
+    bound = sinks.back();
+
+    rounds.push_back(TransientFspRound{round, n, bound, matvecs});
+    obs::flight("fsp.transient.sink_mass", obs::FlightKind::kFspRound,
+                static_cast<std::uint64_t>(round), bound);
+    obs::flight("fsp.transient.states", obs::FlightKind::kFspStates,
+                static_cast<std::uint64_t>(round), static_cast<real_t>(n));
+    if (bound <= opt.tol) {
+      converged = true;
+      break;
+    }
+
+    // Expand every leaking boundary state's out-of-set successors, then
+    // further reachability layers up to the growth floor, and restart the
+    // propagation from t = 0 on the larger projection.
+    std::vector<core::State> additions;
+    for (index_t j = 0; j < n; ++j) {
+      if (rs.outflow[static_cast<std::size_t>(j)] > 0.0) {
+        matrix.out_of_set_successors(space, j, additions);
+      }
+    }
+    const index_t before_add = space.size();
+    for (const core::State& s : additions) {
+      if (static_cast<std::size_t>(space.size()) >= opt.max_states) break;
+      space.add(s);
+    }
+    if (opt.min_growth > 0.0) {
+      const std::size_t target = std::min(
+          opt.max_states,
+          static_cast<std::size_t>(before_add) +
+              static_cast<std::size_t>(
+                  std::ceil(opt.min_growth * static_cast<real_t>(n))));
+      index_t layer_begin = before_add;
+      index_t layer_end = space.size();
+      while (static_cast<std::size_t>(space.size()) < target &&
+             layer_end > layer_begin) {
+        for (index_t j = layer_begin;
+             j < layer_end && static_cast<std::size_t>(space.size()) < target;
+             ++j) {
+          const core::State s = space.state(j);
+          for (int k = 0; k < network.num_reactions(); ++k) {
+            if (static_cast<std::size_t>(space.size()) >= target) break;
+            if (network.applicable(k, s)) space.add(network.apply(k, s));
+          }
+        }
+        layer_begin = layer_end;
+        layer_end = space.size();
+      }
+    }
+    if (space.size() == before_add) break;  // cap reached or boundary closed
+    matrix.extend(space);
+  }
+  if (t_grid.empty()) converged = true;
+
+  obs::flight("fsp.transient.stop", obs::FlightKind::kStop, rounds.size(),
+              converged ? 1.0 : 0.0);
+  if (!converged && obs::flight_enabled()) {
+    obs::FlightRecorder::instance().mark_post_mortem(
+        "fsp transient: bound not met");
+  }
+  obs::count("fsp.transient.solves");
+  obs::gauge("fsp.transient.rounds", static_cast<real_t>(rounds.size()));
+  obs::gauge("fsp.transient.states.final", static_cast<real_t>(space.size()));
+  obs::gauge("fsp.transient.error_bound", bound);
+  obs::gauge("fsp.transient.converged", converged ? 1.0 : 0.0);
+  obs::gauge("fsp.transient.matvecs.total",
+             static_cast<real_t>(total_matvecs));
+
+  return TransientFspResult{std::move(space),  std::move(marginals),
+                            std::move(sinks),  bound,
+                            converged,         std::move(rounds),
+                            total_matvecs};
+}
+
 real_t l1_distance_to_reference(const FspResult& fsp,
                                 const core::StateSpace& reference,
                                 std::span<const real_t> p_ref) {

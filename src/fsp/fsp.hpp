@@ -39,6 +39,8 @@
 #include "gpusim/kernels.hpp"
 #include "solver/gmres.hpp"
 #include "solver/jacobi.hpp"
+#include "solver/krylov_expm.hpp"
+#include "solver/transient.hpp"
 #include "util/types.hpp"
 
 namespace cmesolve::fsp {
@@ -131,6 +133,67 @@ struct FspResult {
 [[nodiscard]] FspResult solve_adaptive(const core::ReactionNetwork& network,
                                        const core::State& initial,
                                        const FspOptions& opt = {});
+
+// ---------------------------------------------------------------------------
+// Transient FSP (Munsky & Khammash's original formulation)
+// ---------------------------------------------------------------------------
+//
+// Propagate P(t) = exp(A_J t) P(0) on the truncated generator with
+// out-of-set flux DROPPED (core::ProjectedRateMatrix::assemble_absorbing):
+// the truncated generator is sub-stochastic, the mass it loses collects in
+// an implicit sink, and the FSP transient theorem guarantees that the sink
+// mass at the final time, 1 - ||P(t_final)||_1, bounds the pointwise
+// truncation error of every marginal at every earlier time. When the bound
+// exceeds tol the member set is expanded and the propagation restarts from
+// t = 0 on the larger projection.
+
+/// Propagation engine of the transient FSP loop.
+enum class TransientEngine { kUniformization, kKrylov };
+
+struct TransientFspOptions {
+  /// Target sink mass at the final grid time (the uniform-in-time bound).
+  real_t tol = 1e-8;
+  std::size_t seed_states = 256;
+  std::size_t max_states = 2'000'000;
+  int max_rounds = 32;
+  /// Per-round growth floor as a fraction of the pre-round member count:
+  /// the boundary's out-of-set successors are added first, then further
+  /// reachability layers until the round has grown by at least this much.
+  real_t min_growth = 0.5;
+  TransientEngine engine = TransientEngine::kUniformization;
+  /// Engine configurations. `renormalize` is forced off internally — the
+  /// lost mass IS the error bound.
+  solver::TransientOptions uniformization;
+  solver::KrylovExpmOptions krylov;
+};
+
+struct TransientFspRound {
+  int round = 0;        ///< 1-based
+  index_t states = 0;   ///< members propagated this round
+  real_t sink_mass = 0.0;  ///< 1 - ||P(t_final)||_1 on this round's set
+  std::uint64_t matvecs = 0;
+};
+
+struct TransientFspResult {
+  core::DynamicStateSpace space;  ///< final member set
+  /// Per requested grid point: the raw sub-stochastic marginal over the
+  /// members (NOT renormalized; ||marginals[i]||_1 = 1 - sink_mass[i]).
+  std::vector<std::vector<real_t>> marginals;
+  std::vector<real_t> sink_mass;  ///< per grid point
+  /// Sink mass at the final grid point == the uniform-in-time FSP error
+  /// bound for every marginal in `marginals`.
+  real_t error_bound = std::numeric_limits<real_t>::infinity();
+  bool converged = false;  ///< error_bound <= tol
+  std::vector<TransientFspRound> rounds;
+  std::uint64_t total_matvecs = 0;
+};
+
+/// Run the transient pipeline over an ascending grid of absolute times.
+/// `network` must outlive the returned result. Unlike the stationary
+/// pipeline, absorbing states are fine — exp(At) needs no invertibility.
+[[nodiscard]] TransientFspResult solve_transient(
+    const core::ReactionNetwork& network, const core::State& initial,
+    std::span<const real_t> t_grid, const TransientFspOptions& opt = {});
 
 /// L1 distance between an FSP landscape and a reference landscape over a
 /// full fixed-buffer enumeration of the same network (missing states count

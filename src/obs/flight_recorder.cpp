@@ -25,6 +25,8 @@ const char* to_string(FlightKind k) noexcept {
     case FlightKind::kFspRound: return "fsp-round";
     case FlightKind::kFspStates: return "fsp-states";
     case FlightKind::kBatchActive: return "batch-active";
+    case FlightKind::kTransientStep: return "transient-step";
+    case FlightKind::kKrylovStep: return "krylov-step";
   }
   return "?";
 }

@@ -57,6 +57,8 @@ enum class FlightKind : std::uint8_t {
   kFspRound,         ///< FSP round outflow bound (value = sink-mass bound)
   kFspStates,        ///< FSP round state count
   kBatchActive,      ///< batched freeze-mask popcount (value = active lanes)
+  kTransientStep,    ///< uniformization sub-step (value = covered Poisson mass)
+  kKrylovStep,       ///< accepted Krylov expm sub-step (value = local error)
 };
 
 [[nodiscard]] const char* to_string(FlightKind k) noexcept;

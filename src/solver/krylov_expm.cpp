@@ -1,0 +1,330 @@
+//
+// Arnoldi expm(tA)v with adaptive sub-stepping. See krylov_expm.hpp.
+//
+#include "solver/krylov_expm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "solver/vector_ops.hpp"
+#include "util/parallel.hpp"
+#include "util/simd_kernels.hpp"
+
+namespace cmesolve::solver {
+namespace {
+
+/// y += c .* x through the kernel table (deterministic elementwise pass).
+void cmul_add(std::span<real_t> y, std::span<const real_t> c,
+              std::span<const real_t> x) {
+  real_t* py = y.data();
+  const real_t* pc = c.data();
+  const real_t* px = x.data();
+  const util::simdk::KernelOps& ko = util::simdk::kernels();
+  util::parallel_for(y.size(),
+                     [py, pc, px, &ko](std::size_t b, std::size_t e) {
+                       ko.cmul_add(py + b, pc + b, px + b, e - b);
+                     });
+}
+
+/// y = A x for the FULL generator: off-diagonal multiply + diagonal.
+void apply_full(const TransientOperator& op, std::span<const real_t> x,
+                std::span<real_t> y) {
+  op.multiply(x, y);
+  cmul_add(y, op.diag, x);
+}
+
+/// Serial dense n*n helpers (n <= krylov_dim + 2, so ~32).
+void mat_mul(const std::vector<real_t>& a, const std::vector<real_t>& b,
+             std::vector<real_t>& c, int n) {
+  const auto un = static_cast<std::size_t>(n);
+  for (std::size_t i = 0; i < un; ++i) {
+    for (std::size_t j = 0; j < un; ++j) c[i * un + j] = 0.0;
+    for (std::size_t k = 0; k < un; ++k) {
+      const real_t aik = a[i * un + k];
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < un; ++j) {
+        c[i * un + j] += aik * b[k * un + j];
+      }
+    }
+  }
+}
+
+/// Solve D X = N in place (X overwrites N) by Gaussian elimination with
+/// partial pivoting. D is destroyed.
+void solve_dense(std::vector<real_t>& d, std::vector<real_t>& x_rhs, int n) {
+  const auto un = static_cast<std::size_t>(n);
+  for (std::size_t col = 0; col < un; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < un; ++r) {
+      if (std::abs(d[r * un + col]) > std::abs(d[piv * un + col])) piv = r;
+    }
+    if (d[piv * un + col] == 0.0) {
+      throw std::runtime_error("krylov_expm: singular Pade denominator");
+    }
+    if (piv != col) {
+      for (std::size_t j = 0; j < un; ++j) {
+        std::swap(d[piv * un + j], d[col * un + j]);
+        std::swap(x_rhs[piv * un + j], x_rhs[col * un + j]);
+      }
+    }
+    const real_t inv = 1.0 / d[col * un + col];
+    for (std::size_t r = 0; r < un; ++r) {
+      if (r == col) continue;
+      const real_t f = d[r * un + col] * inv;
+      if (f == 0.0) continue;
+      for (std::size_t j = col; j < un; ++j) {
+        d[r * un + j] -= f * d[col * un + j];
+      }
+      for (std::size_t j = 0; j < un; ++j) {
+        x_rhs[r * un + j] -= f * x_rhs[col * un + j];
+      }
+    }
+  }
+  for (std::size_t r = 0; r < un; ++r) {
+    const real_t inv = 1.0 / d[r * un + r];
+    for (std::size_t j = 0; j < un; ++j) x_rhs[r * un + j] *= inv;
+  }
+}
+
+}  // namespace
+
+void dense_expm(std::span<const real_t> m, int n, std::span<real_t> out) {
+  constexpr int kPadeOrder = 6;
+  const auto un = static_cast<std::size_t>(n);
+  if (m.size() != un * un || out.size() != un * un) {
+    throw std::invalid_argument("dense_expm: size mismatch");
+  }
+  // Scale M by 2^-s so its inf-norm drops below 1/2.
+  real_t norm = 0.0;
+  for (std::size_t i = 0; i < un; ++i) {
+    real_t row = 0.0;
+    for (std::size_t j = 0; j < un; ++j) row += std::abs(m[i * un + j]);
+    norm = std::max(norm, row);
+  }
+  int s = 0;
+  if (norm > 0.5) {
+    s = 1 + static_cast<int>(std::floor(std::log2(norm)));
+    if (s < 0) s = 0;
+  }
+  const real_t scale = std::ldexp(1.0, -s);
+
+  std::vector<real_t> a(un * un);
+  for (std::size_t i = 0; i < un * un; ++i) a[i] = m[i] * scale;
+
+  // Diagonal Pade(6,6): N = sum c_k A^k, D = sum (-1)^k c_k A^k.
+  std::vector<real_t> pow_a = a;  // A^k as k walks up
+  std::vector<real_t> num(un * un, 0.0);
+  std::vector<real_t> den(un * un, 0.0);
+  for (std::size_t i = 0; i < un; ++i) {
+    num[i * un + i] = 1.0;
+    den[i * un + i] = 1.0;
+  }
+  real_t c = 1.0;
+  std::vector<real_t> tmp(un * un);
+  for (int k = 1; k <= kPadeOrder; ++k) {
+    c *= static_cast<real_t>(kPadeOrder - k + 1) /
+         static_cast<real_t>(k * (2 * kPadeOrder - k + 1));
+    if (k > 1) {
+      mat_mul(pow_a, a, tmp, n);
+      pow_a.swap(tmp);
+    }
+    const real_t sign = (k % 2 == 0) ? 1.0 : -1.0;
+    for (std::size_t i = 0; i < un * un; ++i) {
+      num[i] += c * pow_a[i];
+      den[i] += sign * c * pow_a[i];
+    }
+  }
+  solve_dense(den, num, n);  // num <- D^{-1} N = expm(A/2^s)
+
+  for (int q = 0; q < s; ++q) {
+    mat_mul(num, num, tmp, n);
+    num.swap(tmp);
+  }
+  std::copy(num.begin(), num.end(), out.begin());
+}
+
+KrylovExpmResult krylov_expm_solve(const TransientOperator& op, real_t t,
+                                   std::span<real_t> p,
+                                   const KrylovExpmOptions& opt) {
+  CMESOLVE_TRACE_SPAN("solver.krylov_expm");
+  const auto n = static_cast<std::size_t>(op.n);
+  if (p.size() != n) {
+    throw std::invalid_argument("krylov_expm_solve: p size mismatch");
+  }
+  if (t < 0.0) {
+    throw std::invalid_argument("krylov_expm_solve: negative time");
+  }
+  if (opt.krylov_dim < 1) {
+    throw std::invalid_argument("krylov_expm_solve: krylov_dim must be >= 1");
+  }
+  if (!(opt.tol > 0.0)) {
+    throw std::invalid_argument("krylov_expm_solve: tol must be positive");
+  }
+
+  KrylovExpmResult out;
+  if (t == 0.0 || n == 0) return out;
+  real_t beta = norm_l2(p);
+  if (beta == 0.0) return out;
+
+  // Inf-norm of the full generator from one probe multiply: offdiag rows
+  // are non-negative, so |row|_1 = (offdiag * ones)_i + |d_i|.
+  std::vector<real_t> ones(n, 1.0);
+  std::vector<real_t> scratch(n, 0.0);
+  op.multiply(ones, scratch);
+  ++out.matvecs;
+  real_t anorm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    anorm = std::max(anorm, std::abs(scratch[i]) + std::abs(op.diag[i]));
+  }
+  if (anorm == 0.0) return out;  // A == 0: exp(tA) is the identity
+
+  const int m = std::min<int>(opt.krylov_dim, static_cast<int>(n));
+  const auto um = static_cast<std::size_t>(m);
+  const real_t btol = 1e-14 * anorm;  // happy-breakdown threshold
+
+  // Expokit's first-step heuristic, refined by the accept/reject loop.
+  const real_t xm = 1.0 / static_cast<real_t>(m);
+  const real_t fact = std::pow((m + 1) / std::exp(1.0), m + 1) *
+                      std::sqrt(2.0 * 3.141592653589793 * (m + 1));
+  real_t tau = (1.0 / anorm) *
+               std::pow((fact * opt.tol) / (4.0 * beta * anorm), xm);
+  tau = std::min(std::max(tau, t * 1e-12), t);
+
+  std::vector<std::vector<real_t>> basis(
+      um + 1, std::vector<real_t>(n, 0.0));  // V columns
+  std::vector<real_t> h((um + 2) * (um + 2), 0.0);  // row-major Hbar
+  std::vector<real_t> av(n, 0.0);
+  std::vector<real_t> f;
+
+  real_t t_done = 0.0;
+  while (t - t_done > 1e-14 * t) {
+    tau = std::min(tau, t - t_done);
+
+    // Arnoldi on the current (unnormalized) p.
+    std::fill(h.begin(), h.end(), 0.0);
+    basis[0].assign(p.begin(), p.end());
+    scale(std::span<real_t>(basis[0]), 1.0 / beta);
+    int mb = m;
+    bool happy = false;
+    const std::size_t ld = um + 2;
+    for (int j = 0; j < m; ++j) {
+      const auto uj = static_cast<std::size_t>(j);
+      std::span<real_t> w(basis[uj + 1]);
+      apply_full(op, basis[uj], w);
+      ++out.matvecs;
+      for (int i = 0; i <= j; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        const real_t hij = dot(w, basis[ui]);
+        h[ui * ld + uj] = hij;
+        axpy(-hij, basis[ui], w);
+      }
+      const real_t hnext = norm_l2(w);
+      if (hnext <= btol) {
+        // Invariant subspace: the projected exponential is exact.
+        mb = j + 1;
+        happy = true;
+        out.happy_breakdown = true;
+        tau = t - t_done;
+        break;
+      }
+      h[(uj + 1) * ld + uj] = hnext;
+      scale(w, 1.0 / hnext);
+    }
+    const auto umb = static_cast<std::size_t>(mb);
+    real_t avnorm = 1.0;
+    if (!happy) {
+      // One more application for the second-order error term.
+      apply_full(op, basis[um], av);
+      ++out.matvecs;
+      avnorm = norm_l2(av);
+      h[(umb + 1) * ld + umb] = 1.0;  // augmentation: phi column coupling
+    }
+    const int nh = mb + (happy ? 0 : 2);
+    const auto unh = static_cast<std::size_t>(nh);
+
+    // Accept/reject on the dense exponential only — the basis is tau-free.
+    std::vector<real_t> small(unh * unh);
+    f.assign(unh * unh, 0.0);
+    real_t err_loc = 0.0;
+    for (;;) {
+      for (std::size_t i = 0; i < unh; ++i) {
+        for (std::size_t j = 0; j < unh; ++j) {
+          small[i * unh + j] = tau * h[i * ld + j];
+        }
+      }
+      dense_expm(small, nh, f);
+      if (happy) {
+        err_loc = 0.0;
+        break;
+      }
+      const real_t phi1 = std::abs(beta * f[umb * unh]);
+      const real_t phi2 = std::abs(beta * f[(umb + 1) * unh]) * avnorm;
+      if (phi1 > 10.0 * phi2) {
+        err_loc = phi2;
+      } else if (phi1 > phi2) {
+        err_loc = phi1 * phi2 / (phi1 - phi2);
+      } else {
+        err_loc = phi1;
+      }
+      const real_t budget = 1.2 * (tau / t) * opt.tol * std::max(beta, 1.0);
+      if (err_loc <= budget) break;
+      ++out.rejections;
+      tau *= 0.5;
+      if (tau <= t * 1e-14 || out.rejections > 256) {
+        // Cannot meet tol at any representable step — take the step and
+        // report the achieved estimate instead of spinning.
+        out.truncated_early = true;
+        break;
+      }
+    }
+
+    // w = beta * V_mb * F(:, 0)
+    std::fill(p.begin(), p.end(), 0.0);
+    for (int j = 0; j < mb; ++j) {
+      const auto uj = static_cast<std::size_t>(j);
+      axpy(beta * f[uj * unh], basis[uj], p);
+    }
+    t_done += tau;
+    ++out.steps;
+    out.error_estimate += err_loc;
+    obs::flight("krylov.step", obs::FlightKind::kKrylovStep, out.steps - 1,
+                err_loc);
+    beta = norm_l2(p);
+    if (beta == 0.0) break;
+    if (out.truncated_early || out.matvecs >= opt.max_matvecs) {
+      out.truncated_early = out.truncated_early || t - t_done > 1e-14 * t;
+      break;
+    }
+    // Grow cautiously when the step was much more accurate than it had to
+    // be; halving on rejection is the shrink path.
+    const real_t budget = 1.2 * (tau / t) * opt.tol * std::max(beta, 1.0);
+    if (err_loc <= 0.25 * budget) tau *= 2.0;
+  }
+
+  if (opt.renormalize) {
+    // Clamp the O(tol) negative ripple a Krylov polynomial can leave and
+    // restore the probability-vector invariant.
+    real_t* pp = p.data();
+    util::parallel_for(n, [pp](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        if (pp[i] < 0.0) pp[i] = 0.0;
+      }
+    });
+    normalize_l1(p);
+  }
+
+  obs::flight("krylov.stop", obs::FlightKind::kStop, out.steps,
+              out.truncated_early ? 0.0 : 1.0);
+  obs::count("krylov.solves");
+  obs::gauge("krylov.matvecs", static_cast<real_t>(out.matvecs));
+  obs::gauge("krylov.steps", static_cast<real_t>(out.steps));
+  obs::observe("krylov.error_estimate", out.error_estimate);
+  return out;
+}
+
+}  // namespace cmesolve::solver

@@ -1,0 +1,74 @@
+#pragma once
+//
+// Krylov approximation of w = exp(t A) v — the Arnoldi route to transient
+// CME dynamics (Moosavi & Sandu, "Approximate Exponential Algorithms to
+// Solve the Chemical Master Equation"; algorithmically Expokit's dgexpv).
+//
+// One sub-step projects A onto an m-dimensional Krylov basis built by the
+// same modified-Gram-Schmidt recursion as the GMRES solver, then
+// exponentiates the tiny (m+2)x(m+2) augmented Hessenberg matrix with a
+// dense scaling-and-squaring Pade expm. The two extra rows deliver the
+// a-posteriori local error estimate for free (Saad '92): phi1 = the
+// weight falling off the end of the basis, phi2 = the same after one more
+// operator application. The estimate drives adaptive sub-stepping —
+// rejected steps only re-run the dense expm (the basis is independent of
+// the step size), never the SpMVs. When h_{j+1,j} underflows the basis is
+// A-invariant ("happy breakdown") and the step is exact.
+//
+// Why keep both engines: uniformization costs ~lambda*t SpMVs no matter
+// what, so a stiff generator (rate spread >= 1e4) pays for its fastest
+// timescale over the whole horizon. Krylov steps adapt to the solution,
+// not the spectrum — once fast modes have decayed, tau grows and the SpMV
+// count drops by orders of magnitude. The cross-check between the two is
+// the `transient` verify oracle.
+//
+// Determinism: Arnoldi runs on the chunked-reduction dot/norm and
+// kernel-table axpy from vector_ops.hpp, the dense expm is serial, and no
+// step-size decision consults a clock — so results are bitwise identical
+// at any CMESOLVE_THREADS and on every compiled ISA.
+//
+#include <cstdint>
+#include <span>
+
+#include "solver/transient.hpp"
+#include "util/types.hpp"
+
+namespace cmesolve::solver {
+
+struct KrylovExpmOptions {
+  int krylov_dim = 30;  ///< Arnoldi basis size m per sub-step
+  /// Local-error budget, spent proportionally to tau/t per accepted step:
+  /// the accumulated estimate at the horizon is <= ~1.2 * tol.
+  real_t tol = 1e-12;
+  std::uint64_t max_matvecs = 10'000'000;  ///< SpMV budget for the solve
+  /// L1-renormalize (after clamping the O(tol) negative ripple to zero) so
+  /// a probability vector stays one. FSP transient propagation sets false.
+  bool renormalize = true;
+};
+
+struct KrylovExpmResult {
+  std::uint64_t matvecs = 0;
+  std::uint64_t steps = 0;       ///< accepted sub-steps
+  std::uint64_t rejections = 0;  ///< dense-expm-only retries
+  real_t error_estimate = 0.0;   ///< sum of accepted local estimates
+  bool happy_breakdown = false;  ///< some step ended on an invariant basis
+  bool truncated_early = false;  ///< matvec budget ran out before t
+};
+
+/// Advance `p` in place from P(0) to P(t) = exp(tA) P(0).
+KrylovExpmResult krylov_expm_solve(const TransientOperator& op, real_t t,
+                                   std::span<real_t> p,
+                                   const KrylovExpmOptions& opt = {});
+
+template <JacobiOperator Op>
+KrylovExpmResult krylov_expm_solve(const Op& op, real_t t, std::span<real_t> p,
+                                   const KrylovExpmOptions& opt = {}) {
+  return krylov_expm_solve(transient_operator(op), t, p, opt);
+}
+
+/// Dense expm(M) by scaling-and-squaring with a diagonal Pade(6,6)
+/// approximant — serial, for the tiny Hessenberg blocks only. Row-major
+/// n*n in, row-major n*n out. Exposed for direct unit testing.
+void dense_expm(std::span<const real_t> m, int n, std::span<real_t> out);
+
+}  // namespace cmesolve::solver

@@ -6,130 +6,141 @@
 // transient dynamic calculation").
 //
 // With lambda >= max_i |a_ii|, the uniformized matrix B = I + A / lambda is
-// column-stochastic and
+// column-stochastic (column-substochastic on a leaky FSP truncation) and
 //
 //   P(t) = sum_{k>=0} PoissonPmf(k; lambda t) * B^k P(0).
 //
-// The series is truncated once the accumulated Poisson mass reaches
-// 1 - eps; each term costs one SpMV, so the kernel profile is identical to
-// a Jacobi sweep and runs on the same operators.
+// The production engine in transient.cpp adds, over the original header toy:
 //
-#include <cmath>
+//  * two-sided Poisson truncation — the accumulation window drops both the
+//    left tail (terms before the Poisson bulk, relevant for large lambda*t)
+//    and the right tail, each bounded by eps/2 per step;
+//  * interval splitting — a horizon whose Poisson mean exceeds
+//    `max_step_mean` is split into equal sub-steps so the series length per
+//    step stays bounded and the left-tail trim can engage;
+//  * checkpointed output — `transient_solve_grid` walks an ascending time
+//    grid and hands the caller the marginal at every requested t;
+//  * explicit mass accounting — `covered_mass` and `truncated_mass` close
+//    to 1 within rounding for a completed single-step solve;
+//  * a `renormalize` switch — FSP transient propagation keeps the raw
+//    substochastic vector because 1 - ||P(t)||_1 IS the error bound.
+//
+// Every vector update runs through the deterministic kernel-table / chunked
+// reduction primitives (vector_ops.hpp), so a transient solve is bitwise
+// identical at any CMESOLVE_THREADS and on every compiled ISA, matching the
+// Jacobi contract. Each term costs one SpMV, so the kernel profile is
+// identical to a Jacobi sweep and runs on the same operators.
+//
 #include <cstdint>
+#include <functional>
 #include <span>
-#include <stdexcept>
 #include <vector>
 
 #include "solver/jacobi.hpp"
-#include "solver/vector_ops.hpp"
+#include "util/types.hpp"
 
 namespace cmesolve::solver {
 
 struct TransientOptions {
-  real_t eps = 1e-12;          ///< allowed truncated Poisson tail mass
-  real_t lambda_margin = 1.01; ///< lambda = margin * max |a_ii|
-  std::uint64_t max_terms = 1'000'000;  ///< series-length safety cap
+  /// Allowed truncated Poisson mass per uniformization step (left + right
+  /// tail combined). Must be in (0, 1): eps == 0 is rejected with
+  /// std::invalid_argument because the accumulated mass carries ~1e-12 of
+  /// rounding error, so `mass >= 1 - eps` could never fire and the solve
+  /// would spin to max_terms on zero-weight SpMVs. Values below the
+  /// accumulation floor are legal — the tail-exhaustion exit terminates the
+  /// series at the numerically exact stopping point instead.
+  real_t eps = 1e-12;
+  /// lambda = margin * max |a_ii|; must be >= 1 or B has negative entries.
+  real_t lambda_margin = 1.01;
+  std::uint64_t max_terms = 1'000'000;  ///< total series-length budget
+  /// Interval splitting: one uniformization step never carries a Poisson
+  /// mean above this; longer horizons run ceil(lambda*t / max_step_mean)
+  /// equal sub-steps, each with an eps share of eps/steps.
+  real_t max_step_mean = 4096.0;
+  /// L1-renormalize after every step (proper distribution out). FSP
+  /// transient propagation sets false: on the leaky truncated generator the
+  /// missing mass 1 - ||P(t)||_1 is exactly the FSP error bound and must
+  /// not be washed out.
+  bool renormalize = true;
 };
 
 struct TransientResult {
-  std::uint64_t matvecs = 0;       ///< SpMV count (series length)
-  real_t covered_mass = 0.0;       ///< accumulated Poisson weight
+  std::uint64_t matvecs = 0;  ///< SpMV count (total series length)
+  std::uint64_t steps = 0;    ///< uniformization sub-steps taken
+  /// Leading series terms whose accumulation was skipped by the left-tail
+  /// trim (their SpMVs still run — B^k P(0) is needed to continue — but the
+  /// axpy into the accumulator is saved and the window stays tight).
+  std::uint64_t left_skipped = 0;
+  /// Product over sub-steps of the per-step accumulated Poisson window
+  /// mass. For a completed (!truncated_early) SINGLE-step solve,
+  /// covered_mass + truncated_mass == 1 within rounding.
+  real_t covered_mass = 0.0;
+  /// Sum over sub-steps of the computed mass outside the window: the
+  /// left-trimmed head plus the right tail walked scalar (no SpMVs) until
+  /// it underflows. Meaningless when truncated_early (the tail was never
+  /// reached).
+  real_t truncated_mass = 0.0;
   real_t lambda = 0.0;
-  /// Hit max_terms with Poisson mass still outstanding. The returned `p` is
-  /// the truncated series renormalized by the covered mass (a proper
-  /// distribution over the landscape actually reached) — except when
-  /// covered_mass == 0, where `p` is left unchanged (see below).
+  /// Hit the max_terms budget with Poisson mass still outstanding. The
+  /// returned `p` is the truncated series renormalized by the covered mass
+  /// (when renormalize is set) — except when covered_mass == 0, where `p`
+  /// is left unchanged: there is no usable information in the prefix.
   bool truncated_early = false;
-  /// The series ended because every remaining tail weight underflows to
-  /// zero in double precision — the numerically exact stopping point. This
-  /// is the normal exit when `eps` is at or below the accumulation floor
-  /// (~1e-12 of rounding error in the Poisson-mass sum): without it the
-  /// `mass >= 1 - eps` test could never fire and the solve would spin to
-  /// max_terms doing zero-weight SpMVs.
+  /// A step ended because every remaining tail weight underflows to zero in
+  /// double precision — the numerically exact stopping point, and the
+  /// normal exit when eps is at or below the accumulation floor.
   bool tail_exhausted = false;
 };
 
-/// Advance `p` from P(0) to P(t). `op`/`diag` follow the Jacobi operator
-/// convention (off-diagonal multiply + dense diagonal).
+/// Type-erased Jacobi-operator view the out-of-line engine runs on: row
+/// count, dense diagonal, and the strictly off-diagonal multiply. Built via
+/// transient_operator() from anything satisfying JacobiOperator — assembled
+/// CSR/ELL/DIA, matrix-free stencil (SIMD-dispatched), masked FSP stencil.
+struct TransientOperator {
+  index_t n = 0;
+  std::span<const real_t> diag;
+  std::function<void(std::span<const real_t>, std::span<real_t>)> multiply;
+};
+
+template <JacobiOperator Op>
+[[nodiscard]] TransientOperator transient_operator(const Op& op) {
+  return TransientOperator{
+      op.nrows(), op.diag(),
+      [&op](std::span<const real_t> x, std::span<real_t> y) {
+        op.multiply(x, y);
+      }};
+}
+
+/// Advance `p` in place from P(0) to P(t).
+TransientResult transient_solve(const TransientOperator& op, real_t t,
+                                std::span<real_t> p,
+                                const TransientOptions& opt = {});
+
+/// Advance `p` through an ascending grid of absolute times (first entry may
+/// be 0 == "now"), invoking `on_checkpoint(index, p)` at every grid point.
+/// The eps budget applies per grid segment. Returns the aggregate over all
+/// segments (covered_mass multiplies, truncated_mass/matvecs accumulate).
+TransientResult transient_solve_grid(
+    const TransientOperator& op, std::span<const real_t> t_grid,
+    std::span<real_t> p,
+    const std::function<void(std::size_t, std::span<const real_t>)>&
+        on_checkpoint,
+    const TransientOptions& opt = {});
+
 template <JacobiOperator Op>
 TransientResult transient_solve(const Op& op, real_t t, std::span<real_t> p,
                                 const TransientOptions& opt = {}) {
-  const index_t n = op.nrows();
-  if (p.size() != static_cast<std::size_t>(n)) {
-    throw std::invalid_argument("transient_solve: p size mismatch");
-  }
-  if (t < 0.0) {
-    throw std::invalid_argument("transient_solve: negative time");
-  }
+  return transient_solve(transient_operator(op), t, p, opt);
+}
 
-  const std::span<const real_t> d = op.diag();
-  real_t max_diag = 0.0;
-  for (index_t i = 0; i < n; ++i) max_diag = std::max(max_diag, std::abs(d[i]));
-
-  TransientResult out;
-  out.lambda = opt.lambda_margin * max_diag;
-  const real_t m = out.lambda * t;  // Poisson mean
-  if (m == 0.0) {
-    out.covered_mass = 1.0;
-    return out;
-  }
-
-  // Poisson weights by stable log-space recursion:
-  // log w_0 = -m; log w_{k} = log w_{k-1} + log(m / k).
-  real_t log_w = -m;
-
-  std::vector<real_t> v(p.begin(), p.end());  // v_k = B^k P(0)
-  std::vector<real_t> bv(static_cast<std::size_t>(n));
-  std::vector<real_t> acc(static_cast<std::size_t>(n), 0.0);
-
-  real_t mass = 0.0;
-  bool seen_weight = false;  // some w_k was representable (> 0)
-  for (std::uint64_t k = 0;; ++k) {
-    const real_t w = std::exp(log_w);
-    if (w > 0.0) {
-      mass += w;
-      seen_weight = true;
-      axpy(w, v, std::span<real_t>(acc));
-    }
-    if (mass >= 1.0 - opt.eps) break;
-    // Tail exhaustion: past the Poisson mode the weights decay
-    // monotonically, so once one underflows every later one does too and
-    // the series is numerically complete. This must be checked
-    // independently of the mass test: the accumulated mass carries ~1e-12
-    // of rounding error, so for eps below that floor `mass >= 1 - eps` can
-    // never fire and the loop would spin to max_terms on zero weights.
-    if (w == 0.0 && seen_weight && static_cast<real_t>(k) > m) {
-      out.tail_exhausted = true;
-      break;
-    }
-    if (k >= opt.max_terms) {
-      out.truncated_early = true;
-      break;
-    }
-    // v <- B v = v + (offdiag*v + diag.*v) / lambda
-    op.multiply(v, bv);
-    for (index_t i = 0; i < n; ++i) {
-      v[i] += (bv[i] + d[i] * v[i]) / out.lambda;
-    }
-    ++out.matvecs;
-    log_w += std::log(m / static_cast<real_t>(k + 1));
-  }
-
-  out.covered_mass = mass;
-  if (mass > 0.0) {
-    // Renormalize by the covered mass so P(t) is a proper distribution even
-    // when the series was cut early: acc = sum_k w_k B^k P(0) carries total
-    // weight `mass`, and each B^k P(0) is itself a probability vector, so
-    // the L1 rescale divides by exactly the covered mass (plus the rounding
-    // the direct division would miss).
-    std::copy(acc.begin(), acc.end(), p.begin());
-    normalize_l1(p);
-  }
-  // mass == 0 can only happen when max_terms cut the series before the
-  // Poisson bulk (every computed weight underflowed); p is left unchanged —
-  // there is no usable information in the truncated prefix, and
-  // truncated_early + covered_mass == 0 tells the caller so.
-  return out;
+template <JacobiOperator Op>
+TransientResult transient_solve_grid(
+    const Op& op, std::span<const real_t> t_grid, std::span<real_t> p,
+    const std::function<void(std::size_t, std::span<const real_t>)>&
+        on_checkpoint,
+    const TransientOptions& opt = {}) {
+  return transient_solve_grid(transient_operator(op), t_grid, p,
+                              on_checkpoint, opt);
 }
 
 }  // namespace cmesolve::solver

@@ -249,6 +249,36 @@ std::vector<real_t> empirical_stationary(const core::ReactionNetwork& network,
   return occupancy;
 }
 
+std::vector<real_t> empirical_marginal(const core::ReactionNetwork& network,
+                                       const core::StateSpace& space,
+                                       core::State initial,
+                                       const MarginalOptions& opt) {
+  if (!network.valid_state(initial)) {
+    throw std::invalid_argument("empirical_marginal: invalid initial state");
+  }
+  if (opt.t < 0.0) {
+    throw std::invalid_argument("empirical_marginal: negative time");
+  }
+  if (opt.trajectories == 0) {
+    throw std::invalid_argument("empirical_marginal: need trajectories");
+  }
+  std::vector<real_t> histogram(static_cast<std::size_t>(space.size()), 0.0);
+  for (std::uint64_t k = 0; k < opt.trajectories; ++k) {
+    // Independent streams: splitmix-style per-trajectory seed derivation,
+    // same recipe the verify battery uses for its auxiliary rngs.
+    DirectMethod sim(network,
+                     opt.seed + k * 0x9E3779B97F4A7C15ULL + 0x7F4A7C15ULL);
+    core::State x = initial;
+    (void)sim.advance(x, opt.t);
+    const index_t idx = space.find(x);
+    if (idx >= 0) histogram[static_cast<std::size_t>(idx)] += 1.0;
+  }
+  for (real_t& v : histogram) {
+    v /= static_cast<real_t>(opt.trajectories);
+  }
+  return histogram;
+}
+
 real_t total_variation(std::span<const real_t> p, std::span<const real_t> q) {
   assert(p.size() == q.size());
   real_t sum = 0.0;

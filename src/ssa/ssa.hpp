@@ -91,6 +91,20 @@ struct EmpiricalOptions {
     const core::ReactionNetwork& network, const core::StateSpace& space,
     core::State initial, const EmpiricalOptions& opt = {});
 
+/// Endpoint histogram of many independent trajectories: the empirical TIME
+/// MARGINAL P(X(t) = x | X(0) = initial). Unlike the dwell-time occupancy
+/// above, every trajectory contributes exactly one iid sample, so a
+/// chi-square test against a transient solve is statistically clean.
+struct MarginalOptions {
+  real_t t = 1.0;                      ///< sampling time
+  std::uint64_t trajectories = 2000;   ///< iid samples
+  std::uint64_t seed = 1;              ///< per-trajectory seeds derive from it
+};
+
+[[nodiscard]] std::vector<real_t> empirical_marginal(
+    const core::ReactionNetwork& network, const core::StateSpace& space,
+    core::State initial, const MarginalOptions& opt = {});
+
 /// Total-variation distance between two distributions on the same support.
 [[nodiscard]] real_t total_variation(std::span<const real_t> p,
                                      std::span<const real_t> q);

@@ -22,9 +22,11 @@
 #include "solver/gauss_seidel.hpp"
 #include "solver/gmres.hpp"
 #include "solver/jacobi.hpp"
+#include "solver/krylov_expm.hpp"
 #include "solver/operators.hpp"
 #include "solver/power_iteration.hpp"
 #include "solver/stencil_operator.hpp"
+#include "solver/transient.hpp"
 #include "solver/vector_ops.hpp"
 #include "sparse/bcsr.hpp"
 #include "sparse/csr.hpp"
@@ -141,13 +143,20 @@ class Verifier {
     if (opt_.with_matrix_market) check_matrix_market();
 
     switch (sc_.expect) {
-      case Expectation::kAbsorbing: check_absorbing_edge(); return;
+      case Expectation::kAbsorbing:
+        check_absorbing_edge();
+        // exp(At) is perfectly well-defined on an absorbing chain even
+        // though A P = 0 is not solvable — the transient battery is the
+        // only cross-algorithm oracle this family gets.
+        if (opt_.with_transient) check_transient();
+        return;
       case Expectation::kStagnation:
       case Expectation::kZeroResidual: check_jacobi_edge(); return;
       case Expectation::kSteadyState: break;
     }
 
     check_solvers();
+    if (opt_.with_transient) check_transient();
     if (opt_.with_ssa) check_ssa();
     if (opt_.with_gpusim) check_gpusim();
     if (opt_.with_threads) check_threads();
@@ -917,6 +926,184 @@ class Verifier {
           return;
         }
       }
+    }
+  }
+
+  // -- transient cross-check -----------------------------------------------
+
+  /// Time-domain battery: uniformization vs Arnoldi expm(tA)v in L1 at
+  /// several horizons, the SIMD-dispatched stencil path vs the assembled
+  /// path, the semigroup property, the L1-contraction toward the
+  /// stationary landscape (monotonicity needs no mixing-time assumption),
+  /// and — when the SSA oracle is also enabled — a chi-square gate between
+  /// the solved time marginal and an endpoint histogram of independent SSA
+  /// trajectories. Horizons scale with 1 / max|a_ii| so the Poisson means
+  /// stay bounded on stiff generators.
+  void check_transient() {
+    if (a_.nrows > opt_.transient_max) return;
+    if (a_norm_ <= 0.0) return;  // zero generator: exp(At) == I
+    const index_t root = space_->find(sc_.initial);
+    if (root < 0) {
+      fail("transient", "initial state missing from the enumerated space");
+      return;
+    }
+    ran("transient");
+    const solver::CsrOperator op(a_);
+    real_t max_diag = 0.0;
+    for (const real_t d : op.diag()) {
+      max_diag = std::max(max_diag, std::abs(d));
+    }
+    const real_t base = 1.0 / max_diag;  // fastest timescale
+
+    solver::TransientOptions uopt;  // eps 1e-12
+    solver::KrylovExpmOptions kopt;
+    kopt.tol = 1e-13;
+
+    const auto point_mass = [&](std::vector<real_t>& p) {
+      p.assign(n_, 0.0);
+      p[static_cast<std::size_t>(root)] = 1.0;
+    };
+
+    std::vector<real_t> pu;
+    std::vector<real_t> pk;
+    real_t prev_station_dist = std::numeric_limits<real_t>::infinity();
+    for (const real_t c : {0.5, 2.0, 8.0}) {
+      const real_t t = c * base;
+      point_mass(pu);
+      const auto ru =
+          solver::transient_solve(op, t, std::span<real_t>(pu), uopt);
+      if (ru.truncated_early) {
+        fail("transient", "uniformization hit max_terms at t=" + fmt(t));
+        return;
+      }
+      real_t sum = 0.0;
+      for (const real_t v : pu) {
+        if (v < 0.0) {
+          fail("transient", "uniformization produced a negative marginal "
+                            "entry " + fmt(v));
+          return;
+        }
+        sum += v;
+      }
+      if (std::abs(sum - 1.0) > 1e-10) {
+        fail("transient", "time marginal at t=" + fmt(t) + " sums to " +
+                              fmt(sum));
+        return;
+      }
+      point_mass(pk);
+      (void)solver::krylov_expm_solve(op, t, std::span<real_t>(pk), kopt);
+      const real_t dist = l1_distance(pu, pk);
+      if (dist > 1e-10) {
+        fail("transient", "uniformization vs krylov expm L1 " + fmt(dist) +
+                              " at t=" + fmt(t));
+        return;
+      }
+      // L1 contraction: every CTMC semigroup is an L1 contraction, so the
+      // distance to ANY fixed point never grows with t — a stationarity
+      // check with no mixing-time assumption.
+      if (jacobi_converged_ && well_conditioned()) {
+        const real_t station_dist = l1_distance(pu, p_jacobi_);
+        if (station_dist > prev_station_dist + 1e-9) {
+          fail("transient",
+               "L1 distance to the stationary landscape grew with t: " +
+                   fmt(prev_station_dist) + " -> " + fmt(station_dist));
+          return;
+        }
+        prev_station_dist = station_dist;
+      }
+    }
+
+    // Semigroup: P(t1 + t2) == step(P(t1), t2).
+    {
+      const real_t t1 = 1.0 * base;
+      const real_t t2 = 3.0 * base;
+      point_mass(pu);
+      (void)solver::transient_solve(op, t1 + t2, std::span<real_t>(pu), uopt);
+      point_mass(pk);
+      (void)solver::transient_solve(op, t1, std::span<real_t>(pk), uopt);
+      (void)solver::transient_solve(op, t2, std::span<real_t>(pk), uopt);
+      const real_t dist = l1_distance(pu, pk);
+      if (dist > 1e-10) {
+        fail("transient", "semigroup violation: chained vs direct L1 " +
+                              fmt(dist));
+        return;
+      }
+    }
+
+    // Stencil-path parity: the SIMD-dispatched matrix-free operator must
+    // land on the assembled-path marginal. Skipped when the enumerated
+    // space contains an absorbing state: the stencil table masks
+    // zero-outflow box corners with a -1 diagonal sentinel (a deliberate
+    // Jacobi guard), so the box propagation bleeds the mass parked there.
+    bool has_absorbing = false;
+    for (const real_t d : op.diag()) {
+      if (d == 0.0) {
+        has_absorbing = true;
+        break;
+      }
+    }
+    build_stencil();
+    if (!has_absorbing && stencil_ != nullptr &&
+        stencil_->nrows() <= 8 * opt_.transient_max) {
+      const real_t t = 2.0 * base;
+      point_mass(pu);
+      (void)solver::transient_solve(op, t, std::span<real_t>(pu), uopt);
+      const auto nb = static_cast<std::size_t>(stencil_->nrows());
+      std::vector<real_t> pb(nb, 0.0);
+      point_mass(pk);
+      stencil_->scatter_from(*space_, pk, pb);
+      (void)solver::transient_solve(*stencil_, t, std::span<real_t>(pb),
+                                    uopt);
+      std::vector<real_t> gathered(n_, 0.0);
+      stencil_->gather_to(*space_, pb, gathered);
+      const real_t dist = l1_distance(pu, gathered);
+      if (dist > 1e-10) {
+        fail("transient", "stencil-path transient differs from assembled "
+                          "path by L1 " + fmt(dist));
+        return;
+      }
+    }
+
+    // SSA endpoint histogram vs the solved time marginal — the transient
+    // extension of the stationary chi-square gate, behind the same cost
+    // and conditioning window.
+    if (!opt_.with_ssa || a_.nrows > opt_.ssa_max || a_norm_ < 0.5 ||
+        a_norm_ > 500.0 || !well_conditioned()) {
+      return;
+    }
+    ran("transient-ssa");
+    const real_t t = 4.0 * base;
+    point_mass(pu);
+    (void)solver::transient_solve(op, t, std::span<real_t>(pu), uopt);
+    ssa::MarginalOptions mo;
+    mo.t = t;
+    mo.trajectories = 2000;
+    mo.seed = sc_.seed * 3 + 11;
+    const auto emp = ssa::empirical_marginal(net_, *space_, sc_.initial, mo);
+    const auto samples = static_cast<real_t>(mo.trajectories);
+    real_t x2 = 0.0;
+    std::size_t cells = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (pu[i] * samples < 5.0) continue;
+      const real_t diff = emp[i] - pu[i];
+      x2 += samples * diff * diff / pu[i];
+      ++cells;
+    }
+    if (cells >= 2) {
+      const auto dof = static_cast<real_t>(cells - 1);
+      const real_t gate = dof + 10.0 * std::sqrt(2.0 * dof) + 10.0;
+      if (x2 > gate) {
+        fail("transient-ssa", "time-marginal chi-square " + fmt(x2) +
+                                  " over " + std::to_string(cells) +
+                                  " cells exceeds gate " + fmt(gate) +
+                                  " at t=" + fmt(t));
+      }
+    }
+    const real_t tv = ssa::total_variation(emp, pu);
+    if (tv > 0.15) {
+      fail("transient-ssa", "total variation " + fmt(tv) +
+                                " between SSA endpoint histogram and the "
+                                "solved time marginal");
     }
   }
 

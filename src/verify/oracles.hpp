@@ -33,6 +33,12 @@
 //                     flight stream are bit-identical at 1 and 8 threads,
 //                     and attaching the recorder does not perturb the
 //                     fingerprint (observability cannot change the run)
+//   transient         uniformization and Krylov expm(tA)v agree in L1 at
+//                     several horizons, the stencil-path propagation
+//                     matches the assembled path, the semigroup property
+//                     holds, the t->inf limit lands on the stationary
+//                     solve, and (when with_ssa) an SSA endpoint histogram
+//                     matches the time marginal through the chi-square gate
 //
 // Directed expectations (Expectation::kAbsorbing / kStagnation /
 // kZeroResidual) replace the cross-solver battery with the corresponding
@@ -59,8 +65,14 @@ struct OracleOptions {
   index_t fsp_max = 3000;
   /// Largest stencil box (rows) the batched-ensemble oracle accepts.
   index_t ensemble_max = 20'000;
+  /// Largest space the transient cross-check accepts.
+  index_t transient_max = 2000;
   bool with_ssa = false;      ///< expensive; the fuzz driver samples it
   bool with_fsp = true;
+  /// Transient engine cross-check (uniformization vs Krylov vs stencil
+  /// path vs stationary limit, plus the SSA time-marginal chi-square when
+  /// with_ssa is also set). Cheap; the fuzz driver samples it anyway.
+  bool with_transient = true;
   bool with_ensemble = true;
   bool with_gpusim = true;
   bool with_matrix_market = true;

@@ -358,14 +358,17 @@ sparse::Csr two_state(real_t up, real_t down) {
 
 TEST(TransientRegression, EpsBelowTheMassFloorTerminatesViaTailExhaustion) {
   // The accumulated Poisson mass carries ~1e-12 of rounding error, so with
-  // eps = 0 the `mass >= 1 - eps` test can never fire. Before the fix this
-  // spun all the way to max_terms doing zero-weight SpMVs and then reported
-  // the complete series as truncated_early.
+  // eps below the accumulation floor the `mass >= 1 - eps` test can never
+  // fire. Before the fix this spun all the way to max_terms doing
+  // zero-weight SpMVs and then reported the complete series as
+  // truncated_early. (eps = 0 itself is rejected up front these days —
+  // see Transient.OptionValidationThrowsCleanly — so the smallest positive
+  // double stands in for it here.)
   const sparse::Csr a = two_state(2.0, 1.0);
   const solver::CsrOperator op(a);
   std::vector<real_t> p = {1.0, 0.0};
   solver::TransientOptions opt;
-  opt.eps = 0.0;
+  opt.eps = 1e-300;
   opt.max_terms = 100'000;
   const auto res = solver::transient_solve(op, 5.0, std::span<real_t>(p), opt);
   EXPECT_TRUE(res.tail_exhausted);

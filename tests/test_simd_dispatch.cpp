@@ -22,7 +22,9 @@
 #include "obs/flight_recorder.hpp"
 #include "solver/batched.hpp"
 #include "solver/jacobi.hpp"
+#include "solver/krylov_expm.hpp"
 #include "solver/stencil_operator.hpp"
+#include "solver/transient.hpp"
 #include "solver/vector_ops.hpp"
 #include "util/parallel.hpp"
 #include "util/simd.hpp"
@@ -193,6 +195,79 @@ TEST(SimdDispatchParity, ScenarioFamiliesMatchScalarAtEveryIsaAndThreadCount) {
         EXPECT_EQ(run.res.reason, ref.res.reason) << ctx;
         // residual is part of the trajectory, so bitwise too
         EXPECT_EQ(run.res.residual, ref.res.residual) << ctx;
+        EXPECT_EQ(run.flight_sig, ref.flight_sig) << ctx;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transient-engine parity: both exp(tA) engines ride the same kernel table
+// and chunked reductions as Jacobi, so a uniformization series and a Krylov
+// propagation must be bitwise identical at every ISA and thread count —
+// including the flight-recorder stream they emit.
+// ---------------------------------------------------------------------------
+
+struct TransientRun {
+  std::vector<real_t> pu;  // uniformization output
+  std::vector<real_t> pk;  // Krylov output
+  solver::TransientResult ru;
+  solver::KrylovExpmResult rk;
+  std::uint64_t flight_sig = 0;
+};
+
+TransientRun transient_scenario(const verify::Scenario& sc) {
+  const auto net = verify::build_network(sc);
+  const solver::StencilOperator op(net, sc.initial);
+  real_t dmax = 0.0;
+  for (const real_t d : op.diag()) dmax = std::max(dmax, std::abs(d));
+  const real_t t = dmax > 0.0 ? 2.0 / dmax : 1.0;
+  const auto n = static_cast<std::size_t>(op.nrows());
+
+  TransientRun out;
+  out.pu.resize(n);
+  solver::fill_uniform(out.pu);  // any distribution works for parity
+  out.pk = out.pu;
+  auto& flight = obs::FlightRecorder::instance();
+  flight.enable();
+  solver::TransientOptions topt;
+  topt.max_step_mean = 1.0;  // force sub-stepping -> more events to compare
+  out.ru = solver::transient_solve(op, t, out.pu, topt);
+  solver::KrylovExpmOptions kopt;
+  kopt.tol = 1e-13;
+  out.rk = solver::krylov_expm_solve(op, t, out.pk, kopt);
+  out.flight_sig = flight.content_signature();
+  flight.disable();
+  return out;
+}
+
+TEST(SimdDispatchParity, TransientEnginesMatchScalarAtEveryIsaAndThreadCount) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const verify::Scenario sc = verify::random_scenario(seed);
+
+    TransientRun ref;
+    {
+      ThreadBudget serial(1);
+      ForcedIsa scalar(simd::Isa::kScalar);
+      ASSERT_TRUE(scalar.ok());
+      ref = transient_scenario(sc);
+    }
+    for (const simd::Isa isa : simd::compiled_isas()) {
+      for (const int threads : {1, 2, 8}) {
+        ThreadBudget budget(threads);
+        ForcedIsa forced(isa);
+        if (!forced.ok()) continue;  // compiled in, CPU lacks it
+        const TransientRun run = transient_scenario(sc);
+        const std::string ctx = sc.name + " isa=" + simd::to_string(isa) +
+                                " threads=" + std::to_string(threads);
+        EXPECT_TRUE(bitwise_equal(run.pu, ref.pu)) << ctx;
+        EXPECT_TRUE(bitwise_equal(run.pk, ref.pk)) << ctx;
+        EXPECT_EQ(run.ru.matvecs, ref.ru.matvecs) << ctx;
+        EXPECT_EQ(run.ru.steps, ref.ru.steps) << ctx;
+        EXPECT_EQ(run.ru.covered_mass, ref.ru.covered_mass) << ctx;
+        EXPECT_EQ(run.rk.matvecs, ref.rk.matvecs) << ctx;
+        EXPECT_EQ(run.rk.steps, ref.rk.steps) << ctx;
+        EXPECT_EQ(run.rk.error_estimate, ref.rk.error_estimate) << ctx;
         EXPECT_EQ(run.flight_sig, ref.flight_sig) << ctx;
       }
     }

@@ -47,6 +47,7 @@ struct Args {
   std::uint64_t ssa_every = 8;     ///< SSA oracle sampling period (0 = off)
   std::uint64_t threads_every = 4; ///< thread-determinism period (0 = off)
   std::uint64_t ensemble_every = 2;  ///< batched-ensemble period (0 = off)
+  std::uint64_t transient_every = 4;  ///< transient battery period (0 = off)
 };
 
 void usage(const char* argv0) {
@@ -54,7 +55,8 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--runs N] [--seed S|from-date] [--replay FILE]\n"
       "          [--corpus DIR] [--out DIR] [--max-shrink K] [--quick]\n"
-      "          [--ssa-every N] [--threads-every N] [--ensemble-every N]\n",
+      "          [--ssa-every N] [--threads-every N] [--ensemble-every N]\n"
+      "          [--transient-every N]\n",
       argv0);
 }
 
@@ -110,6 +112,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.ensemble_every = std::strtoull(v, nullptr, 10);
+    } else if (a == "--transient-every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.transient_every = std::strtoull(v, nullptr, 10);
     } else if (a == "--help" || a == "-h") {
       usage(argv[0]);
       std::exit(0);
@@ -239,6 +245,8 @@ int fuzz_sweep(const Args& args) {
     opt.with_telemetry = opt.with_threads;
     opt.with_ensemble =
         args.ensemble_every > 0 && i % args.ensemble_every == 0;
+    opt.with_transient =
+        args.transient_every > 0 && i % args.transient_every == 0;
     const verify::Scenario sc = verify::random_scenario(seed);
     const auto res = verify::verify_scenario(sc, opt);
     if (res.passed) {
@@ -254,7 +262,9 @@ int fuzz_sweep(const Args& args) {
     // Shrink with the cheapest option set that still covers the failing
     // oracle — the predicate re-runs the battery hundreds of times.
     auto shrink_opt = opt;
-    shrink_opt.with_ssa = res.primary() == "ssa";
+    shrink_opt.with_ssa =
+        res.primary() == "ssa" || res.primary() == "transient-ssa";
+    shrink_opt.with_transient = res.primary().rfind("transient", 0) == 0;
     shrink_opt.with_threads = res.primary() == "thread-determinism";
     shrink_opt.with_telemetry = res.primary() == "telemetry";
     shrink_opt.with_fsp = shrink_opt.with_fsp && res.primary() == "fsp-parity";
