@@ -120,7 +120,8 @@ int main(int argc, char** argv) {
 
     real_t l1 = 0.0;
     for (std::size_t i = 0; i < n; ++i) l1 += std::abs(pu[i] - pk[i]);
-    const bool agree = l1 <= 1e-9 && !ru.truncated_early && !rk.truncated_early;
+    const bool agree = l1 <= 1e-9 && !ru.truncated_early &&
+                       !rk.truncated_early && !rk.tol_not_met;
 
     char l1s[32];
     std::snprintf(l1s, sizeof(l1s), "%.2e", l1);

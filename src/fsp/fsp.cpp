@@ -487,6 +487,7 @@ TransientFspResult solve_transient(const core::ReactionNetwork& network,
   std::vector<TransientFspRound> rounds;
   std::uint64_t total_matvecs = 0;
   bool converged = false;
+  bool truncated = false;
   real_t bound = t_grid.empty() ? 0.0
                                 : std::numeric_limits<real_t>::infinity();
   std::vector<std::vector<real_t>> marginals;
@@ -507,15 +508,19 @@ TransientFspResult solve_transient(const core::ReactionNetwork& network,
     marginals.assign(t_grid.size(), {});
     sinks.assign(t_grid.size(), 0.0);
     std::uint64_t matvecs = 0;
+    std::size_t reached = 0;  // grid points whose checkpoint was delivered
+    bool round_truncated = false;
     if (opt.engine == TransientEngine::kUniformization) {
       const auto r = solver::transient_solve_grid(
           op, t_grid, std::span<real_t>(p),
           [&](std::size_t i, std::span<const real_t> pi) {
             marginals[i].assign(pi.begin(), pi.end());
             sinks[i] = std::max<real_t>(0.0, 1.0 - solver::norm_l1(pi));
+            reached = i + 1;
           },
           uopt);
       matvecs = r.matvecs;
+      round_truncated = r.truncated_early;
     } else {
       // Krylov has no native checkpoint grid: chain segment solves, which
       // is exactly the semigroup property the test suite pins.
@@ -525,11 +530,39 @@ TransientFspResult solve_transient(const core::ReactionNetwork& network,
             op, t_grid[i] - from, std::span<real_t>(p), kopt);
         from = t_grid[i];
         matvecs += r.matvecs;
+        if (r.truncated_early || r.tol_not_met) {
+          // p is P(t_done < t) or missed tol: every later checkpoint would
+          // chain off a wrong state, so the round stops here.
+          round_truncated = true;
+          break;
+        }
         marginals[i].assign(p.begin(), p.end());
         sinks[i] = std::max<real_t>(0.0, 1.0 - solver::norm_l1(p));
+        reached = i + 1;
       }
     }
     total_matvecs += matvecs;
+
+    if (round_truncated) {
+      // The engine never computed the checkpoints past `reached`: poison
+      // them instead of letting their 0.0 initialization masquerade as a
+      // sink reading, and report no bound at all — the FSP guarantee only
+      // holds for a propagation that covered the full grid. Growing the
+      // member set would only raise the per-step cost, so stop here.
+      for (std::size_t i = reached; i < t_grid.size(); ++i) {
+        marginals[i].clear();
+        sinks[i] = std::numeric_limits<real_t>::infinity();
+      }
+      bound = std::numeric_limits<real_t>::infinity();
+      truncated = true;
+      rounds.push_back(TransientFspRound{round, n, bound, matvecs});
+      obs::flight("fsp.transient.sink_mass", obs::FlightKind::kFspRound,
+                  static_cast<std::uint64_t>(round), bound);
+      obs::flight("fsp.transient.states", obs::FlightKind::kFspStates,
+                  static_cast<std::uint64_t>(round), static_cast<real_t>(n));
+      break;
+    }
+
     bound = sinks.back();
 
     rounds.push_back(TransientFspRound{round, n, bound, matvecs});
@@ -588,20 +621,22 @@ TransientFspResult solve_transient(const core::ReactionNetwork& network,
               converged ? 1.0 : 0.0);
   if (!converged && obs::flight_enabled()) {
     obs::FlightRecorder::instance().mark_post_mortem(
-        "fsp transient: bound not met");
+        truncated ? "fsp transient: engine budget cut the propagation"
+                  : "fsp transient: bound not met");
   }
   obs::count("fsp.transient.solves");
   obs::gauge("fsp.transient.rounds", static_cast<real_t>(rounds.size()));
   obs::gauge("fsp.transient.states.final", static_cast<real_t>(space.size()));
   obs::gauge("fsp.transient.error_bound", bound);
   obs::gauge("fsp.transient.converged", converged ? 1.0 : 0.0);
+  obs::gauge("fsp.transient.truncated", truncated ? 1.0 : 0.0);
   obs::gauge("fsp.transient.matvecs.total",
              static_cast<real_t>(total_matvecs));
 
   return TransientFspResult{std::move(space),  std::move(marginals),
                             std::move(sinks),  bound,
-                            converged,         std::move(rounds),
-                            total_matvecs};
+                            converged,         truncated,
+                            std::move(rounds), total_matvecs};
 }
 
 real_t l1_distance_to_reference(const FspResult& fsp,

@@ -178,12 +178,20 @@ struct TransientFspResult {
   core::DynamicStateSpace space;  ///< final member set
   /// Per requested grid point: the raw sub-stochastic marginal over the
   /// members (NOT renormalized; ||marginals[i]||_1 = 1 - sink_mass[i]).
+  /// When `truncated_early` is set, grid points the engine never reached
+  /// hold an empty marginal and infinite sink_mass.
   std::vector<std::vector<real_t>> marginals;
   std::vector<real_t> sink_mass;  ///< per grid point
   /// Sink mass at the final grid point == the uniform-in-time FSP error
-  /// bound for every marginal in `marginals`.
+  /// bound for every marginal in `marginals`. Infinity when the final
+  /// round's propagation was truncated: a bound derived from an unreached
+  /// checkpoint would falsify the FSP guarantee.
   real_t error_bound = std::numeric_limits<real_t>::infinity();
   bool converged = false;  ///< error_bound <= tol
+  /// The last round's engine stopped before covering the full grid
+  /// (uniformization max_terms, Krylov matvec budget, or an unmeetable
+  /// Krylov step tolerance). No error bound is available.
+  bool truncated_early = false;
   std::vector<TransientFspRound> rounds;
   std::uint64_t total_matvecs = 0;
 };

@@ -99,7 +99,8 @@ void dense_expm(std::span<const real_t> m, int n, std::span<real_t> out) {
   if (m.size() != un * un || out.size() != un * un) {
     throw std::invalid_argument("dense_expm: size mismatch");
   }
-  // Scale M by 2^-s so its inf-norm drops below 1/2.
+  // Scale M by 2^-s so its inf-norm drops to <= 1/2: 2^-s * norm <= 1/2
+  // needs s >= log2(norm) + 1, hence the ceil-plus-one choice.
   real_t norm = 0.0;
   for (std::size_t i = 0; i < un; ++i) {
     real_t row = 0.0;
@@ -108,7 +109,7 @@ void dense_expm(std::span<const real_t> m, int n, std::span<real_t> out) {
   }
   int s = 0;
   if (norm > 0.5) {
-    s = 1 + static_cast<int>(std::floor(std::log2(norm)));
+    s = static_cast<int>(std::ceil(std::log2(norm))) + 1;
     if (s < 0) s = 0;
   }
   const real_t scale = std::ldexp(1.0, -s);
@@ -278,7 +279,7 @@ KrylovExpmResult krylov_expm_solve(const TransientOperator& op, real_t t,
       if (tau <= t * 1e-14 || out.rejections > 256) {
         // Cannot meet tol at any representable step — take the step and
         // report the achieved estimate instead of spinning.
-        out.truncated_early = true;
+        out.tol_not_met = true;
         break;
       }
     }
@@ -296,8 +297,8 @@ KrylovExpmResult krylov_expm_solve(const TransientOperator& op, real_t t,
                 err_loc);
     beta = norm_l2(p);
     if (beta == 0.0) break;
-    if (out.truncated_early || out.matvecs >= opt.max_matvecs) {
-      out.truncated_early = out.truncated_early || t - t_done > 1e-14 * t;
+    if (out.tol_not_met || out.matvecs >= opt.max_matvecs) {
+      out.truncated_early = t - t_done > 1e-14 * t;
       break;
     }
     // Grow cautiously when the step was much more accurate than it had to
@@ -319,7 +320,7 @@ KrylovExpmResult krylov_expm_solve(const TransientOperator& op, real_t t,
   }
 
   obs::flight("krylov.stop", obs::FlightKind::kStop, out.steps,
-              out.truncated_early ? 0.0 : 1.0);
+              (out.truncated_early || out.tol_not_met) ? 0.0 : 1.0);
   obs::count("krylov.solves");
   obs::gauge("krylov.matvecs", static_cast<real_t>(out.matvecs));
   obs::gauge("krylov.steps", static_cast<real_t>(out.steps));

@@ -52,7 +52,14 @@ struct KrylovExpmResult {
   std::uint64_t rejections = 0;  ///< dense-expm-only retries
   real_t error_estimate = 0.0;   ///< sum of accepted local estimates
   bool happy_breakdown = false;  ///< some step ended on an invariant basis
-  bool truncated_early = false;  ///< matvec budget ran out before t
+  /// Some step could not meet its local-error budget at any representable
+  /// step size (tau underflow or rejection cap): `p` was still advanced,
+  /// but the result may not meet `tol` even when the horizon is complete.
+  bool tol_not_met = false;
+  /// The integration stopped before reaching t (matvec budget exhausted,
+  /// or bailing out after an unmeetable step with time remaining): `p`
+  /// holds P(t_done) for some t_done < t, not P(t).
+  bool truncated_early = false;
 };
 
 /// Advance `p` in place from P(0) to P(t) = exp(tA) P(0).

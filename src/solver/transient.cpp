@@ -237,8 +237,11 @@ TransientResult transient_solve_grid(
   for (std::size_t i = 0; i < t_grid.size(); ++i) {
     advance(op, t_grid[i] - prev, p, ws, opt, out);
     prev = t_grid[i];
-    if (on_checkpoint) on_checkpoint(i, p);
+    // A budget-cut advance leaves p mid-series (or untouched when the cut
+    // landed before the Poisson bulk): it is NOT P(t_grid[i]), so the
+    // checkpoint is withheld rather than delivered with stale content.
     if (out.truncated_early) break;
+    if (on_checkpoint) on_checkpoint(i, p);
   }
   finish(out);
   return out;

@@ -102,6 +102,10 @@ struct TransientOperator {
   std::function<void(std::span<const real_t>, std::span<real_t>)> multiply;
 };
 
+/// Build the type-erased view. The result captures `op` BY REFERENCE (the
+/// multiply closure and the diag span both point into it): it is a
+/// non-owning view that must not outlive the source operator. Binding a
+/// temporary is rejected at compile time by the deleted rvalue overload.
 template <JacobiOperator Op>
 [[nodiscard]] TransientOperator transient_operator(const Op& op) {
   return TransientOperator{
@@ -111,6 +115,9 @@ template <JacobiOperator Op>
       }};
 }
 
+template <JacobiOperator Op>
+TransientOperator transient_operator(const Op&& op) = delete;
+
 /// Advance `p` in place from P(0) to P(t).
 TransientResult transient_solve(const TransientOperator& op, real_t t,
                                 std::span<real_t> p,
@@ -118,8 +125,11 @@ TransientResult transient_solve(const TransientOperator& op, real_t t,
 
 /// Advance `p` through an ascending grid of absolute times (first entry may
 /// be 0 == "now"), invoking `on_checkpoint(index, p)` at every grid point.
-/// The eps budget applies per grid segment. Returns the aggregate over all
-/// segments (covered_mass multiplies, truncated_mass/matvecs accumulate).
+/// The eps budget applies per grid segment. When the series budget runs out
+/// (truncated_early) the walk stops and no further checkpoints fire —
+/// including the one whose segment was cut, since `p` is then a mid-series
+/// partial sum, not P(t). Returns the aggregate over all segments
+/// (covered_mass multiplies, truncated_mass/matvecs accumulate).
 TransientResult transient_solve_grid(
     const TransientOperator& op, std::span<const real_t> t_grid,
     std::span<real_t> p,

@@ -991,7 +991,12 @@ class Verifier {
         return;
       }
       point_mass(pk);
-      (void)solver::krylov_expm_solve(op, t, std::span<real_t>(pk), kopt);
+      const auto rk =
+          solver::krylov_expm_solve(op, t, std::span<real_t>(pk), kopt);
+      if (rk.truncated_early || rk.tol_not_met) {
+        fail("transient", "krylov expm could not meet tol at t=" + fmt(t));
+        return;
+      }
       const real_t dist = l1_distance(pu, pk);
       if (dist > 1e-10) {
         fail("transient", "uniformization vs krylov expm L1 " + fmt(dist) +

@@ -361,6 +361,25 @@ TEST(Transient, MaxTermsCapRespected) {
   EXPECT_LE(r.matvecs, 5u);
 }
 
+// A budget-cut grid walk must not hand the caller checkpoints it never
+// computed: the segment that hit max_terms leaves p mid-series (or as the
+// untouched initial vector), so its checkpoint — and every later one — is
+// withheld rather than delivered with stale content.
+TEST(Transient, GridWithholdsCheckpointsAfterTruncation) {
+  const auto a = two_state(100.0, 100.0);
+  CsrOperator op(a);
+  std::vector<real_t> p{1.0, 0.0};
+  TransientOptions opt;
+  opt.max_terms = 5;  // cut inside the first segment
+  const std::vector<real_t> grid{1.0, 2.0, 10.0};
+  std::size_t delivered = 0;
+  const auto r = transient_solve_grid(
+      op, grid, p,
+      [&](std::size_t, std::span<const real_t>) { ++delivered; }, opt);
+  EXPECT_TRUE(r.truncated_early);
+  EXPECT_EQ(delivered, 0u);
+}
+
 // --- Krylov expm ------------------------------------------------------------
 
 TEST(KrylovExpm, TwoStateAnalyticSolution) {
@@ -475,7 +494,34 @@ TEST(KrylovExpm, MatchesUniformizationOnScenarioFamilies) {
   EXPECT_GE(compared, 4u);  // the seed range must exercise real scenarios
 }
 
+// Flag semantics: a matvec-budget cut reports truncated_early (horizon
+// incomplete, p == P(t_done) for t_done < t) WITHOUT tol_not_met — the
+// steps that did run all met their local budgets.
+TEST(KrylovExpm, MatvecBudgetSetsTruncatedEarlyOnly) {
+  ImmigrationDeath model;
+  const core::StateSpace space(model.net, core::State{0}, 1000);
+  const auto a = core::rate_matrix(space);
+  CsrOperator op(a);
+  std::vector<real_t> p(static_cast<std::size_t>(a.nrows), 0.0);
+  p[0] = 1.0;
+  KrylovExpmOptions opt;
+  opt.max_matvecs = 10;  // less than one full Arnoldi sweep
+  const auto r = krylov_expm_solve(op, 50.0, p, opt);
+  EXPECT_TRUE(r.truncated_early);
+  EXPECT_FALSE(r.tol_not_met);
+}
+
 // --- dense expm -------------------------------------------------------------
+
+// Scaling regression: for inf-norm in (0.5, 1] the argument must still be
+// halved at least once, or the raw Pade(6,6) error (~1.5e-13 at 0.99)
+// exceeds the 1e-13 the transient oracle asks of the propagator.
+TEST(DenseExpm, ScalesNormBetweenHalfAndOne) {
+  const std::vector<real_t> m{0.99};
+  std::vector<real_t> out(1, 0.0);
+  dense_expm(m, 1, out);
+  EXPECT_NEAR(out[0], std::exp(0.99), 1e-14);
+}
 
 TEST(DenseExpm, NilpotentAndDiagonalCases) {
   // Nilpotent: exp([[0,1],[0,0]]) = [[1,1],[0,1]] exactly.
@@ -612,6 +658,40 @@ TEST(FspTransient, KrylovEngineMatchesUniformization) {
   for (std::size_t g = 0; g < grid.size(); ++g) {
     EXPECT_LE(l1_diff(ru.marginals[g], rk.marginals[g]), 1e-8) << "g=" << g;
   }
+}
+
+// The FSP transient bound is a safety guarantee: when an engine budget cuts
+// the propagation before the last grid point, no bound exists. The result
+// must say so — truncated_early set, infinite error_bound, never-computed
+// grid points poisoned (empty marginal, infinite sink) — instead of letting
+// the sinks[] zero-initialization masquerade as a converged solve.
+TEST(FspTransient, TruncatedUniformizationReportsNoBound) {
+  ImmigrationDeath model;
+  const std::vector<real_t> grid{0.5, 1.5};
+  fsp::TransientFspOptions fopt;
+  fopt.uniformization.max_terms = 3;  // cut inside the first segment
+  const auto res = fsp::solve_transient(model.net, core::State{0}, grid, fopt);
+  EXPECT_TRUE(res.truncated_early);
+  EXPECT_FALSE(res.converged);
+  EXPECT_TRUE(std::isinf(res.error_bound));
+  ASSERT_EQ(res.marginals.size(), grid.size());
+  ASSERT_EQ(res.sink_mass.size(), grid.size());
+  EXPECT_TRUE(res.marginals.back().empty());
+  EXPECT_TRUE(std::isinf(res.sink_mass.back()));
+}
+
+TEST(FspTransient, TruncatedKrylovReportsNoBound) {
+  ImmigrationDeath model;
+  const std::vector<real_t> grid{0.5, 1.5};
+  fsp::TransientFspOptions fopt;
+  fopt.engine = fsp::TransientEngine::kKrylov;
+  fopt.krylov.max_matvecs = 5;  // less than one Arnoldi sweep
+  const auto res = fsp::solve_transient(model.net, core::State{0}, grid, fopt);
+  EXPECT_TRUE(res.truncated_early);
+  EXPECT_FALSE(res.converged);
+  EXPECT_TRUE(std::isinf(res.error_bound));
+  EXPECT_TRUE(res.marginals.back().empty());
+  EXPECT_TRUE(std::isinf(res.sink_mass.back()));
 }
 
 TEST(FspTransient, RejectsBadGridAndRoundBudget) {
